@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: workload
+ * scaling from the environment, cached baseline runs, and uniform row
+ * formatting.
+ *
+ * Knobs (environment variables):
+ *   MSSR_SCALE  log2 graph vertices for GAP (default 10; paper: 12)
+ *   MSSR_ITERS  synthetic-kernel iterations (default 4000)
+ *   MSSR_SEED   workload RNG seed
+ */
+
+#ifndef MSSR_BENCH_COMMON_HH
+#define MSSR_BENCH_COMMON_HH
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/report.hh"
+#include "driver/sim_runner.hh"
+#include "workloads/registry.hh"
+
+namespace mssr::bench
+{
+
+/** Builds and caches programs per benchmark name. */
+class WorkloadSet
+{
+  public:
+    WorkloadSet() : scale_(workloads::WorkloadScale::fromEnv()) {}
+
+    const isa::Program &
+    program(const std::string &name)
+    {
+        auto it = programs_.find(name);
+        if (it == programs_.end()) {
+            it = programs_
+                     .emplace(name, workloads::buildWorkload(name, scale_))
+                     .first;
+        }
+        return it->second;
+    }
+
+    /** Runs (and caches) the no-reuse baseline for @p name. */
+    const RunResult &
+    baseline(const std::string &name)
+    {
+        auto it = baselines_.find(name);
+        if (it == baselines_.end()) {
+            it = baselines_
+                     .emplace(name, runSim(program(name), baselineConfig()))
+                     .first;
+        }
+        return it->second;
+    }
+
+    RunResult
+    run(const std::string &name, const SimConfig &cfg)
+    {
+        return runSim(program(name), cfg);
+    }
+
+    const workloads::WorkloadScale &scale() const { return scale_; }
+
+  private:
+    workloads::WorkloadScale scale_;
+    std::map<std::string, isa::Program> programs_;
+    std::map<std::string, RunResult> baselines_;
+};
+
+/** Prints the workload-scale banner so outputs are self-describing. */
+inline void
+printScale(const WorkloadSet &set)
+{
+    std::cout << "[workloads: GAP Kronecker -g "
+              << set.scale().graphScale << " -k "
+              << set.scale().edgeFactor << ", synthetic iterations "
+              << set.scale().iterations
+              << "; override with MSSR_SCALE / MSSR_ITERS]\n";
+}
+
+} // namespace mssr::bench
+
+#endif // MSSR_BENCH_COMMON_HH

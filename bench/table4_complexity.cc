@@ -1,0 +1,90 @@
+/**
+ * Reproduces Table 4: post-synthesis complexity of the two critical
+ * logic blocks -- reconvergence detection (per WPB size) and the
+ * rename-stage reuse test (per pipeline width) -- using the analytic
+ * model (DESIGN.md substitution 5: no synthesis tools offline; the
+ * model's structural depth terms produce the scaling, with area/power
+ * coefficients calibrated at the paper's smallest configurations).
+ */
+
+#include <iostream>
+
+#include "analysis/complexity_model.hh"
+#include "analysis/report.hh"
+
+using namespace mssr::analysis;
+
+int
+main()
+{
+    banner(std::cout, "Table 4: post-synthesis complexity (model)");
+
+    std::cout << "\nReconvergence Detection\n";
+    Table reconv({"WPB Size", "Logic Levels (paper)", "Area um^2 (paper)",
+                  "Power mW@0.7V (paper)"});
+    const struct
+    {
+        unsigned streams, entries;
+        unsigned paperLevels;
+        double paperArea, paperPower;
+    } reconvRows[] = {
+        {4, 16, 13, 2682, 1.508},
+        {4, 32, 19, 5283, 2.984},
+        {4, 64, 20, 10369, 5.909},
+    };
+    for (const auto &row : reconvRows) {
+        const SynthesisEstimate e =
+            reconvDetectionComplexity(row.streams, row.entries);
+        reconv.addRow({std::to_string(row.streams) + "x" +
+                           std::to_string(row.entries),
+                       std::to_string(e.logicLevels) + " (" +
+                           std::to_string(row.paperLevels) + ")",
+                       fixed(e.areaUm2, 0) + " (" +
+                           fixed(row.paperArea, 0) + ")",
+                       fixed(e.powerMw, 3) + " (" +
+                           fixed(row.paperPower, 3) + ")"});
+    }
+    reconv.print(std::cout);
+
+    std::cout << "\nReuse Test (64-entry Squash Log)\n";
+    Table reuse({"Pipeline Width", "Logic Levels (paper)",
+                 "Area um^2 (paper)", "Power mW@0.7V (paper)"});
+    const struct
+    {
+        unsigned width;
+        unsigned paperLevels;
+        double paperArea, paperPower;
+    } reuseRows[] = {
+        {4, 28, 3201, 3.039},
+        {6, 32, 4803, 4.333},
+        {8, 41, 6256, 5.509},
+    };
+    for (const auto &row : reuseRows) {
+        const SynthesisEstimate e = reuseTestComplexity(row.width, 64);
+        reuse.addRow({std::to_string(row.width),
+                      std::to_string(e.logicLevels) + " (" +
+                          std::to_string(row.paperLevels) + ")",
+                      fixed(e.areaUm2, 0) + " (" +
+                          fixed(row.paperArea, 0) + ")",
+                      fixed(e.powerMw, 3) + " (" +
+                          fixed(row.paperPower, 3) + ")"});
+    }
+    reuse.print(std::cout);
+
+    std::cout << "\nExtrapolation beyond the paper's configurations:\n";
+    Table extra({"Block", "Config", "Levels", "Area um^2", "Power mW"});
+    for (unsigned entries : {128u, 256u}) {
+        const auto e = reconvDetectionComplexity(4, entries);
+        extra.addRow({"reconv", "4x" + std::to_string(entries),
+                      std::to_string(e.logicLevels), fixed(e.areaUm2, 0),
+                      fixed(e.powerMw, 3)});
+    }
+    for (unsigned width : {10u, 12u}) {
+        const auto e = reuseTestComplexity(width, 64);
+        extra.addRow({"reuse-test", std::to_string(width) + "-wide",
+                      std::to_string(e.logicLevels), fixed(e.areaUm2, 0),
+                      fixed(e.powerMw, 3)});
+    }
+    extra.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,32 @@
+# Dot product of two 64-element vectors living at fixed addresses.
+# Demonstrates plain loads, multiply-accumulate and a counted loop.
+# Run: mssr_run --asm examples/asm/dot_product.s --reuse none --all-stats
+    li   s0, 0x200000        # &a
+    li   s1, 0x201000        # &b
+    li   s2, 64              # n
+    li   s3, 0               # i
+    li   a0, 0               # acc
+# initialise a[i] = i+1, b[i] = 2i+1 (self-contained test data)
+init:
+    addi t0, s3, 1
+    slli t1, s3, 1
+    addi t1, t1, 1
+    slli t2, s3, 3
+    add  t3, t2, s0
+    sd   t0, 0(t3)
+    add  t3, t2, s1
+    sd   t1, 0(t3)
+    addi s3, s3, 1
+    blt  s3, s2, init
+    li   s3, 0
+loop:
+    slli t2, s3, 3
+    add  t3, t2, s0
+    ld   t0, 0(t3)
+    add  t3, t2, s1
+    ld   t1, 0(t3)
+    mul  t0, t0, t1
+    add  a0, a0, t0
+    addi s3, s3, 1
+    blt  s3, s2, loop
+    halt                     # result in a0

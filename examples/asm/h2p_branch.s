@@ -1,0 +1,36 @@
+# A hashed, hard-to-predict branch with a control-independent tail:
+# the smallest program that exercises Multi-Stream Squash Reuse.
+# Compare schemes:
+#   mssr_run --asm examples/asm/h2p_branch.s --compare
+#   mssr_run --asm examples/asm/h2p_branch.s --reuse regint --compare
+    li   s0, 0               # i
+    li   s1, 20000           # iterations
+    li   s6, 0               # checksum
+loop:
+    # murmur-style hash of the loop counter (multiplies make it
+    # genuinely unpredictable for TAGE-class predictors)
+    addi t0, s0, 0x1234
+    li   t1, -0x61c8864680b583eb
+    mul  t0, t0, t1
+    srli t1, t0, 31
+    xor  t0, t0, t1
+    li   t1, -0x3b314601e57a13ad
+    mul  t0, t0, t1
+    srli t1, t0, 29
+    xor  t0, t0, t1
+    # hard-to-predict branch on a hashed bit
+    andi t1, t0, 1
+    beqz t1, join
+    # control-dependent body
+    addi s2, s2, 3
+    xori s2, s2, 0x55
+join:
+    # control-independent, data-independent tail (reused on squash)
+    addi t2, s0, 7
+    xori t2, t2, 0x2a
+    addi t2, t2, 11
+    xori t2, t2, 0x13
+    xor  s6, s6, t2
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    halt

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Analytic complexity model standing in for the paper's Synopsys
+ * Design Compiler synthesis (Table 4) -- see DESIGN.md section 4,
+ * substitution 5. Logic levels come from the structural depth of our
+ * RTL-faithful comparator/aligner/priority-encoder and rename-bypass
+ * trees; area and power use NAND2-equivalent per-entry coefficients
+ * calibrated so the paper's smallest configuration anchors the scale.
+ * The model's value is the *scaling shape* across WPB sizes and
+ * pipeline widths, not the absolute numbers (which are technology
+ * dependent).
+ */
+
+#ifndef MSSR_ANALYSIS_COMPLEXITY_MODEL_HH
+#define MSSR_ANALYSIS_COMPLEXITY_MODEL_HH
+
+namespace mssr::analysis
+{
+
+struct SynthesisEstimate
+{
+    unsigned logicLevels = 0;
+    double areaUm2 = 0.0;  //!< square microns
+    double powerMw = 0.0;  //!< at 0.7V, 2GHz constraint
+};
+
+/**
+ * Reconvergence-detection logic (section 3.4) for @p streams x
+ * @p entries_per_stream WPB entries, spread over three pipeline
+ * stages as in the paper.
+ */
+SynthesisEstimate reconvDetectionComplexity(unsigned streams,
+                                            unsigned entries_per_stream);
+
+/**
+ * Reuse-test logic (section 3.5) for a @p pipeline_width -wide rename
+ * stage against a squash log with @p log_entries entries.
+ */
+SynthesisEstimate reuseTestComplexity(unsigned pipeline_width,
+                                      unsigned log_entries = 64);
+
+} // namespace mssr::analysis
+
+#endif // MSSR_ANALYSIS_COMPLEXITY_MODEL_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table-formatting helpers for the benchmark harness: fixed-width
+ * columnar tables printed in the style of the paper's tables/figures
+ * so bench binaries produce directly comparable rows.
+ */
+
+#ifndef MSSR_ANALYSIS_REPORT_HH
+#define MSSR_ANALYSIS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mssr::analysis
+{
+
+/** Simple columnar table writer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Adds one row; cells beyond the header count are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders with aligned columns and a separator under headers. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a fraction as a signed percentage ("+2.4%"). */
+std::string percent(double fraction, int decimals = 1);
+
+/** Formats a double with fixed decimals. */
+std::string fixed(double value, int decimals = 2);
+
+/** Prints a section banner for bench output. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace mssr::analysis
+
+#endif // MSSR_ANALYSIS_REPORT_HH

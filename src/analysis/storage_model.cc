@@ -1,0 +1,41 @@
+#include "analysis/storage_model.hh"
+
+#include "common/bitops.hh"
+
+namespace mssr::analysis
+{
+
+StorageBreakdown
+computeStorage(const StorageParams &p)
+{
+    StorageBreakdown out;
+
+    // Constant storage (Table 2): ROB stores (srcs + dest) RGIDs per
+    // entry; the RAT and its checkpoints gain one RGID per arch reg.
+    out.robRgidBits = std::uint64_t(p.srcRegsPerInst + 1) * p.rgidBits *
+                      p.robEntries;
+    out.ratRgidBits = std::uint64_t(p.archRegs) * p.rgidBits;
+    out.ratCheckpointBits =
+        std::uint64_t(p.archRegs) * p.rgidBits * p.ratCheckpoints;
+
+    // Variable storage. WPB entry: valid + start PC[11:1] + end
+    // PC[11:1]; per stream: VPN register.
+    const std::uint64_t wpbEntryBits = 1 + 2 * p.pcLowBits;
+    out.wpbBits = std::uint64_t(p.numStreams) *
+                  (wpbEntryBits * p.wpbEntries + p.vpnBits);
+
+    // Squash Log entry: valid + 3 source RGIDs + dest RGID + dest preg.
+    const std::uint64_t slEntryBits =
+        1 + p.srcRegsPerInst * p.rgidBits + p.rgidBits + p.pregBits;
+    out.squashLogBits =
+        std::uint64_t(p.numStreams) * slEntryBits * p.squashLogEntries;
+
+    // Pointers: per structure a stream read + stream write pointer
+    // (log2 N each) plus an entry read pointer (log2 M / log2 P).
+    out.pointerBits = 2 * log2ceil(p.numStreams) + log2ceil(p.wpbEntries) +
+                      2 * log2ceil(p.numStreams) +
+                      log2ceil(p.squashLogEntries);
+    return out;
+}
+
+} // namespace mssr::analysis

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Storage model reproducing Table 2 exactly: the additional register
+ * bits required by the Multi-Stream Squash Reuse scheme, split into a
+ * constant part (ROB RGIDs, RAT RGIDs, RAT checkpoints) and a variable
+ * part that scales with N (streams), M (WPB entries/stream) and P
+ * (Squash Log entries/stream).
+ */
+
+#ifndef MSSR_ANALYSIS_STORAGE_MODEL_HH
+#define MSSR_ANALYSIS_STORAGE_MODEL_HH
+
+#include <cstdint>
+
+namespace mssr::analysis
+{
+
+struct StorageParams
+{
+    unsigned numStreams = 4;        //!< N
+    unsigned wpbEntries = 16;       //!< M (per stream)
+    unsigned squashLogEntries = 64; //!< P (per stream)
+    unsigned rgidBits = 6;
+    unsigned robEntries = 256;
+    unsigned archRegs = 64;         //!< paper assumes 64 (int + fp)
+    unsigned ratCheckpoints = 32;
+    unsigned srcRegsPerInst = 3;    //!< paper counts 3 sources
+    unsigned pregBits = 8;          //!< destination preg field
+    unsigned pcLowBits = 11;        //!< PC[11:1] per WPB entry
+    unsigned vpnBits = 36;          //!< PC[47:12] per stream
+};
+
+struct StorageBreakdown
+{
+    // Constant part.
+    std::uint64_t robRgidBits = 0;
+    std::uint64_t ratRgidBits = 0;
+    std::uint64_t ratCheckpointBits = 0;
+    // Variable part.
+    std::uint64_t wpbBits = 0;
+    std::uint64_t squashLogBits = 0;
+    std::uint64_t pointerBits = 0;
+
+    std::uint64_t
+    constantBits() const
+    {
+        return robRgidBits + ratRgidBits + ratCheckpointBits;
+    }
+
+    std::uint64_t
+    variableBits() const
+    {
+        return wpbBits + squashLogBits + pointerBits;
+    }
+
+    std::uint64_t totalBits() const
+    {
+        return constantBits() + variableBits();
+    }
+
+    double constantKB() const { return constantBits() / 8.0 / 1024.0; }
+    double variableKB() const { return variableBits() / 8.0 / 1024.0; }
+    double totalKB() const { return totalBits() / 8.0 / 1024.0; }
+};
+
+/** Evaluates the Table 2 formulas for @p params. */
+StorageBreakdown computeStorage(const StorageParams &params);
+
+} // namespace mssr::analysis
+
+#endif // MSSR_ANALYSIS_STORAGE_MODEL_HH

@@ -1,0 +1,39 @@
+#include "bpu/bimodal.hh"
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+BimodalPredictor::BimodalPredictor(unsigned entries)
+    : counters_(entries, 1) // weakly not-taken
+{
+    mssr_assert(isPow2(entries));
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc / InstBytes) & (counters_.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return counters_[index(pc)] >= 2;
+}
+
+void
+BimodalPredictor::commitUpdate(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = counters_[index(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace mssr

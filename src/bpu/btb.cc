@@ -1,0 +1,68 @@
+#include "bpu/btb.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace mssr
+{
+
+Btb::Btb(unsigned entries, unsigned assoc) : assoc_(assoc)
+{
+    mssr_assert(entries % assoc == 0);
+    numSets_ = entries / assoc;
+    mssr_assert(isPow2(numSets_));
+    entries_.resize(entries);
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return (pc / InstBytes) & (numSets_ - 1);
+}
+
+Addr
+Btb::tagOf(Addr pc) const
+{
+    return (pc / InstBytes) / numSets_;
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc) const
+{
+    const std::size_t base = setOf(pc) * assoc_;
+    const Addr tag = tagOf(pc);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag)
+            return e.target;
+    }
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    ++lruClock_;
+    const std::size_t base = setOf(pc) * assoc_;
+    const Addr tag = tagOf(pc);
+    Entry *victim = &entries_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lruStamp = lruClock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lruStamp < victim->lruStamp) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lruStamp = lruClock_;
+}
+
+} // namespace mssr

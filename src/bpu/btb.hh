@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Branch target buffer: 4-way set-associative, PC-tagged, storing the
+ * taken target of control instructions. Used by the block-forming BPU
+ * pipeline to predict indirect (JALR) targets.
+ */
+
+#ifndef MSSR_BPU_BTB_HH
+#define MSSR_BPU_BTB_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mssr
+{
+
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries = 4096, unsigned assoc = 4);
+
+    /** Looks up the predicted target for the control inst at @p pc. */
+    std::optional<Addr> lookup(Addr pc) const;
+
+    /** Installs/refreshes the target for @p pc (called on resolution). */
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setOf(Addr pc) const;
+    Addr tagOf(Addr pc) const;
+
+    unsigned assoc_;
+    unsigned numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock_ = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_BPU_BTB_HH

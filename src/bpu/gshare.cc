@@ -1,0 +1,62 @@
+#include "bpu/gshare.hh"
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned hist_bits)
+    : counters_(entries, 1), histBits_(hist_bits)
+{
+    mssr_assert(isPow2(entries));
+    mssr_assert(hist_bits <= 64);
+}
+
+std::size_t
+GsharePredictor::index(Addr pc, std::uint64_t hist) const
+{
+    return ((pc / InstBytes) ^ (hist & mask(histBits_))) &
+           (counters_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    return counters_[index(pc, specHist_)] >= 2;
+}
+
+void
+GsharePredictor::specUpdate(Addr pc, bool taken)
+{
+    specHist_ = (specHist_ << 1) | (taken ? 1 : 0);
+}
+
+PredSnapshot
+GsharePredictor::snapshot() const
+{
+    PredSnapshot snap;
+    snap.words[0] = specHist_;
+    return snap;
+}
+
+void
+GsharePredictor::restore(const PredSnapshot &snap)
+{
+    specHist_ = snap.words[0];
+}
+
+void
+GsharePredictor::commitUpdate(Addr pc, bool taken)
+{
+    std::uint8_t &ctr = counters_[index(pc, retiredHist_)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    retiredHist_ = (retiredHist_ << 1) | (taken ? 1 : 0);
+}
+
+} // namespace mssr

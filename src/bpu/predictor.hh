@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Conditional branch direction predictor interface.
+ *
+ * Speculative vs retired history: predictions use a speculative global
+ * history that is updated immediately with the predicted direction and
+ * rolled back (from a snapshot) on squash; training at commit uses a
+ * separately maintained retired history, so wrong-path pollution never
+ * corrupts training.
+ */
+
+#ifndef MSSR_BPU_PREDICTOR_HH
+#define MSSR_BPU_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace mssr
+{
+
+/**
+ * Opaque speculative-state snapshot saved per prediction block and
+ * restored on pipeline redirect. Large enough for any predictor here
+ * (TAGE keeps a 256-bit history plus loop-predictor speculative state).
+ */
+struct PredSnapshot
+{
+    std::array<std::uint64_t, 6> words{};
+};
+
+/** Fixed 256-bit global branch history shift register. */
+class GlobalHistory
+{
+  public:
+    static constexpr unsigned Bits = 256;
+
+    /** Shifts in one outcome (1 = taken) as the youngest bit. */
+    void
+    shift(bool taken)
+    {
+        words_[3] = (words_[3] << 1) | (words_[2] >> 63);
+        words_[2] = (words_[2] << 1) | (words_[1] >> 63);
+        words_[1] = (words_[1] << 1) | (words_[0] >> 63);
+        words_[0] = (words_[0] << 1) | (taken ? 1 : 0);
+    }
+
+    /**
+     * Folds the youngest @p hist_len history bits down to @p out_bits
+     * by XOR; used to form TAGE/gshare indices and tags.
+     */
+    std::uint64_t
+    fold(unsigned hist_len, unsigned out_bits) const
+    {
+        if (out_bits == 0 || hist_len == 0)
+            return 0;
+        std::uint64_t out = 0;
+        unsigned consumed = 0;
+        unsigned word = 0;
+        while (consumed < hist_len && word < 4) {
+            const unsigned take = std::min(64u, hist_len - consumed);
+            std::uint64_t chunk = words_[word] & mask(take);
+            // Rotate the chunk by the bit offset so folds of different
+            // lengths decorrelate, then fold into out_bits.
+            out ^= foldXor(chunk, out_bits) ^
+                   ((consumed / out_bits) & 1 ? 0x2b : 0);
+            consumed += take;
+            ++word;
+        }
+        return out & mask(out_bits);
+    }
+
+    std::uint64_t word(unsigned i) const { return words_[i]; }
+    void setWord(unsigned i, std::uint64_t v) { words_[i] = v; }
+
+  private:
+    std::array<std::uint64_t, 4> words_{};
+};
+
+/** Abstract conditional-branch direction predictor. */
+class DirPredictor
+{
+  public:
+    virtual ~DirPredictor() = default;
+
+    /** Predicts the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Shifts the predicted outcome into the speculative history. */
+    virtual void specUpdate(Addr pc, bool taken) = 0;
+
+    /** Captures speculative state (before specUpdate of this branch). */
+    virtual PredSnapshot snapshot() const = 0;
+
+    /** Restores speculative state from @p snap on redirect. */
+    virtual void restore(const PredSnapshot &snap) = 0;
+
+    /** Trains with a retired branch outcome; updates retired history. */
+    virtual void commitUpdate(Addr pc, bool taken) = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_BPU_PREDICTOR_HH

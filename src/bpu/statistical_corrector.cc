@@ -1,0 +1,58 @@
+#include "bpu/statistical_corrector.hh"
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+StatisticalCorrector::StatisticalCorrector(unsigned table_bits,
+                                           std::vector<unsigned> hist_lens)
+    : tableBits_(table_bits), histLens_(std::move(hist_lens))
+{
+    tables_.resize(histLens_.size());
+    for (auto &table : tables_)
+        table.resize(std::size_t(1) << tableBits_, 0);
+}
+
+std::size_t
+StatisticalCorrector::index(Addr pc, bool tage_pred,
+                            const GlobalHistory &hist, unsigned table) const
+{
+    const std::uint64_t pcbits = pc / InstBytes;
+    std::uint64_t idx = pcbits ^ (pcbits >> tableBits_) ^
+                        (tage_pred ? 0x155 : 0) ^
+                        (std::uint64_t(table) * 0x9e3);
+    if (histLens_[table] > 0)
+        idx ^= hist.fold(histLens_[table], tableBits_);
+    return idx & mask(tableBits_);
+}
+
+int
+StatisticalCorrector::confidence(Addr pc, bool tage_pred,
+                                 const GlobalHistory &hist) const
+{
+    int sum = 0;
+    for (unsigned t = 0; t < tables_.size(); ++t)
+        sum += 2 * tables_[t][index(pc, tage_pred, hist, t)] + 1;
+    return sum;
+}
+
+void
+StatisticalCorrector::train(Addr pc, bool tage_pred, bool taken,
+                            const GlobalHistory &hist)
+{
+    // Counters learn "does the outcome agree with the TAGE prediction".
+    const bool agree = taken == tage_pred;
+    for (unsigned t = 0; t < tables_.size(); ++t) {
+        std::int8_t &ctr = tables_[t][index(pc, tage_pred, hist, t)];
+        if (agree) {
+            if (ctr < 31)
+                ++ctr;
+        } else {
+            if (ctr > -32)
+                --ctr;
+        }
+    }
+}
+
+} // namespace mssr

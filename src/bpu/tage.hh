@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TAGE predictor [Seznec & Michaud]: a bimodal base table plus several
+ * partially-tagged tables indexed with geometrically increasing global
+ * history lengths. This is the main component of the TAGE-SC-L 64K
+ * configuration from Table 3.
+ */
+
+#ifndef MSSR_BPU_TAGE_HH
+#define MSSR_BPU_TAGE_HH
+
+#include <vector>
+
+#include "bpu/predictor.hh"
+
+namespace mssr
+{
+
+/** TAGE sizing parameters; defaults give a ~64K-budget predictor. */
+struct TageConfig
+{
+    std::vector<unsigned> histLens = {4, 8, 16, 32, 64, 128};
+    unsigned tableBits = 10;   //!< log2 entries per tagged table
+    unsigned tagBits = 9;
+    unsigned baseEntries = 16384;
+    unsigned usefulResetPeriod = 1 << 18;
+};
+
+/** Result of a TAGE table walk, shared by predict and train paths. */
+struct TageLookup
+{
+    int provider = -1;         //!< providing tagged table, -1 = base
+    int alt = -1;              //!< alternate provider, -1 = base
+    bool providerPred = false;
+    bool altPred = false;
+    bool pred = false;         //!< final TAGE prediction
+    bool weak = false;         //!< provider counter is weak
+    std::vector<std::uint32_t> indices;  //!< per-table index
+    std::vector<std::uint16_t> tags;     //!< per-table tag
+    std::size_t baseIndex = 0;
+};
+
+class TagePredictor : public DirPredictor
+{
+  public:
+    explicit TagePredictor(const TageConfig &cfg = TageConfig());
+
+    bool predict(Addr pc) override;
+    void specUpdate(Addr pc, bool taken) override;
+    PredSnapshot snapshot() const override;
+    void restore(const PredSnapshot &snap) override;
+    void commitUpdate(Addr pc, bool taken) override;
+
+    /**
+     * Performs the full table walk against an explicit history;
+     * exposed so TAGE-SC-L can reuse the lookup for the corrector.
+     */
+    TageLookup lookup(Addr pc, const GlobalHistory &hist) const;
+
+    /** Trains from a completed lookup (used by TAGE-SC-L). */
+    void train(Addr pc, bool taken, const TageLookup &look);
+
+    /** Shifts a retired outcome into the retired history. */
+    void advanceRetired(bool taken) { retiredHist_.shift(taken); }
+
+    const GlobalHistory &specHist() const { return specHist_; }
+    const GlobalHistory &retiredHist() const { return retiredHist_; }
+
+  private:
+    struct Entry
+    {
+        std::int8_t ctr = 0;       //!< 3-bit signed [-4, 3]
+        std::uint16_t tag = 0;
+        std::uint8_t useful = 0;   //!< 2-bit
+    };
+
+    std::uint32_t tableIndex(Addr pc, const GlobalHistory &hist,
+                             unsigned table) const;
+    std::uint16_t tableTag(Addr pc, const GlobalHistory &hist,
+                           unsigned table) const;
+
+    TageConfig cfg_;
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<std::uint8_t> base_;    //!< 2-bit counters
+    GlobalHistory specHist_;
+    GlobalHistory retiredHist_;
+    std::int8_t useAltOnNa_ = 0;        //!< 4-bit signed
+    std::uint64_t trainCount_ = 0;
+    std::uint32_t lfsr_ = 0xace1u;      //!< allocation tie-breaking
+};
+
+} // namespace mssr
+
+#endif // MSSR_BPU_TAGE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by predictors, caches and the
+ * reconvergence-detection logic.
+ */
+
+#ifndef MSSR_COMMON_BITOPS_HH
+#define MSSR_COMMON_BITOPS_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace mssr
+{
+
+/** Returns a mask with the low @p nbits bits set. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t(0)
+                       : ((std::uint64_t(1) << nbits) - 1);
+}
+
+/** Extracts bits [hi:lo] (inclusive) of @p val. */
+constexpr std::uint64_t
+bits(std::uint64_t val, unsigned hi, unsigned lo)
+{
+    return (val >> lo) & mask(hi - lo + 1);
+}
+
+/** Ceil(log2(n)); log2ceil(1) == 0. Used for pointer-width sizing. */
+constexpr unsigned
+log2ceil(std::uint64_t n)
+{
+    unsigned r = 0;
+    std::uint64_t v = 1;
+    while (v < n) {
+        v <<= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Floor(log2(n)); n must be non-zero. */
+constexpr unsigned
+log2floor(std::uint64_t n)
+{
+    unsigned r = 0;
+    while (n > 1) {
+        n >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** True iff @p n is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Sign-extends the low @p nbits bits of @p val to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t val, unsigned nbits)
+{
+    assert(nbits > 0 && nbits <= 64);
+    if (nbits == 64)
+        return static_cast<std::int64_t>(val);
+    const std::uint64_t sign = std::uint64_t(1) << (nbits - 1);
+    val &= mask(nbits);
+    return static_cast<std::int64_t>((val ^ sign) - sign);
+}
+
+/**
+ * Folds a value down to @p nbits by repeated XOR, used to hash long
+ * branch-history registers into predictor index widths.
+ */
+constexpr std::uint64_t
+foldXor(std::uint64_t val, unsigned nbits)
+{
+    if (nbits == 0)
+        return 0;
+    std::uint64_t out = 0;
+    while (val != 0) {
+        out ^= val & mask(nbits);
+        val >>= nbits;
+    }
+    return out;
+}
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_BITOPS_HH

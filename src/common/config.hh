@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Simulator configuration structures. Defaults reproduce Table 3 of the
+ * paper (gem5 baseline configuration) plus the default Multi-Stream
+ * Squash Reuse parameters used throughout the evaluation.
+ */
+
+#ifndef MSSR_COMMON_CONFIG_HH
+#define MSSR_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mssr
+{
+
+/** Which main conditional branch predictor the frontend uses. */
+enum class BranchPredictorKind
+{
+    Bimodal,   //!< 2-bit counters, PC-indexed
+    Gshare,    //!< global-history XOR PC
+    TageScL,   //!< TAGE-SC-L 64K (Table 3 default)
+};
+
+/** Which squash-reuse mechanism (if any) is attached to the core. */
+enum class ReuseKind
+{
+    None,     //!< baseline: squashed work is discarded
+    Rgid,     //!< the paper's Multi-Stream Squash Reuse (our contribution)
+    RegInt,   //!< Register Integration baseline [Roth & Sohi, MICRO'00]
+};
+
+/** Core configuration; defaults follow Table 3 of the paper. */
+struct CoreConfig
+{
+    // Frontend (Table 3).
+    unsigned fetchBlockBytes = 32;        //!< fetch block size
+    unsigned frontendStages = 5;          //!< pipeline depth before rename
+    BranchPredictorKind predictor = BranchPredictorKind::TageScL;
+    unsigned ftqEntries = 48;             //!< fetch target queue capacity
+    unsigned btbEntries = 4096;           //!< BTB entries (4-way)
+    unsigned rasEntries = 32;             //!< return address stack depth
+
+    // Backend widths / structures (Table 3).
+    unsigned decodeWidth = 8;             //!< decode/rename width
+    unsigned commitWidth = 8;
+    unsigned robEntries = 256;
+    unsigned intRvsEntries = 64;          //!< reservation stations, ALU+BRU
+    unsigned memRvsEntries = 64;          //!< reservation stations, LSU
+    unsigned numAlu = 4;
+    unsigned numBru = 2;
+    unsigned numLsu = 2;
+    unsigned loadQueueEntries = 96;
+    unsigned storeQueueEntries = 96;
+    unsigned physRegs = 256;
+    unsigned ratCheckpoints = 32;
+
+    // Memory hierarchy (Table 3).
+    unsigned l1dSizeBytes = 64 * 1024;
+    unsigned l1dAssoc = 4;
+    unsigned l1dLatency = 3;
+    unsigned l2SizeBytes = 2 * 1024 * 1024;
+    unsigned l2Assoc = 8;
+    unsigned l2Latency = 12;
+    unsigned dramLatency = 120;
+    unsigned cacheLineBytes = 64;
+
+    // Execution latencies (cycles).
+    unsigned aluLatency = 1;
+    unsigned mulLatency = 3;
+    unsigned divLatency = 12;
+    unsigned branchLatency = 1;
+
+    // Misprediction redirect penalty: frontend refill (stages) cycles.
+    unsigned redirectPenalty = 5;
+};
+
+/**
+ * Multi-Stream Squash Reuse configuration (paper sections 3.3-3.6).
+ * The paper's default is 4 streams x 16 WPB fetch blocks x 64 squash
+ * log entries per stream.
+ */
+struct ReuseConfig
+{
+    unsigned numStreams = 4;              //!< N
+    unsigned wpbEntriesPerStream = 16;    //!< M (fetch blocks)
+    unsigned squashLogEntriesPerStream = 64; //!< P (instructions)
+    /**
+     * Hardware RGID tag width (Table 2: 6 bits). The simulator models
+     * the finite width as a reuse window of 2^rgidBits - 2 generations
+     * per architectural register (see reuse/rgid.hh).
+     */
+    unsigned rgidBits = 6;
+    unsigned reconvTimeoutInsts = 1024;   //!< WPB invalidation timeout
+    bool restrictVpn = true;              //!< single-page WPB restriction
+    bool reuseLoads = true;               //!< attempt reuse of loads
+    bool useBloomFilter = false;          //!< Bloom hazard check instead of
+                                          //!< re-execute verification
+    unsigned bloomBits = 1024;            //!< Bloom filter size
+    unsigned bloomHashes = 2;
+};
+
+/** Register Integration baseline configuration (paper section 4.1.2). */
+struct RegIntConfig
+{
+    unsigned sets = 64;
+    unsigned ways = 4;
+    bool reuseLoads = true;
+    /**
+     * Model RI's serialized table access (paper sections 2.2.3 and
+     * 3.7.3): an instruction whose source register was integrated by
+     * an earlier instruction in the same rename bundle needs that
+     * instruction's table result first. RI mitigates the serial chain
+     * by reading W ways in parallel, so at most `ways` chained
+     * integrations can complete per cycle; further dependent
+     * instructions in the bundle rename normally. The RGID scheme has
+     * no such limit thanks to the reuse-outcome proxy chain (sec 3.5).
+     */
+    bool modelSerializedAccess = true;
+};
+
+/** Top-level simulation configuration bundle. */
+struct SimConfig
+{
+    CoreConfig core;
+    ReuseKind reuseKind = ReuseKind::None;
+    ReuseConfig reuse;
+    RegIntConfig regint;
+    std::uint64_t maxInsts = 0;   //!< 0 = run to HALT
+    std::uint64_t maxCycles = 0;  //!< 0 = unbounded
+
+    /**
+     * Optional pipeline trace sink: when set, the core logs fetch/
+     * rename/issue/writeback/commit/squash events per instruction
+     * ("mssr_run --trace" uses this). Not owned.
+     */
+    std::ostream *trace = nullptr;
+};
+
+/** Human-readable name for a ReuseKind. */
+std::string toString(ReuseKind kind);
+
+/** Human-readable name for a BranchPredictorKind. */
+std::string toString(BranchPredictorKind kind);
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_CONFIG_HH

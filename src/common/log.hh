@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Error/diagnostic reporting in the gem5 spirit: panic() for simulator
+ * bugs, fatal() for user/configuration errors, warn()/inform() for
+ * status messages.
+ */
+
+#ifndef MSSR_COMMON_LOG_HH
+#define MSSR_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mssr
+{
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &os)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Thrown by panic(); tests catch it to assert on invariant violations. */
+class SimPanic : public std::runtime_error
+{
+  public:
+    explicit SimPanic(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** Thrown by fatal(); indicates a user/configuration error. */
+class SimFatal : public std::runtime_error
+{
+  public:
+    explicit SimFatal(const std::string &what) : std::runtime_error(what) {}
+};
+
+/**
+ * Reports a condition that indicates a simulator bug. Throws so that
+ * unit tests can verify invariants are enforced.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    throw SimPanic(detail::concat("panic: ", args...));
+}
+
+/** Reports an unrecoverable user error (bad config, bad program). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw SimFatal(detail::concat("fatal: ", args...));
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::fputs(("warn: " + detail::concat(args...) + "\n").c_str(), stderr);
+}
+
+/** Informational message to stdout. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::fputs(("info: " + detail::concat(args...) + "\n").c_str(), stdout);
+}
+
+/** panic() unless @p cond holds. */
+#define mssr_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::mssr::panic("assertion '", #cond, "' failed at ",         \
+                          __FILE__, ":", __LINE__, " ", ##__VA_ARGS__); \
+    } while (0)
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_LOG_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lightweight statistics collection. Simulation units keep plain
+ * counters and export them into a StatSet at end of run; StatSet
+ * supports stable ordered dumping and simple queries for the
+ * benchmark-harness table printers.
+ */
+
+#ifndef MSSR_COMMON_STATS_HH
+#define MSSR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mssr
+{
+
+/** Fixed-bucket histogram (last bucket is an overflow bucket). */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Creates @p nbuckets buckets covering [0, nbuckets-1] plus overflow. */
+    explicit Histogram(std::size_t nbuckets)
+        : buckets_(nbuckets + 1, 0)
+    {
+    }
+
+    /** Records one sample of value @p v. */
+    void
+    sample(std::uint64_t v)
+    {
+        if (buckets_.empty())
+            buckets_.resize(2, 0);
+        if (v + 1 >= buckets_.size())
+            ++buckets_.back();
+        else
+            ++buckets_[v];
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+
+    /** Fraction of samples in bucket @p i (0 when empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(buckets_.at(i)) /
+                                 static_cast<double>(count_);
+    }
+
+    /** Fraction of samples in buckets [0, i]. */
+    double
+    cumulativeFraction(std::size_t i) const
+    {
+        std::uint64_t acc = 0;
+        for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b)
+            acc += buckets_[b];
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(acc) /
+                                 static_cast<double>(count_);
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A named bag of scalar statistics. Keys are hierarchical strings
+ * ("core.commit.insts"); ordering is lexicographic for stable dumps.
+ */
+class StatSet
+{
+  public:
+    /** Sets (or overwrites) a scalar statistic. */
+    void set(const std::string &name, double value);
+
+    /** Adds @p delta to a scalar (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Returns the scalar value, or @p dflt when absent. */
+    double get(const std::string &name, double dflt = 0.0) const;
+
+    /** True when the scalar exists. */
+    bool has(const std::string &name) const;
+
+    /** Writes "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+
+  private:
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_STATS_HH

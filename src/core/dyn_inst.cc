@@ -1,0 +1,4 @@
+#include "core/dyn_inst.hh"
+
+// DynInst is a plain aggregate; this translation unit anchors the
+// header in the build.

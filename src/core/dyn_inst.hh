@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dynamic instruction: one in-flight instance of a static instruction,
+ * carrying rename state, RGIDs, prediction metadata, memory state and
+ * execution status through the pipeline.
+ */
+
+#ifndef MSSR_CORE_DYN_INST_HH
+#define MSSR_CORE_DYN_INST_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "frontend/pred_block.hh"
+#include "isa/inst.hh"
+
+namespace mssr
+{
+
+/** Why an instruction (and everything younger) was squashed. */
+enum class SquashReason
+{
+    None,
+    BranchMispredict,
+    MemOrderViolation,
+    ReuseVerifyFail,
+};
+
+struct DynInst
+{
+    // Identity.
+    SeqNum seq = 0;
+    Addr pc = 0;
+    isa::Inst si;
+    std::uint64_t ftqId = 0;
+
+    // Branch prediction metadata (control instructions only).
+    bool hasBranchInfo = false;
+    BranchInfo branchInfo;
+    bool predTaken = false;
+    Addr predNext = 0;          //!< predicted successor PC
+
+    // Rename state.
+    PhysReg src[2] = {InvalidPhysReg, InvalidPhysReg};
+    PhysReg dst = InvalidPhysReg;
+    PhysReg oldDst = InvalidPhysReg;    //!< previous mapping of rd
+    Rgid srcRgid[2] = {0, 0};
+    Rgid dstRgid = 0;
+    Rgid oldDstRgid = 0;                //!< previous RGID of rd
+
+    // Status flags.
+    bool renamed = false;
+    bool inIq = false;
+    bool issued = false;
+    bool executed = false;      //!< produced its result value
+    bool completed = false;     //!< done; eligible for commit
+    bool squashed = false;
+
+    // Memory state.
+    Addr memAddr = 0;
+    bool addrReady = false;
+    int lqIdx = -1;
+    int sqIdx = -1;
+
+    // Execution results.
+    RegVal result = 0;
+    bool actualTaken = false;
+    Addr actualNext = 0;
+    bool mispredicted = false;
+
+    // Squash reuse state.
+    bool reused = false;            //!< completed via squash reuse
+    bool verifyPending = false;     //!< reused load awaiting re-execute
+    RegVal reusedValue = 0;         //!< value adopted at reuse time
+
+    bool isLoad() const { return si.isLoad(); }
+    bool isStore() const { return si.isStore(); }
+    bool isControl() const { return si.isControl(); }
+
+    unsigned
+    numSrcs() const
+    {
+        return (si.hasRs1() ? 1u : 0u) + (si.hasRs2() ? 1u : 0u);
+    }
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace mssr
+
+#endif // MSSR_CORE_DYN_INST_HH

@@ -1,0 +1,70 @@
+#include "core/free_list.hh"
+
+namespace mssr
+{
+
+FreeList::FreeList(unsigned num_regs, unsigned num_arch)
+    : state_(num_regs, PregState::Free)
+{
+    mssr_assert(num_arch <= num_regs);
+    for (unsigned r = 0; r < num_arch; ++r)
+        state_[r] = PregState::Arch;
+    for (unsigned r = num_arch; r < num_regs; ++r)
+        free_.push_back(static_cast<PhysReg>(r));
+}
+
+PhysReg
+FreeList::alloc()
+{
+    mssr_assert(!free_.empty(), "free list underflow");
+    const PhysReg r = free_.front();
+    free_.pop_front();
+    mssr_assert(state_[r] == PregState::Free);
+    state_[r] = PregState::InFlight;
+    return r;
+}
+
+void
+FreeList::release(PhysReg r)
+{
+    mssr_assert(r < state_.size());
+    mssr_assert(state_[r] != PregState::Free, "double free of preg ", r);
+    state_[r] = PregState::Free;
+    free_.push_back(r);
+}
+
+void
+FreeList::setArch(PhysReg r)
+{
+    mssr_assert(r < state_.size());
+    mssr_assert(state_[r] == PregState::InFlight);
+    state_[r] = PregState::Arch;
+}
+
+void
+FreeList::reserve(PhysReg r)
+{
+    mssr_assert(r < state_.size());
+    mssr_assert(state_[r] == PregState::InFlight);
+    state_[r] = PregState::Reserved;
+}
+
+void
+FreeList::adopt(PhysReg r)
+{
+    mssr_assert(r < state_.size());
+    mssr_assert(state_[r] == PregState::Reserved);
+    state_[r] = PregState::InFlight;
+}
+
+std::size_t
+FreeList::countState(PregState s) const
+{
+    std::size_t n = 0;
+    for (auto st : state_)
+        if (st == s)
+            ++n;
+    return n;
+}
+
+} // namespace mssr

@@ -1,0 +1,3 @@
+#include "core/issue_queue.hh"
+
+// IssueQueue is header-only; this anchors the header.

@@ -1,0 +1,695 @@
+#include "core/o3cpu.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace mssr
+{
+
+O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem)
+    : cfg_(cfg),
+      prog_(prog),
+      mem_(mem),
+      hierarchy_(cfg.core),
+      bpu_(cfg.core, prog),
+      ftq_(cfg.core.ftqEntries),
+      rob_(cfg.core.robEntries),
+      freeList_(cfg.core.physRegs, NumArchRegs),
+      regs_(cfg.core.physRegs),
+      iqInt_(cfg.core.intRvsEntries),
+      iqMem_(cfg.core.memRvsEntries),
+      lsq_(cfg.core.loadQueueEntries, cfg.core.storeQueueEntries)
+{
+    mssr_assert(cfg.core.physRegs > NumArchRegs,
+                "need more physical than architectural registers");
+    switch (cfg.reuseKind) {
+      case ReuseKind::Rgid:
+        reuse_ = std::make_unique<ReuseUnit>(cfg.reuse, freeList_);
+        break;
+      case ReuseKind::RegInt:
+        ri_ = std::make_unique<IntegrationTable>(cfg.regint, freeList_);
+        break;
+      case ReuseKind::None:
+        break;
+    }
+
+    prog_.loadInto(mem_);
+    // Initial architectural state: all zero, sp = stack top; the
+    // identity RAT maps arch reg r to preg r.
+    for (unsigned r = 0; r < NumArchRegs; ++r)
+        regs_.write(static_cast<PhysReg>(r), 0);
+    regs_.write(2, prog_.stackTop());
+    archState_[2] = prog_.stackTop();
+}
+
+// ---------------------------------------------------------------- helpers
+
+void
+O3Cpu::trace(const char *stage, const DynInstPtr &inst, const char *note)
+{
+    if (!cfg_.trace)
+        return;
+    std::ostream &os = *cfg_.trace;
+    os << std::setw(8) << cycle_ << " " << std::left << std::setw(9)
+       << stage << std::right << " [" << std::setw(6) << inst->seq
+       << "] 0x" << std::hex << inst->pc << std::dec << "  "
+       << isa::disasm(inst->si, inst->pc);
+    if (note[0] != 0)
+        os << "  ; " << note;
+    os << "\n";
+}
+
+RegVal
+O3Cpu::srcValue(const DynInstPtr &inst, unsigned idx) const
+{
+    return regs_.value(inst->src[idx]);
+}
+
+bool
+O3Cpu::srcsReady(const DynInstPtr &inst) const
+{
+    if (inst->si.hasRs1() && !regs_.ready(inst->src[0]))
+        return false;
+    if (inst->si.hasRs2() && !regs_.ready(inst->src[1]))
+        return false;
+    return true;
+}
+
+void
+O3Cpu::requestSquash(SeqNum after_seq, Addr redirect, DynInstPtr cause,
+                     SquashReason reason)
+{
+    if (pendingSquash_.valid && pendingSquash_.afterSeq <= after_seq)
+        return; // an older squash subsumes this one
+    pendingSquash_ =
+        PendingSquash{true, after_seq, redirect, std::move(cause), reason};
+}
+
+// ------------------------------------------------------------------ stages
+
+void
+O3Cpu::commitStage()
+{
+    unsigned n = 0;
+    while (n < cfg_.core.commitWidth && !rob_.empty()) {
+        const DynInstPtr inst = rob_.head();
+        if (!inst->completed || inst->verifyPending)
+            break;
+
+        if (inst->si.isHalt()) {
+            ++commits_;
+            halted_ = true;
+            lastCommitCycle_ = cycle_;
+            return;
+        }
+        if (inst->isStore()) {
+            mem_.write(inst->memAddr, inst->result, inst->si.memBytes());
+            hierarchy_.storeAccess(inst->memAddr);
+            lsq_.commitStore(inst);
+            ++storesCommitted_;
+        }
+        if (inst->isLoad())
+            lsq_.commitLoad(inst);
+        if (inst->isControl()) {
+            bpu_.commitControl(inst->pc, inst->si, inst->actualTaken,
+                               inst->actualNext);
+            if (inst->si.isCondBranch()) {
+                ++condBranchesCommitted_;
+                if (inst->mispredicted)
+                    ++condMispredictsCommitted_;
+            }
+        }
+        if (inst->si.hasRd()) {
+            archState_[inst->si.rd] = inst->result;
+            freeList_.setArch(inst->dst);
+            freeList_.release(inst->oldDst);
+        }
+        trace("commit", inst, inst->reused ? "reused" : "");
+        ftq_.retireUpTo(inst->ftqId);
+        rob_.popHead();
+        ++commits_;
+        ++n;
+        lastCommitCycle_ = cycle_;
+        if (cfg_.maxInsts != 0 && commits_ >= cfg_.maxInsts) {
+            halted_ = true;
+            return;
+        }
+    }
+}
+
+void
+O3Cpu::writebackStage()
+{
+    // Collect due events; process in sequence order for determinism.
+    std::vector<DynInstPtr> due;
+    for (auto it = wbQueue_.begin(); it != wbQueue_.end();) {
+        if (it->when <= cycle_) {
+            due.push_back(it->inst);
+            *it = wbQueue_.back();
+            wbQueue_.pop_back();
+        } else {
+            ++it;
+        }
+    }
+    std::sort(due.begin(), due.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->seq < b->seq;
+              });
+
+    for (const DynInstPtr &inst : due) {
+        if (inst->squashed)
+            continue;
+
+        if (inst->verifyPending) {
+            // Reused load verification (section 3.8.3, NoSQ-style).
+            inst->verifyPending = false;
+            if (inst->result == inst->reusedValue) {
+                ++verifyOk_;
+            } else {
+                // Dependents consumed a stale value: flush younger
+                // instructions, fix this load's value in place.
+                ++verifyFailFlushes_;
+                regs_.write(inst->dst, inst->result);
+                requestSquash(inst->seq, inst->pc + InstBytes, inst,
+                              SquashReason::ReuseVerifyFail);
+            }
+            continue;
+        }
+
+        inst->executed = true;
+        inst->completed = true;
+        trace("wb", inst);
+        if (inst->si.hasRd())
+            regs_.write(inst->dst, inst->result);
+        if (inst->isLoad())
+            ++loadsExecuted_;
+        if (inst->isControl() && inst->mispredicted) {
+            ++branchMispredicts_;
+            trace("mispred", inst);
+            requestSquash(inst->seq, inst->actualNext, inst,
+                          SquashReason::BranchMispredict);
+        }
+    }
+}
+
+void
+O3Cpu::executeBranch(const DynInstPtr &inst)
+{
+    const RegVal a = inst->si.hasRs1() ? srcValue(inst, 0) : 0;
+    const RegVal b = inst->si.hasRs2() ? srcValue(inst, 1) : 0;
+    if (inst->si.isCondBranch()) {
+        inst->actualTaken = isa::evalCondBranch(inst->si, a, b);
+    } else {
+        inst->actualTaken = true;
+        inst->result = inst->pc + InstBytes; // link value
+    }
+    inst->actualNext = inst->actualTaken
+                           ? isa::evalTarget(inst->si, inst->pc, a)
+                           : inst->pc + InstBytes;
+    inst->mispredicted = inst->actualNext != inst->predNext;
+    wbQueue_.push_back(
+        WritebackEvent{cycle_ + cfg_.core.branchLatency, inst});
+}
+
+void
+O3Cpu::executeLoad(const DynInstPtr &inst)
+{
+    const Addr addr = inst->verifyPending
+                          ? inst->memAddr // RGID match => same address
+                          : isa::evalMemAddr(inst->si, srcValue(inst, 0));
+    const unsigned size = inst->si.memBytes();
+
+    const ForwardResult fwd = lsq_.searchForward(inst->seq, addr, size);
+    if (fwd.kind == ForwardResult::Kind::Stall) {
+        // Partial overlap with an older store: retry once it drains.
+        iqMem_.insert(inst);
+        return;
+    }
+
+    inst->memAddr = addr;
+    inst->addrReady = true;
+    lsq_.loadExecuted(inst, addr, size);
+
+    RegVal value;
+    Cycle latency;
+    if (fwd.kind == ForwardResult::Kind::Forward) {
+        value = fwd.data;
+        latency = 1;
+    } else {
+        value = mem_.read(addr, size);
+        latency = hierarchy_.loadLatency(addr);
+    }
+    if (inst->si.memSigned())
+        value = static_cast<RegVal>(sext(value, 8 * size));
+
+    if (inst->verifyPending) {
+        // Stage the freshly loaded value; writeback compares it with
+        // the reused one.
+        inst->result = value;
+    } else {
+        inst->result = value;
+    }
+    wbQueue_.push_back(WritebackEvent{cycle_ + latency, inst});
+}
+
+void
+O3Cpu::executeStore(const DynInstPtr &inst)
+{
+    const Addr addr = isa::evalMemAddr(inst->si, srcValue(inst, 0));
+    const unsigned size = inst->si.memBytes();
+    const RegVal data = srcValue(inst, 1);
+
+    inst->memAddr = addr;
+    inst->addrReady = true;
+    inst->result = data;
+    lsq_.storeResolved(inst, addr, size, data);
+    if (reuse_)
+        reuse_->onStoreExecuted(addr, size);
+
+    // XiangShan-style store-to-load violation check (section 3.8.1).
+    if (DynInstPtr victim = lsq_.checkViolation(inst->seq, addr, size)) {
+        ++memOrderFlushes_;
+        requestSquash(victim->seq - 1, victim->pc, victim,
+                      SquashReason::MemOrderViolation);
+    }
+    wbQueue_.push_back(WritebackEvent{cycle_ + 1, inst});
+}
+
+void
+O3Cpu::executeInst(const DynInstPtr &inst)
+{
+    inst->issued = true;
+    trace("issue", inst, inst->verifyPending ? "verify" : "");
+    if (inst->isControl()) {
+        executeBranch(inst);
+    } else if (inst->isLoad()) {
+        executeLoad(inst);
+    } else if (inst->isStore()) {
+        executeStore(inst);
+    } else {
+        const RegVal a = inst->si.hasRs1() ? srcValue(inst, 0) : 0;
+        const RegVal b = inst->si.hasRs2() ? srcValue(inst, 1) : 0;
+        inst->result = isa::evalAlu(inst->si, a, b);
+        const unsigned latency =
+            inst->si.latency(cfg_.core.aluLatency, cfg_.core.mulLatency,
+                             cfg_.core.divLatency, cfg_.core.branchLatency);
+        wbQueue_.push_back(WritebackEvent{cycle_ + latency, inst});
+    }
+}
+
+void
+O3Cpu::issueStage()
+{
+    auto readyBranch = [&](const DynInstPtr &inst) {
+        return inst->isControl() && srcsReady(inst);
+    };
+    auto readyAlu = [&](const DynInstPtr &inst) {
+        return !inst->isControl() && srcsReady(inst);
+    };
+    auto readyMem = [&](const DynInstPtr &inst) {
+        return inst->verifyPending || srcsReady(inst);
+    };
+
+    for (const auto &inst : iqInt_.selectReady(cfg_.core.numBru,
+                                               readyBranch)) {
+        executeInst(inst);
+    }
+    for (const auto &inst : iqInt_.selectReady(cfg_.core.numAlu, readyAlu))
+        executeInst(inst);
+    for (const auto &inst : iqMem_.selectReady(cfg_.core.numLsu, readyMem))
+        executeInst(inst);
+}
+
+bool
+O3Cpu::renameOne(const DynInstPtr &inst)
+{
+    const isa::Inst &si = inst->si;
+
+    // Structural-hazard checks first: nothing below may be partial,
+    // because the reuse unit's lockstep state advances exactly once
+    // per renamed instruction.
+    if (rob_.full())
+        return false;
+    const isa::FuClass fu = si.fuClass();
+    const bool isMem = fu == isa::FuClass::Load || fu == isa::FuClass::Store;
+    if (isMem && iqMem_.full())
+        return false;
+    if (!isMem && fu != isa::FuClass::None && iqInt_.full())
+        return false;
+    if (si.isLoad() && lsq_.loadQueueFull())
+        return false;
+    if (si.isStore() && lsq_.storeQueueFull())
+        return false;
+    if (si.hasRd()) {
+        // Policy (5): under free-list pressure reclaim the least
+        // recent squashed stream before stalling.
+        while (freeList_.empty()) {
+            ++renameStallFreeList_;
+            if (reuse_ && reuse_->reclaimLeastRecentStream())
+                continue;
+            if (ri_ && ri_->reclaimOne())
+                continue;
+            return false;
+        }
+    }
+
+    // Source renaming (with implicit intra-bundle bypass: the RAT is
+    // updated per instruction within the cycle).
+    if (si.hasRs1()) {
+        inst->src[0] = rat_.preg(si.rs1);
+        inst->srcRgid[0] = rat_.rgid(si.rs1);
+    }
+    if (si.hasRs2()) {
+        inst->src[1] = rat_.preg(si.rs2);
+        inst->srcRgid[1] = rat_.rgid(si.rs2);
+    }
+
+    // Reuse test / integration attempt.
+    bool reused = false;
+    bool needVerify = false;
+    PhysReg reusedPreg = InvalidPhysReg;
+    Rgid reusedRgid = 0;
+    Addr reusedAddr = 0;
+    if (reuse_) {
+        Rgid cur[2] = {0, 0};
+        unsigned n = 0;
+        if (si.hasRs1())
+            cur[n++] = inst->srcRgid[0];
+        if (si.hasRs2())
+            cur[n++] = inst->srcRgid[1];
+        const ReuseAdvice advice = reuse_->processRename(inst, cur);
+        reused = advice.reuse;
+        needVerify = advice.needVerify;
+        reusedPreg = advice.destPreg;
+        reusedRgid = advice.dstRgid;
+        reusedAddr = advice.memAddr;
+    } else if (ri_) {
+        PhysReg cur[2] = {InvalidPhysReg, InvalidPhysReg};
+        unsigned n = 0;
+        if (si.hasRs1())
+            cur[n++] = inst->src[0];
+        if (si.hasRs2())
+            cur[n++] = inst->src[1];
+        // Serialized-access model (section 3.7.3): a source produced
+        // by an integration earlier in this bundle makes this lookup
+        // chained; only `ways` chained lookups resolve per cycle.
+        bool chained = false;
+        for (unsigned i = 0; i < n; ++i)
+            for (PhysReg dst : riBundleDsts_)
+                chained |= cur[i] == dst;
+        if (chained && cfg_.regint.modelSerializedAccess &&
+            riChainedThisCycle_ >= cfg_.regint.ways) {
+            ++riChainBlocked_;
+        } else {
+            const IntegrationAdvice advice = ri_->tryIntegrate(inst, cur);
+            reused = advice.reuse;
+            needVerify = advice.needVerify;
+            reusedPreg = advice.destPreg;
+            reusedAddr = advice.memAddr;
+            if (reused) {
+                riBundleDsts_.push_back(reusedPreg);
+                if (chained)
+                    ++riChainedThisCycle_;
+            }
+        }
+    }
+
+    if (reused) {
+        mssr_assert(si.hasRd());
+        inst->oldDst = rat_.preg(si.rd);
+        inst->oldDstRgid = rat_.rgid(si.rd);
+        inst->dst = reusedPreg;
+        inst->dstRgid = reusedRgid;
+        rat_.set(si.rd, reusedPreg, reusedRgid);
+        regs_.markReady(reusedPreg);
+        inst->result = regs_.value(reusedPreg);
+        inst->reusedValue = inst->result;
+        inst->reused = true;
+        inst->executed = true;
+        inst->completed = true;
+        if (si.isLoad()) {
+            inst->memAddr = reusedAddr;
+            inst->addrReady = true;
+            lsq_.insertLoad(inst);
+            lsq_.loadExecuted(inst, reusedAddr, si.memBytes());
+            if (needVerify) {
+                inst->verifyPending = true;
+                iqMem_.insert(inst);
+            }
+        }
+    } else {
+        if (si.hasRd()) {
+            const PhysReg dst = freeList_.alloc();
+            if (ri_)
+                ri_->onPregReallocated(dst);
+            inst->oldDst = rat_.preg(si.rd);
+            inst->oldDstRgid = rat_.rgid(si.rd);
+            inst->dst = dst;
+            inst->dstRgid = reuse_ ? reuse_->allocDstRgid(si.rd) : 0;
+            rat_.set(si.rd, dst, inst->dstRgid);
+            regs_.markNotReady(dst);
+        }
+        switch (fu) {
+          case isa::FuClass::None:
+            inst->completed = true; // NOP/HALT
+            break;
+          case isa::FuClass::Load:
+            lsq_.insertLoad(inst);
+            iqMem_.insert(inst);
+            break;
+          case isa::FuClass::Store:
+            lsq_.insertStore(inst);
+            iqMem_.insert(inst);
+            break;
+          default:
+            iqInt_.insert(inst);
+            break;
+        }
+    }
+
+    inst->renamed = true;
+    trace("rename", inst,
+          inst->reused ? (inst->verifyPending ? "reused+verify" : "reused")
+                       : "");
+    rob_.push(inst);
+    return true;
+}
+
+void
+O3Cpu::renameStage()
+{
+    riBundleDsts_.clear();
+    riChainedThisCycle_ = 0;
+    unsigned n = 0;
+    while (n < cfg_.core.decodeWidth && !frontPipe_.empty() &&
+           frontPipeReady_.front() <= cycle_) {
+        if (!renameOne(frontPipe_.front()))
+            break;
+        frontPipe_.pop_front();
+        frontPipeReady_.pop_front();
+        ++n;
+    }
+}
+
+void
+O3Cpu::fetchStage()
+{
+    static const isa::Inst nopInst{}; // wrong-path fetch outside code
+    unsigned n = 0;
+    while (n < cfg_.core.decodeWidth) {
+        const PredBlock *blk = ftq_.fetchHead();
+        if (!blk)
+            break;
+        const Addr pc = blk->startPC + ftq_.fetchOffset() * InstBytes;
+
+        auto inst = std::make_shared<DynInst>();
+        inst->seq = nextSeq_++;
+        inst->pc = pc;
+        inst->si = prog_.hasInst(pc) ? prog_.instAt(pc) : nopInst;
+        inst->ftqId = blk->id;
+        inst->predNext = pc + InstBytes;
+        for (const BranchInfo &info : blk->branches) {
+            if (info.pc == pc) {
+                inst->hasBranchInfo = true;
+                inst->branchInfo = info;
+                inst->predTaken = info.predTaken;
+                if (info.predTaken)
+                    inst->predNext = info.predTarget;
+                break;
+            }
+        }
+        ftq_.advanceFetch(1);
+        trace("fetch", inst);
+        frontPipe_.push_back(inst);
+        frontPipeReady_.push_back(cycle_ + cfg_.core.frontendStages);
+        ++fetched_;
+        ++n;
+        if (inst->si.isHalt())
+            break; // nothing beyond a fetched halt
+    }
+}
+
+void
+O3Cpu::bpuStage()
+{
+    if (bpuStalled_ || ftq_.full())
+        return;
+    const PredBlock block = bpu_.formBlock();
+    if (reuse_)
+        reuse_->onBlockFormed(block);
+    ftq_.push(block);
+    // Stall once a halt enters the block: there is no control flow
+    // beyond it until a redirect proves this path wrong.
+    const Addr end = block.endPC;
+    if (prog_.hasInst(end) && prog_.instAt(end).isHalt())
+        bpuStalled_ = true;
+}
+
+void
+O3Cpu::applySquash()
+{
+    const PendingSquash squash = pendingSquash_;
+    pendingSquash_ = PendingSquash{};
+    mssr_assert(squash.valid);
+    trace("squash", squash.cause,
+          squash.reason == SquashReason::BranchMispredict ? "branch"
+          : squash.reason == SquashReason::MemOrderViolation
+              ? "mem-order"
+              : "verify-fail");
+
+    // 1. ROB walk (youngest first): rename rollback.
+    std::vector<DynInstPtr> squashed;
+    rob_.squashAfter(squash.afterSeq, [&](const DynInstPtr &inst) {
+        inst->squashed = true;
+        if (inst->si.hasRd())
+            rat_.set(inst->si.rd, inst->oldDst, inst->oldDstRgid);
+        squashed.push_back(inst);
+    });
+    std::reverse(squashed.begin(), squashed.end()); // oldest first
+
+    // 2. Backend structures.
+    iqInt_.squashAfter(squash.afterSeq);
+    iqMem_.squashAfter(squash.afterSeq);
+    lsq_.squashAfter(squash.afterSeq);
+
+    // 3. Frontend pipe: everything in flight is younger than the ROB.
+    squashedInsts_ += squashed.size() + frontPipe_.size();
+    frontPipe_.clear();
+    frontPipeReady_.clear();
+
+    // 4. FTQ squash (also feeds the retire bookkeeping).
+    ftq_.squashAfter(squash.cause->ftqId, squash.cause->pc);
+
+    // 5. Physical-register disposition and wrong-path capture.
+    if (reuse_) {
+        if (squash.reason == SquashReason::BranchMispredict) {
+            reuse_->onBranchSquash(squash.cause->seq, squashed);
+        } else {
+            reuse_->onOtherSquash(
+                squashed, squash.reason == SquashReason::ReuseVerifyFail);
+        }
+    } else if (ri_) {
+        if (squash.reason == SquashReason::BranchMispredict) {
+            ri_->onBranchSquash(squashed);
+        } else {
+            ri_->onOtherSquash(squashed,
+                               squash.reason ==
+                                   SquashReason::ReuseVerifyFail);
+        }
+    } else {
+        for (const auto &inst : squashed)
+            if (inst->si.hasRd())
+                freeList_.release(inst->dst);
+    }
+
+    // 6. Frontend redirect with speculative-state repair.
+    if (squash.reason == SquashReason::BranchMispredict) {
+        bpu_.redirect(squash.cause->branchInfo, squash.cause->actualTaken,
+                      squash.redirectPC, squash.cause->si);
+    } else {
+        // Repair speculative history to before the oldest squashed
+        // control instruction, then redirect.
+        for (const auto &inst : squashed) {
+            if (inst->hasBranchInfo) {
+                bpu_.repairTo(inst->branchInfo);
+                break;
+            }
+        }
+        bpu_.redirectSimple(squash.redirectPC);
+    }
+    bpuStalled_ = false;
+}
+
+void
+O3Cpu::tick()
+{
+    commitStage();
+    if (halted_)
+        return;
+    writebackStage();
+    issueStage();
+    renameStage();
+    fetchStage();
+    bpuStage();
+    if (pendingSquash_.valid)
+        applySquash();
+    ++cycle_;
+
+    if (cycle_ - lastCommitCycle_ > 200000)
+        panic("no commit progress for 200000 cycles at cycle ", cycle_,
+              " pc(head)=", rob_.empty() ? 0 : rob_.head()->pc);
+}
+
+void
+O3Cpu::run()
+{
+    while (!halted_) {
+        if (cfg_.maxCycles != 0 && cycle_ >= cfg_.maxCycles)
+            break;
+        tick();
+    }
+}
+
+StatSet
+O3Cpu::stats() const
+{
+    StatSet out;
+    out.set("core.cycles", static_cast<double>(cycle_));
+    out.set("core.committedInsts", static_cast<double>(commits_));
+    out.set("core.ipc", ipc());
+    out.set("core.fetchedInsts", static_cast<double>(fetched_));
+    out.set("core.squashedInsts", static_cast<double>(squashedInsts_));
+    out.set("core.branchMispredicts",
+            static_cast<double>(branchMispredicts_));
+    out.set("core.condBranchesCommitted",
+            static_cast<double>(condBranchesCommitted_));
+    out.set("core.condMispredictsCommitted",
+            static_cast<double>(condMispredictsCommitted_));
+    out.set("core.condMispredictRate",
+            condBranchesCommitted_ == 0
+                ? 0.0
+                : static_cast<double>(condMispredictsCommitted_) /
+                      static_cast<double>(condBranchesCommitted_));
+    out.set("core.memOrderFlushes", static_cast<double>(memOrderFlushes_));
+    out.set("core.verifyFailFlushes",
+            static_cast<double>(verifyFailFlushes_));
+    out.set("core.verifyOk", static_cast<double>(verifyOk_));
+    out.set("core.renameStallFreeList",
+            static_cast<double>(renameStallFreeList_));
+    out.set("core.loadsExecuted", static_cast<double>(loadsExecuted_));
+    out.set("core.storesCommitted", static_cast<double>(storesCommitted_));
+    out.set("core.riChainBlocked", static_cast<double>(riChainBlocked_));
+    hierarchy_.reportStats(out);
+    bpu_.reportStats(out);
+    if (reuse_)
+        reuse_->reportStats(out);
+    if (ri_)
+        ri_->reportStats(out);
+    return out;
+}
+
+} // namespace mssr

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Execution-driven out-of-order superscalar core in the style of gem5
+ * O3 (paper section 4, Table 3): decoupled block-based frontend (BPU
+ * pipeline + FTQ), 8-wide rename with RAT+RGID, ROB, reservation
+ * stations, LSQ with store-to-load forwarding and memory-order
+ * violation detection, and a two-level cache hierarchy.
+ *
+ * Wrong-path instructions execute with real values from the physical
+ * register file, which is what makes squash reuse meaningful: a
+ * squashed instruction's physical register really holds its wrong-path
+ * result until reused or released.
+ *
+ * The core hosts one of three squash-reuse schemes per SimConfig:
+ * none (baseline), RGID (the paper's Multi-Stream Squash Reuse), or
+ * Register Integration (table-based baseline).
+ */
+
+#ifndef MSSR_CORE_O3CPU_HH
+#define MSSR_CORE_O3CPU_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/free_list.hh"
+#include "core/issue_queue.hh"
+#include "core/lsq.hh"
+#include "core/regfile.hh"
+#include "core/rename_map.hh"
+#include "core/rob.hh"
+#include "frontend/bpu_pipeline.hh"
+#include "frontend/ftq.hh"
+#include "isa/program.hh"
+#include "memsys/hierarchy.hh"
+#include "reuse/reuse_unit.hh"
+#include "ri/integration_table.hh"
+#include "sim/memory.hh"
+
+namespace mssr
+{
+
+class O3Cpu
+{
+  public:
+    O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem);
+
+    /** Advances one cycle. */
+    void tick();
+
+    /** Runs until HALT commits or the configured limits hit. */
+    void run();
+
+    bool halted() const { return halted_; }
+    Cycle cycles() const { return cycle_; }
+    std::uint64_t instsCommitted() const { return commits_; }
+
+    double
+    ipc() const
+    {
+        return cycle_ == 0 ? 0.0
+                           : static_cast<double>(commits_) /
+                                 static_cast<double>(cycle_);
+    }
+
+    /** Committed (architectural) register value. */
+    RegVal archReg(ArchReg r) const { return archState_[r]; }
+
+    /** Collects statistics from the core and all attached units. */
+    StatSet stats() const;
+
+    const ReuseUnit *reuseUnit() const { return reuse_.get(); }
+    const IntegrationTable *integrationTable() const { return ri_.get(); }
+
+  private:
+    struct PendingSquash
+    {
+        bool valid = false;
+        SeqNum afterSeq = 0;       //!< squash strictly younger than this
+        Addr redirectPC = 0;
+        DynInstPtr cause;
+        SquashReason reason = SquashReason::None;
+    };
+
+    struct WritebackEvent
+    {
+        Cycle when = 0;
+        DynInstPtr inst;
+    };
+
+    // Pipeline stages (called in reverse order each tick).
+    void commitStage();
+    void writebackStage();
+    void issueStage();
+    void renameStage();
+    void fetchStage();
+    void bpuStage();
+
+    // Helpers.
+    /** Writes one pipeline-trace line when tracing is enabled. */
+    void trace(const char *stage, const DynInstPtr &inst,
+               const char *note = "");
+    void executeInst(const DynInstPtr &inst);
+    void executeLoad(const DynInstPtr &inst);
+    void executeStore(const DynInstPtr &inst);
+    void executeBranch(const DynInstPtr &inst);
+    RegVal srcValue(const DynInstPtr &inst, unsigned idx) const;
+    bool srcsReady(const DynInstPtr &inst) const;
+    void requestSquash(SeqNum after_seq, Addr redirect, DynInstPtr cause,
+                       SquashReason reason);
+    void applySquash();
+    bool renameOne(const DynInstPtr &inst);
+
+    SimConfig cfg_;
+    const isa::Program &prog_;
+    Memory &mem_;
+    MemHierarchy hierarchy_;
+
+    // Frontend.
+    BpuPipeline bpu_;
+    Ftq ftq_;
+    bool bpuStalled_ = false;
+    std::deque<DynInstPtr> frontPipe_;     //!< fetched, pre-rename
+    std::deque<Cycle> frontPipeReady_;     //!< per-inst rename-ready cycle
+
+    // Backend.
+    Rob rob_;
+    FreeList freeList_;
+    RenameMap rat_;
+    PhysRegFile regs_;
+    IssueQueue iqInt_;
+    IssueQueue iqMem_;
+    Lsq lsq_;
+    std::vector<WritebackEvent> wbQueue_;
+
+    // Reuse schemes (at most one active).
+    std::unique_ptr<ReuseUnit> reuse_;
+    std::unique_ptr<IntegrationTable> ri_;
+    std::vector<PhysReg> riBundleDsts_;  //!< pregs integrated this cycle
+    unsigned riChainedThisCycle_ = 0;
+
+    // Global state.
+    Cycle cycle_ = 0;
+    SeqNum nextSeq_ = 1;
+    std::uint64_t commits_ = 0;
+    bool halted_ = false;
+    PendingSquash pendingSquash_;
+    std::array<RegVal, NumArchRegs> archState_{};
+    Cycle lastCommitCycle_ = 0;
+
+    // Statistics.
+    std::uint64_t fetched_ = 0;
+    std::uint64_t squashedInsts_ = 0;
+    std::uint64_t branchMispredicts_ = 0;
+    std::uint64_t condBranchesCommitted_ = 0;
+    std::uint64_t condMispredictsCommitted_ = 0;
+    std::uint64_t memOrderFlushes_ = 0;
+    std::uint64_t verifyFailFlushes_ = 0;
+    std::uint64_t verifyOk_ = 0;
+    std::uint64_t renameStallFreeList_ = 0;
+    std::uint64_t loadsExecuted_ = 0;
+    std::uint64_t storesCommitted_ = 0;
+    std::uint64_t riChainBlocked_ = 0;
+};
+
+/** arch-register alias used by examples/tests for readability. */
+using ArchRegArray = std::array<RegVal, NumArchRegs>;
+
+} // namespace mssr
+
+#endif // MSSR_CORE_O3CPU_HH

@@ -1,0 +1,3 @@
+#include "core/regfile.hh"
+
+// PhysRegFile is header-only; this anchors the header.

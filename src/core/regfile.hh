@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Physical register file: values plus ready (scoreboard) bits. Table 3
+ * configures 256 physical registers.
+ */
+
+#ifndef MSSR_CORE_REGFILE_HH
+#define MSSR_CORE_REGFILE_HH
+
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace mssr
+{
+
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs)
+        : values_(num_regs, 0), ready_(num_regs, false)
+    {
+    }
+
+    unsigned numRegs() const { return static_cast<unsigned>(values_.size()); }
+
+    RegVal
+    value(PhysReg r) const
+    {
+        mssr_assert(r < values_.size());
+        return values_[r];
+    }
+
+    bool
+    ready(PhysReg r) const
+    {
+        mssr_assert(r < ready_.size());
+        return ready_[r];
+    }
+
+    /** Writes a value and marks the register ready (writeback). */
+    void
+    write(PhysReg r, RegVal v)
+    {
+        mssr_assert(r < values_.size());
+        values_[r] = v;
+        ready_[r] = true;
+    }
+
+    /** Marks a newly allocated register not-ready. */
+    void
+    markNotReady(PhysReg r)
+    {
+        mssr_assert(r < ready_.size());
+        ready_[r] = false;
+    }
+
+    /** Marks ready without changing the value (squash-reuse adoption). */
+    void
+    markReady(PhysReg r)
+    {
+        mssr_assert(r < ready_.size());
+        ready_[r] = true;
+    }
+
+  private:
+    std::vector<RegVal> values_;
+    std::vector<bool> ready_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_CORE_REGFILE_HH

@@ -1,0 +1,13 @@
+#include "core/rename_map.hh"
+
+namespace mssr
+{
+
+RenameMap::RenameMap()
+{
+    // Initial identity mapping: arch reg r -> preg r, RGID 0.
+    for (unsigned r = 0; r < NumArchRegs; ++r)
+        map_[r] = RatEntry{static_cast<PhysReg>(r), 0};
+}
+
+} // namespace mssr

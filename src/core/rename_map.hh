@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Register Alias Table extended with RGIDs (paper sections 3.1-3.3):
+ * each architectural register maps to (physical register, RGID). The
+ * RGID identifies the *generation* of the mapping so that any two
+ * execution states can be compared pairwise for data integrity.
+ */
+
+#ifndef MSSR_CORE_RENAME_MAP_HH
+#define MSSR_CORE_RENAME_MAP_HH
+
+#include <array>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace mssr
+{
+
+/** One RAT row: architectural -> physical mapping plus its RGID. */
+struct RatEntry
+{
+    PhysReg preg = InvalidPhysReg;
+    Rgid rgid = 0;
+};
+
+class RenameMap
+{
+  public:
+    RenameMap();
+
+    const RatEntry &
+    entry(ArchReg r) const
+    {
+        mssr_assert(r < NumArchRegs);
+        return map_[r];
+    }
+
+    PhysReg preg(ArchReg r) const { return entry(r).preg; }
+    Rgid rgid(ArchReg r) const { return entry(r).rgid; }
+
+    /** Installs a new mapping (rename or rollback). */
+    void
+    set(ArchReg r, PhysReg preg, Rgid rgid)
+    {
+        mssr_assert(r < NumArchRegs);
+        mssr_assert(r != 0 || preg == 0, "x0 must stay mapped to preg 0");
+        map_[r] = RatEntry{preg, rgid};
+    }
+
+    /** Full-table snapshot (checkpoint). */
+    std::array<RatEntry, NumArchRegs> snapshot() const { return map_; }
+
+    /** Full-table restore. */
+    void restore(const std::array<RatEntry, NumArchRegs> &snap)
+    {
+        map_ = snap;
+    }
+
+  private:
+    std::array<RatEntry, NumArchRegs> map_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_CORE_RENAME_MAP_HH

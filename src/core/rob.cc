@@ -1,0 +1,3 @@
+#include "core/rob.hh"
+
+// Rob is header-only (template member); this anchors the header.

@@ -1,0 +1,60 @@
+#include "driver/sim_runner.hh"
+
+namespace mssr
+{
+
+RunResult
+runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
+       const std::function<void(const O3Cpu &)> &inspect)
+{
+    Memory local;
+    Memory &mem = mem_out ? *mem_out : local;
+    O3Cpu cpu(cfg, prog, mem);
+    cpu.run();
+
+    RunResult out;
+    out.cycles = cpu.cycles();
+    out.insts = cpu.instsCommitted();
+    out.ipc = cpu.ipc();
+    out.halted = cpu.halted();
+    out.stats = cpu.stats();
+    for (unsigned r = 0; r < NumArchRegs; ++r)
+        out.archRegs[r] = cpu.archReg(static_cast<ArchReg>(r));
+    if (inspect)
+        inspect(cpu);
+    return out;
+}
+
+SimConfig
+baselineConfig(std::uint64_t max_insts)
+{
+    SimConfig cfg;
+    cfg.reuseKind = ReuseKind::None;
+    cfg.maxInsts = max_insts;
+    return cfg;
+}
+
+SimConfig
+rgidConfig(unsigned streams, unsigned log_entries, std::uint64_t max_insts)
+{
+    SimConfig cfg;
+    cfg.reuseKind = ReuseKind::Rgid;
+    cfg.reuse.numStreams = streams;
+    cfg.reuse.squashLogEntriesPerStream = log_entries;
+    cfg.reuse.wpbEntriesPerStream = std::max(1u, log_entries / 4);
+    cfg.maxInsts = max_insts;
+    return cfg;
+}
+
+SimConfig
+regIntConfig(unsigned sets, unsigned ways, std::uint64_t max_insts)
+{
+    SimConfig cfg;
+    cfg.reuseKind = ReuseKind::RegInt;
+    cfg.regint.sets = sets;
+    cfg.regint.ways = ways;
+    cfg.maxInsts = max_insts;
+    return cfg;
+}
+
+} // namespace mssr

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * SimRunner: the public entry point for running a program on the O3
+ * core under a given configuration and collecting results. This is
+ * what examples, tests and the benchmark harness use.
+ */
+
+#ifndef MSSR_DRIVER_SIM_RUNNER_HH
+#define MSSR_DRIVER_SIM_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/o3cpu.hh"
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace mssr
+{
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+    bool halted = false;
+    StatSet stats;
+    std::array<RegVal, NumArchRegs> archRegs{};
+
+    /** Speedup of this run over @p baseline (by cycles). */
+    double
+    speedupOver(const RunResult &baseline) const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(baseline.cycles) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** IPC improvement over @p baseline, as a fraction (0.05 = +5%). */
+    double
+    ipcImprovementOver(const RunResult &baseline) const
+    {
+        return baseline.ipc == 0.0 ? 0.0 : ipc / baseline.ipc - 1.0;
+    }
+};
+
+/**
+ * Runs @p prog on a fresh core and memory under @p cfg.
+ * @param mem_out optional: receives the final memory image.
+ * @param inspect optional: called with the finished core before it is
+ *        destroyed (for harnesses that need unit internals, e.g. the
+ *        Figure-3 replacement heatmap).
+ */
+RunResult runSim(const isa::Program &prog, const SimConfig &cfg,
+                 Memory *mem_out = nullptr,
+                 const std::function<void(const O3Cpu &)> &inspect = {});
+
+/** Convenience: baseline configuration (no squash reuse). */
+SimConfig baselineConfig(std::uint64_t max_insts = 0);
+
+/**
+ * Convenience: Multi-Stream Squash Reuse configuration with @p streams
+ * streams and @p log_entries squash-log entries per stream. Following
+ * section 4.1.2 the WPB gets log_entries/4 fetch-block entries.
+ */
+SimConfig rgidConfig(unsigned streams, unsigned log_entries,
+                     std::uint64_t max_insts = 0);
+
+/** Convenience: Register Integration configuration. */
+SimConfig regIntConfig(unsigned sets, unsigned ways,
+                       std::uint64_t max_insts = 0);
+
+} // namespace mssr
+
+#endif // MSSR_DRIVER_SIM_RUNNER_HH

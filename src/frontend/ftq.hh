@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fetch Target Queue (paper section 3.3.1): holds prediction blocks
+ * produced by the BPU pipeline until fetch consumes them and until
+ * their branches retire or squash. Extended (per the paper) with an
+ * interface that dumps squashed prediction blocks for the Wrong-Path
+ * Buffers on branch misprediction.
+ */
+
+#ifndef MSSR_FRONTEND_FTQ_HH
+#define MSSR_FRONTEND_FTQ_HH
+
+#include <deque>
+#include <vector>
+
+#include "frontend/pred_block.hh"
+
+namespace mssr
+{
+
+class Ftq
+{
+  public:
+    explicit Ftq(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Enqueues a newly formed prediction block. */
+    void push(const PredBlock &block);
+
+    /** Oldest block not yet fully fetched, or nullptr. */
+    const PredBlock *fetchHead() const;
+
+    /** Current fetch offset (in instructions) within fetchHead(). */
+    unsigned fetchOffset() const { return fetchOffset_; }
+
+    /** Advances the fetch cursor by @p n instructions within the head. */
+    void advanceFetch(unsigned n);
+
+    /**
+     * Squashes all blocks strictly younger than @p block_id, plus the
+     * tail of block @p block_id after @p keep_pc (exclusive).
+     *
+     * @param block_id FTQ id of the block containing the redirecting
+     *        instruction.
+     * @param keep_pc PC of the redirecting instruction (last kept).
+     * @return the squashed program path as prediction-block ranges:
+     *         the partial tail of the redirecting block (if any)
+     *         followed by all younger blocks. Ranges only cover
+     *         instructions that were actually sent to fetch.
+     */
+    std::vector<PredBlock> squashAfter(std::uint64_t block_id, Addr keep_pc);
+
+    /** Deallocates retired blocks older than @p block_id. */
+    void retireUpTo(std::uint64_t block_id);
+
+  private:
+    struct Entry
+    {
+        PredBlock block;
+        unsigned fetched = 0;   //!< instructions delivered to fetch
+    };
+
+    unsigned capacity_;
+    std::deque<Entry> entries_;
+    std::size_t fetchIdx_ = 0;  //!< index of the block being fetched
+    unsigned fetchOffset_ = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_FRONTEND_FTQ_HH

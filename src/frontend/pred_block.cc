@@ -1,0 +1,4 @@
+#include "frontend/pred_block.hh"
+
+// PredBlock is header-only; this translation unit anchors the header
+// in the build so include errors surface early.

@@ -1,0 +1,442 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace mssr::isa
+{
+
+namespace
+{
+
+/** One parsed source line (post label-stripping). */
+struct Line
+{
+    int number;                        //!< 1-based source line
+    std::string mnemonic;
+    std::vector<std::string> operands;
+    Addr pc = 0;
+};
+
+[[noreturn]] void
+asmError(int line, const std::string &msg)
+{
+    fatal("assembler: line ", line, ": ", msg);
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Maps register names (ABI or xN) to indices. */
+std::optional<ArchReg>
+parseReg(const std::string &name)
+{
+    static const std::map<std::string, ArchReg> byName = [] {
+        std::map<std::string, ArchReg> m;
+        for (unsigned r = 0; r < NumArchRegs; ++r) {
+            m[regName(static_cast<ArchReg>(r))] = static_cast<ArchReg>(r);
+            m["x" + std::to_string(r)] = static_cast<ArchReg>(r);
+        }
+        m["fp"] = 8; // alias of s0
+        return m;
+    }();
+    auto it = byName.find(name);
+    if (it == byName.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<std::int64_t>
+parseImm(const std::string &text)
+{
+    std::string s = text;
+    bool neg = false;
+    if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+        neg = s[0] == '-';
+        s = s.substr(1);
+    }
+    if (s.empty())
+        return std::nullopt;
+    std::uint64_t value = 0;
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+        for (std::size_t i = 2; i < s.size(); ++i) {
+            const char c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(s[i])));
+            if (c >= '0' && c <= '9')
+                value = value * 16 + static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value = value * 16 + static_cast<std::uint64_t>(c - 'a' + 10);
+            else
+                return std::nullopt;
+        }
+    } else {
+        for (char c : s) {
+            if (c < '0' || c > '9')
+                return std::nullopt;
+            value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+    }
+    auto sv = static_cast<std::int64_t>(value);
+    return neg ? -sv : sv;
+}
+
+/** Splits "imm(reg)" / "label(reg)" memory operands. */
+bool
+splitMemOperand(const std::string &text, std::string &offset,
+                std::string &base)
+{
+    const auto open = text.find('(');
+    if (open == std::string::npos || text.back() != ')')
+        return false;
+    offset = trim(text.substr(0, open));
+    base = trim(text.substr(open + 1, text.size() - open - 2));
+    if (offset.empty())
+        offset = "0";
+    return true;
+}
+
+/** Parser context for one assemble() invocation. */
+class Assembler
+{
+  public:
+    Assembler(Program &prog, const std::string &source)
+        : prog_(prog), source_(source)
+    {
+    }
+
+    void
+    run()
+    {
+        firstPass();
+        for (const auto &line : lines_)
+            prog_.append(encode(line));
+    }
+
+  private:
+    Program &prog_;
+    const std::string &source_;
+    std::vector<Line> lines_;
+
+    void
+    firstPass()
+    {
+        std::istringstream in(source_);
+        std::string raw;
+        int lineNo = 0;
+        Addr pc = prog_.codeEnd();
+        while (std::getline(in, raw)) {
+            ++lineNo;
+            // Strip comments.
+            for (const char *marker : {"#", "//", ";"}) {
+                const auto at = raw.find(marker);
+                if (at != std::string::npos)
+                    raw = raw.substr(0, at);
+            }
+            std::string text = trim(raw);
+            // Leading labels (possibly several).
+            while (true) {
+                const auto colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string head = trim(text.substr(0, colon));
+                if (head.empty() || head.find(' ') != std::string::npos ||
+                    head.find('(') != std::string::npos) {
+                    break;
+                }
+                prog_.defineLabel(head, pc);
+                text = trim(text.substr(colon + 1));
+            }
+            if (text.empty())
+                continue;
+            Line line;
+            line.number = lineNo;
+            line.pc = pc;
+            // Mnemonic is up to first whitespace.
+            std::size_t sp = 0;
+            while (sp < text.size() &&
+                   !std::isspace(static_cast<unsigned char>(text[sp]))) {
+                ++sp;
+            }
+            line.mnemonic = text.substr(0, sp);
+            for (auto &c : line.mnemonic)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            // Operands: comma-separated.
+            std::string rest = trim(text.substr(sp));
+            while (!rest.empty()) {
+                const auto comma = rest.find(',');
+                if (comma == std::string::npos) {
+                    line.operands.push_back(trim(rest));
+                    break;
+                }
+                line.operands.push_back(trim(rest.substr(0, comma)));
+                rest = trim(rest.substr(comma + 1));
+            }
+            lines_.push_back(std::move(line));
+            pc += InstBytes;
+        }
+    }
+
+    ArchReg
+    reg(const Line &line, std::size_t idx) const
+    {
+        if (idx >= line.operands.size())
+            asmError(line.number, "missing register operand");
+        auto r = parseReg(line.operands[idx]);
+        if (!r)
+            asmError(line.number,
+                     "bad register '" + line.operands[idx] + "'");
+        return *r;
+    }
+
+    std::int64_t
+    imm(const Line &line, std::size_t idx) const
+    {
+        if (idx >= line.operands.size())
+            asmError(line.number, "missing immediate operand");
+        return immFromText(line, line.operands[idx]);
+    }
+
+    std::int64_t
+    immFromText(const Line &line, const std::string &text) const
+    {
+        if (auto v = parseImm(text))
+            return *v;
+        if (prog_.hasLabel(text))
+            return static_cast<std::int64_t>(prog_.label(text));
+        asmError(line.number, "bad immediate or label '" + text + "'");
+    }
+
+    /** Branch/jump displacement from this line's PC to a label or imm. */
+    std::int64_t
+    disp(const Line &line, std::size_t idx) const
+    {
+        if (idx >= line.operands.size())
+            asmError(line.number, "missing branch target");
+        const std::string &text = line.operands[idx];
+        if (prog_.hasLabel(text)) {
+            return static_cast<std::int64_t>(prog_.label(text)) -
+                   static_cast<std::int64_t>(line.pc);
+        }
+        if (auto v = parseImm(text))
+            return *v;
+        asmError(line.number, "bad branch target '" + text + "'");
+    }
+
+    /** Parses "imm(reg)" into inst.imm / inst.rs1. */
+    void
+    memOperand(const Line &line, std::size_t idx, Inst &out) const
+    {
+        if (idx >= line.operands.size())
+            asmError(line.number, "missing memory operand");
+        std::string off, base;
+        if (!splitMemOperand(line.operands[idx], off, base))
+            asmError(line.number,
+                     "bad memory operand '" + line.operands[idx] + "'");
+        auto r = parseReg(base);
+        if (!r)
+            asmError(line.number, "bad base register '" + base + "'");
+        out.rs1 = *r;
+        out.imm = immFromText(line, off);
+    }
+
+    Inst
+    encode(const Line &line) const
+    {
+        Inst out;
+        const std::string &m = line.mnemonic;
+
+        auto rrr = [&](Op op) {
+            out.op = op;
+            out.rd = reg(line, 0);
+            out.rs1 = reg(line, 1);
+            out.rs2 = reg(line, 2);
+        };
+        auto rri = [&](Op op) {
+            out.op = op;
+            out.rd = reg(line, 0);
+            out.rs1 = reg(line, 1);
+            out.imm = imm(line, 2);
+        };
+        auto branch = [&](Op op, bool swap = false) {
+            out.op = op;
+            out.rs1 = reg(line, swap ? 1 : 0);
+            out.rs2 = reg(line, swap ? 0 : 1);
+            out.imm = disp(line, 2);
+        };
+        auto branchZero = [&](Op op, bool zeroFirst) {
+            out.op = op;
+            if (zeroFirst) {
+                out.rs1 = 0;
+                out.rs2 = reg(line, 0);
+            } else {
+                out.rs1 = reg(line, 0);
+                out.rs2 = 0;
+            }
+            out.imm = disp(line, 1);
+        };
+        auto load = [&](Op op) {
+            out.op = op;
+            out.rd = reg(line, 0);
+            memOperand(line, 1, out);
+        };
+        auto store = [&](Op op) {
+            out.op = op;
+            out.rs2 = reg(line, 0);
+            memOperand(line, 1, out);
+        };
+
+        if (m == "add") rrr(Op::ADD);
+        else if (m == "sub") rrr(Op::SUB);
+        else if (m == "and") rrr(Op::AND);
+        else if (m == "or") rrr(Op::OR);
+        else if (m == "xor") rrr(Op::XOR);
+        else if (m == "sll") rrr(Op::SLL);
+        else if (m == "srl") rrr(Op::SRL);
+        else if (m == "sra") rrr(Op::SRA);
+        else if (m == "slt") rrr(Op::SLT);
+        else if (m == "sltu") rrr(Op::SLTU);
+        else if (m == "mul") rrr(Op::MUL);
+        else if (m == "mulh") rrr(Op::MULH);
+        else if (m == "div") rrr(Op::DIV);
+        else if (m == "rem") rrr(Op::REM);
+        else if (m == "addi") rri(Op::ADDI);
+        else if (m == "andi") rri(Op::ANDI);
+        else if (m == "ori") rri(Op::ORI);
+        else if (m == "xori") rri(Op::XORI);
+        else if (m == "slli") rri(Op::SLLI);
+        else if (m == "srli") rri(Op::SRLI);
+        else if (m == "srai") rri(Op::SRAI);
+        else if (m == "slti") rri(Op::SLTI);
+        else if (m == "sltiu") rri(Op::SLTIU);
+        else if (m == "li" || m == "la") {
+            out.op = Op::LI;
+            out.rd = reg(line, 0);
+            out.imm = imm(line, 1);
+        } else if (m == "mv") {
+            out.op = Op::ADDI;
+            out.rd = reg(line, 0);
+            out.rs1 = reg(line, 1);
+        } else if (m == "not") {
+            out.op = Op::XORI;
+            out.rd = reg(line, 0);
+            out.rs1 = reg(line, 1);
+            out.imm = -1;
+        } else if (m == "neg") {
+            out.op = Op::SUB;
+            out.rd = reg(line, 0);
+            out.rs1 = 0;
+            out.rs2 = reg(line, 1);
+        } else if (m == "seqz") {
+            out.op = Op::SLTIU;
+            out.rd = reg(line, 0);
+            out.rs1 = reg(line, 1);
+            out.imm = 1;
+        } else if (m == "snez") {
+            out.op = Op::SLTU;
+            out.rd = reg(line, 0);
+            out.rs1 = 0;
+            out.rs2 = reg(line, 1);
+        }
+        else if (m == "lb") load(Op::LB);
+        else if (m == "lbu") load(Op::LBU);
+        else if (m == "lh") load(Op::LH);
+        else if (m == "lhu") load(Op::LHU);
+        else if (m == "lw") load(Op::LW);
+        else if (m == "lwu") load(Op::LWU);
+        else if (m == "ld") load(Op::LD);
+        else if (m == "sb") store(Op::SB);
+        else if (m == "sh") store(Op::SH);
+        else if (m == "sw") store(Op::SW);
+        else if (m == "sd") store(Op::SD);
+        else if (m == "beq") branch(Op::BEQ);
+        else if (m == "bne") branch(Op::BNE);
+        else if (m == "blt") branch(Op::BLT);
+        else if (m == "bge") branch(Op::BGE);
+        else if (m == "bltu") branch(Op::BLTU);
+        else if (m == "bgeu") branch(Op::BGEU);
+        else if (m == "bgt") branch(Op::BLT, true);
+        else if (m == "ble") branch(Op::BGE, true);
+        else if (m == "bgtu") branch(Op::BLTU, true);
+        else if (m == "bleu") branch(Op::BGEU, true);
+        else if (m == "beqz") branchZero(Op::BEQ, false);
+        else if (m == "bnez") branchZero(Op::BNE, false);
+        else if (m == "bltz") branchZero(Op::BLT, false);
+        else if (m == "bgez") branchZero(Op::BGE, false);
+        else if (m == "blez") branchZero(Op::BGE, true);
+        else if (m == "bgtz") branchZero(Op::BLT, true);
+        else if (m == "j") {
+            out.op = Op::JAL;
+            out.rd = 0;
+            out.imm = disp(line, 0);
+        } else if (m == "jal") {
+            out.op = Op::JAL;
+            if (line.operands.size() == 1) {
+                out.rd = 1; // ra
+                out.imm = disp(line, 0);
+            } else {
+                out.rd = reg(line, 0);
+                out.imm = disp(line, 1);
+            }
+        } else if (m == "call") {
+            out.op = Op::JAL;
+            out.rd = 1;
+            out.imm = disp(line, 0);
+        } else if (m == "jalr") {
+            out.op = Op::JALR;
+            if (line.operands.size() == 1) {
+                out.rd = 1;
+                out.rs1 = reg(line, 0);
+            } else {
+                out.rd = reg(line, 0);
+                memOperand(line, 1, out);
+            }
+        } else if (m == "jr") {
+            out.op = Op::JALR;
+            out.rd = 0;
+            out.rs1 = reg(line, 0);
+        } else if (m == "ret") {
+            out.op = Op::JALR;
+            out.rd = 0;
+            out.rs1 = 1; // ra
+        } else if (m == "nop") {
+            out.op = Op::NOP;
+        } else if (m == "halt") {
+            out.op = Op::HALT;
+        } else {
+            asmError(line.number, "unknown mnemonic '" + m + "'");
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+void
+assemble(Program &prog, const std::string &source)
+{
+    Assembler(prog, source).run();
+}
+
+Program
+assembleProgram(const std::string &source)
+{
+    Program prog;
+    assemble(prog, source);
+    return prog;
+}
+
+} // namespace mssr::isa

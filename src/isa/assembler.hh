@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Two-pass text assembler for the mini ISA. Supports labels, decimal
+ * and hex immediates, RISC-V style memory operands "imm(reg)" and the
+ * usual pseudo-instructions (li, la, mv, j, call, ret, beqz, ...).
+ *
+ * Every mnemonic (including pseudos) expands to exactly one 4-byte
+ * instruction, so label arithmetic is trivial and fetch-block layout is
+ * predictable -- a property the reconvergence-detection tests rely on.
+ */
+
+#ifndef MSSR_ISA_ASSEMBLER_HH
+#define MSSR_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace mssr::isa
+{
+
+/**
+ * Assembles @p source, appending instructions to @p prog starting at
+ * prog.codeEnd(). Labels already defined in the program (e.g. data
+ * allocations) are visible to the source; labels defined by the source
+ * are added to the program. Errors raise fatal().
+ */
+void assemble(Program &prog, const std::string &source);
+
+/** Convenience: builds a fresh program from one source string. */
+Program assembleProgram(const std::string &source);
+
+} // namespace mssr::isa
+
+#endif // MSSR_ISA_ASSEMBLER_HH

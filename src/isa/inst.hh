@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The mini RISC ISA used by the simulator: a 64-bit, RV64I-flavoured
+ * integer instruction set. Instructions are fixed 4 bytes for PC
+ * arithmetic; operands are held symbolically (no binary encoding is
+ * needed by the simulator, which is execution-driven).
+ */
+
+#ifndef MSSR_ISA_INST_HH
+#define MSSR_ISA_INST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mssr::isa
+{
+
+/** Opcodes of the mini ISA. */
+enum class Op : std::uint8_t
+{
+    // ALU register-register.
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    MUL, MULH, DIV, REM,
+    // ALU register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU,
+    // Wide immediate (pseudo: full 64-bit immediate materialisation).
+    LI,
+    // Loads (signed unless U-suffixed).
+    LB, LBU, LH, LHU, LW, LWU, LD,
+    // Stores.
+    SB, SH, SW, SD,
+    // Conditional branches.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Unconditional control flow.
+    JAL, JALR,
+    // Misc.
+    NOP, HALT,
+    NumOps
+};
+
+/** Functional-unit class an instruction issues to. */
+enum class FuClass : std::uint8_t
+{
+    Alu,    //!< simple integer ops (1 cycle)
+    Mul,    //!< multiply (3 cycles, issues on ALU ports)
+    Div,    //!< divide (12 cycles, issues on ALU ports)
+    Branch, //!< conditional branches and jumps (BRU)
+    Load,   //!< loads (LSU)
+    Store,  //!< stores (LSU)
+    None    //!< NOP/HALT
+};
+
+/**
+ * A static (decoded) instruction. The assembler produces a vector of
+ * these; dynamic instructions reference them by index.
+ */
+struct Inst
+{
+    Op op = Op::NOP;
+    ArchReg rd = 0;        //!< destination register (0 = x0 = no effect)
+    ArchReg rs1 = 0;
+    ArchReg rs2 = 0;
+    std::int64_t imm = 0;  //!< immediate / branch byte offset
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isCondBranch() const;
+    bool isJump() const { return op == Op::JAL || op == Op::JALR; }
+    bool isControl() const { return isCondBranch() || isJump(); }
+    bool isHalt() const { return op == Op::HALT; }
+
+    /** True when the instruction architecturally reads rs1. */
+    bool hasRs1() const;
+    /** True when the instruction architecturally reads rs2. */
+    bool hasRs2() const;
+    /** True when the instruction architecturally writes rd (rd != x0). */
+    bool hasRd() const;
+
+    /** Memory access size in bytes (loads/stores only). */
+    unsigned memBytes() const;
+    /** True for sign-extending loads. */
+    bool memSigned() const;
+
+    FuClass fuClass() const;
+
+    /** Execution latency in cycles, given the core's latency config. */
+    unsigned latency(unsigned alu, unsigned mul, unsigned div,
+                     unsigned branch) const;
+
+    bool operator==(const Inst &other) const = default;
+};
+
+/** Mnemonic for an opcode ("add", "beq", ...). */
+const char *opName(Op op);
+
+/** ABI register name ("zero", "ra", "sp", "t0", ...). */
+const char *regName(ArchReg r);
+
+/** Disassembles @p inst at address @p pc into assembler-like text. */
+std::string disasm(const Inst &inst, Addr pc);
+
+/**
+ * Evaluates a non-memory, non-control instruction's result value.
+ * @param a value of rs1, @param b value of rs2.
+ */
+RegVal evalAlu(const Inst &inst, RegVal a, RegVal b);
+
+/** Evaluates a conditional branch's direction. */
+bool evalCondBranch(const Inst &inst, RegVal a, RegVal b);
+
+/** Computes a memory instruction's effective address. */
+Addr evalMemAddr(const Inst &inst, RegVal base);
+
+/**
+ * Computes the target of a taken control instruction at @p pc.
+ * For JALR the base register value @p a is used.
+ */
+Addr evalTarget(const Inst &inst, Addr pc, RegVal a);
+
+} // namespace mssr::isa
+
+#endif // MSSR_ISA_INST_HH

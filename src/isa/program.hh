@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Program container: a code image (vector of decoded instructions at a
+ * base address), a symbol table, and an initialised data image that is
+ * loaded into simulated memory before execution.
+ */
+
+#ifndef MSSR_ISA_PROGRAM_HH
+#define MSSR_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace mssr
+{
+class Memory;
+} // namespace mssr
+
+namespace mssr::isa
+{
+
+/**
+ * A complete simulated program. Code lives at codeBase() in 4-byte
+ * instruction slots; data allocations grow upward from a separate data
+ * base; the stack pointer is initialised to stackTop().
+ */
+class Program
+{
+  public:
+    static constexpr Addr DefaultCodeBase = 0x1000;
+    static constexpr Addr DefaultDataBase = 0x100000;
+    static constexpr Addr DefaultStackTop = 0x7ff0000;
+
+    Program();
+
+    /** @name Code image */
+    /// @{
+    Addr codeBase() const { return codeBase_; }
+    Addr entry() const { return entry_; }
+    void setEntry(Addr pc) { entry_ = pc; }
+
+    std::size_t numInsts() const { return insts_.size(); }
+    Addr codeEnd() const { return codeBase_ + insts_.size() * InstBytes; }
+
+    /** True when @p pc addresses an instruction of this program. */
+    bool
+    hasInst(Addr pc) const
+    {
+        return pc >= codeBase_ && pc < codeEnd() &&
+               (pc - codeBase_) % InstBytes == 0;
+    }
+
+    /** The instruction at @p pc; pc must satisfy hasInst(). */
+    const Inst &instAt(Addr pc) const;
+
+    /** Appends an instruction, returning its PC. */
+    Addr append(const Inst &inst);
+    /// @}
+
+    /** @name Symbols */
+    /// @{
+    /** Defines a label at an absolute address. Redefinition is fatal. */
+    void defineLabel(const std::string &name, Addr addr);
+    bool hasLabel(const std::string &name) const;
+    Addr label(const std::string &name) const;
+    /// @}
+
+    /** @name Data image */
+    /// @{
+    Addr dataBase() const { return dataBase_; }
+    Addr stackTop() const { return stackTop_; }
+
+    /**
+     * Reserves @p bytes of zero-initialised data with the given
+     * alignment, defines @p name as a label, and returns the address.
+     */
+    Addr allocData(const std::string &name, std::size_t bytes,
+                   std::size_t align = 8);
+
+    /** Writes a 64-bit value into the data image at @p addr. */
+    void initData64(Addr addr, std::uint64_t value);
+    /** Writes an array of 64-bit values starting at @p addr. */
+    void initData64(Addr addr, const std::vector<std::int64_t> &values);
+    /** Writes raw bytes at @p addr. */
+    void initBytes(Addr addr, const std::vector<std::uint8_t> &bytes);
+
+    /** Copies the data image into @p mem. */
+    void loadInto(Memory &mem) const;
+    /// @}
+
+  private:
+    Addr codeBase_;
+    Addr entry_;
+    Addr dataBase_;
+    Addr dataTop_;
+    Addr stackTop_;
+    std::vector<Inst> insts_;
+    std::map<std::string, Addr> labels_;
+    std::map<Addr, std::vector<std::uint8_t>> dataChunks_;
+
+    /** Merges @p bytes at @p addr into the data image. */
+    void writeData(Addr addr, const std::uint8_t *bytes, std::size_t n);
+};
+
+} // namespace mssr::isa
+
+#endif // MSSR_ISA_PROGRAM_HH

@@ -1,0 +1,48 @@
+#include "memsys/hierarchy.hh"
+
+namespace mssr
+{
+
+MemHierarchy::MemHierarchy(const CoreConfig &cfg)
+    : l1d_("l1d", cfg.l1dSizeBytes, cfg.l1dAssoc, cfg.cacheLineBytes,
+           cfg.l1dLatency),
+      l2_("l2", cfg.l2SizeBytes, cfg.l2Assoc, cfg.cacheLineBytes,
+          cfg.l2Latency),
+      dramLatency_(cfg.dramLatency)
+{
+}
+
+unsigned
+MemHierarchy::loadLatency(Addr addr)
+{
+    unsigned latency = l1d_.latency();
+    if (l1d_.access(addr, false))
+        return latency;
+    latency += l2_.latency();
+    if (l2_.access(addr, false))
+        return latency;
+    return latency + dramLatency_;
+}
+
+void
+MemHierarchy::storeAccess(Addr addr)
+{
+    if (!l1d_.access(addr, true))
+        l2_.access(addr, true);
+}
+
+void
+MemHierarchy::reportStats(StatSet &stats) const
+{
+    l1d_.reportStats(stats);
+    l2_.reportStats(stats);
+}
+
+void
+MemHierarchy::resetStats()
+{
+    l1d_.resetStats();
+    l2_.resetStats();
+}
+
+} // namespace mssr

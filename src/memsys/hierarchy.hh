@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-level cache hierarchy plus DRAM latency model (Table 3: 64KB L1D
+ * / 2MB L2 / 120-cycle DRAM). Returns per-access latencies used by the
+ * LSU to schedule load completion.
+ */
+
+#ifndef MSSR_MEMSYS_HIERARCHY_HH
+#define MSSR_MEMSYS_HIERARCHY_HH
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "memsys/cache.hh"
+
+namespace mssr
+{
+
+/** L1D + L2 + DRAM latency model for data accesses. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const CoreConfig &cfg);
+
+    /**
+     * Simulates a load access and returns its total latency in cycles.
+     */
+    unsigned loadLatency(Addr addr);
+
+    /**
+     * Simulates a committed store's cache effects (write-allocate,
+     * write-back). Store latency is hidden by the store buffer, so no
+     * latency is returned.
+     */
+    void storeAccess(Addr addr);
+
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+
+    void reportStats(StatSet &stats) const;
+    void resetStats();
+
+  private:
+    Cache l1d_;
+    Cache l2_;
+    unsigned dramLatency_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_MEMSYS_HIERARCHY_HH

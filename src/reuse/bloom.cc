@@ -1,0 +1,52 @@
+#include "reuse/bloom.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace mssr
+{
+
+BloomFilter::BloomFilter(unsigned bits, unsigned hashes)
+    : bits_(bits, false), hashes_(hashes)
+{
+    mssr_assert(isPow2(bits));
+    mssr_assert(hashes >= 1 && hashes <= 4);
+}
+
+std::size_t
+BloomFilter::hash(Addr addr, unsigned k) const
+{
+    // Addresses are checked at 8-byte granularity: the low three bits
+    // are dropped so stores and loads of different sizes within the
+    // same doubleword conservatively collide.
+    std::uint64_t x = (addr >> 3) + 0x9e3779b97f4a7c15ull * (k + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x & (bits_.size() - 1));
+}
+
+void
+BloomFilter::insert(Addr addr)
+{
+    ++insertions_;
+    for (unsigned k = 0; k < hashes_; ++k)
+        bits_[hash(addr, k)] = true;
+}
+
+bool
+BloomFilter::mayContain(Addr addr) const
+{
+    for (unsigned k = 0; k < hashes_; ++k)
+        if (!bits_[hash(addr, k)])
+            return false;
+    return true;
+}
+
+void
+BloomFilter::reset()
+{
+    std::fill(bits_.begin(), bits_.end(), false);
+}
+
+} // namespace mssr

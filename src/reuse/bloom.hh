@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bloom filter over memory addresses (paper section 3.8.3): tracks
+ * executed-store (and, in multicore systems, snooped) addresses during
+ * the window between load squash and load reuse. A reused load that
+ * hits the filter must re-execute instead of being reused. Reset
+ * together with squash-log invalidation.
+ */
+
+#ifndef MSSR_REUSE_BLOOM_HH
+#define MSSR_REUSE_BLOOM_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mssr
+{
+
+class BloomFilter
+{
+  public:
+    explicit BloomFilter(unsigned bits = 1024, unsigned hashes = 2);
+
+    /** Inserts the cache-line-granular address. */
+    void insert(Addr addr);
+
+    /** True when @p addr may have been inserted (no false negatives). */
+    bool mayContain(Addr addr) const;
+
+    void reset();
+
+    std::uint64_t insertions() const { return insertions_; }
+
+  private:
+    std::size_t hash(Addr addr, unsigned k) const;
+
+    std::vector<bool> bits_;
+    unsigned hashes_;
+    std::uint64_t insertions_ = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_REUSE_BLOOM_HH

@@ -1,0 +1,473 @@
+#include "reuse/reuse_unit.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+ReuseUnit::ReuseUnit(const ReuseConfig &cfg, FreeList &free_list)
+    : cfg_(cfg),
+      freeList_(free_list),
+      wpb_(cfg.numStreams, cfg.wpbEntriesPerStream, cfg.restrictVpn),
+      log_(cfg.numStreams, cfg.squashLogEntriesPerStream),
+      rgids_(cfg.rgidBits),
+      bloom_(cfg.bloomBits, cfg.bloomHashes)
+{
+}
+
+bool
+ReuseUnit::streamInstPC(const WpbStream &stream, unsigned index,
+                        Addr &pc_out)
+{
+    unsigned remaining = index;
+    for (const WpbEntry &e : stream.entries) {
+        if (!e.valid)
+            continue;
+        const unsigned n =
+            static_cast<unsigned>((e.endPC - e.startPC) / InstBytes + 1);
+        if (remaining < n) {
+            pc_out = e.startPC + remaining * InstBytes;
+            return true;
+        }
+        remaining -= n;
+    }
+    return false;
+}
+
+bool
+ReuseUnit::streamInSession(unsigned s) const
+{
+    for (const Session &session : sessions_)
+        if (session.stream == s)
+            return true;
+    return false;
+}
+
+void
+ReuseUnit::releaseStream(unsigned s)
+{
+    SquashLogStream &stream = log_.stream(s);
+    for (unsigned i = 0; i < stream.numEntries; ++i) {
+        SquashLogEntry &e = stream.entries[i];
+        if (e.valid && e.reserved && !e.consumed) {
+            freeList_.release(e.destPreg);
+            e.consumed = true;
+        }
+    }
+}
+
+void
+ReuseUnit::endFrontSession()
+{
+    mssr_assert(!sessions_.empty());
+    const unsigned s = sessions_.front().stream;
+    releaseStream(s);
+    wpb_.invalidate(s);
+    log_.clearStream(s);
+    sessions_.pop_front();
+    renameActive_ = false;
+    renameCursor_ = 0;
+}
+
+void
+ReuseUnit::clearSessions()
+{
+    sessions_.clear();
+    renameActive_ = false;
+    renameCursor_ = 0;
+}
+
+void
+ReuseUnit::onBranchSquash(SeqNum branch_seq,
+                          const std::vector<DynInstPtr> &squashed)
+{
+    ++squashEvents_;
+    lastRedirectBranchSeq_ = branch_seq;
+    // In-flight reuse sessions are cut by the squash; their streams
+    // stay valid for later reconvergence attempts.
+    clearSessions();
+
+    if (squashed.empty())
+        return;
+
+    // Recycle the round-robin victim stream first.
+    const unsigned victim = wpb_.nextStream();
+    releaseStream(victim);
+    log_.clearStream(victim);
+
+    // Reconstruct the squashed path as contiguous fetch-block ranges
+    // (<= fetch-block size), oldest first.
+    std::vector<WpbEntry> ranges;
+    constexpr unsigned MaxBlockInsts = 8; // 32B / 4B
+    for (const auto &inst : squashed) {
+        const bool extend =
+            !ranges.empty() &&
+            ranges.back().endPC + InstBytes == inst->pc &&
+            (ranges.back().endPC - ranges.back().startPC) / InstBytes + 1 <
+                MaxBlockInsts;
+        if (extend) {
+            ranges.back().endPC = inst->pc;
+        } else {
+            ranges.push_back(WpbEntry{true, inst->pc, inst->pc});
+        }
+    }
+
+    const unsigned s = wpb_.writeStream(ranges, branch_seq, squashEvents_);
+    mssr_assert(s == victim);
+    ++streamsCaptured_;
+
+    // Populate the Squash Log and apply reservation policy (1): only
+    // executed instructions keep their physical registers.
+    for (const auto &inst : squashed) {
+        SquashLogEntry entry;
+        entry.pc = inst->pc;
+        entry.op = inst->si.op;
+        entry.numSrcs = 0;
+        if (inst->si.hasRs1())
+            entry.srcRgid[entry.numSrcs++] = inst->srcRgid[0];
+        if (inst->si.hasRs2())
+            entry.srcRgid[entry.numSrcs++] = inst->srcRgid[1];
+        entry.hasDest = inst->si.hasRd();
+        entry.dstRgid = inst->dstRgid;
+        entry.destPreg = inst->dst;
+        entry.isLoad = inst->isLoad();
+        entry.isStore = inst->isStore();
+        entry.isControl = inst->isControl();
+        entry.executed = inst->executed;
+        entry.memAddr = inst->memAddr;
+        entry.memSize = static_cast<std::uint8_t>(inst->si.memBytes());
+
+        const bool logged = log_.append(s, entry);
+        const bool reusable = logged && entry.hasDest && entry.executed &&
+                              !entry.isStore && !entry.isControl &&
+                              (!entry.isLoad || cfg_.reuseLoads);
+        if (entry.hasDest) {
+            if (reusable) {
+                freeList_.reserve(inst->dst);
+                SquashLogStream &stream = log_.stream(s);
+                stream.entries[stream.numEntries - 1].reserved = true;
+            } else {
+                freeList_.release(inst->dst);
+            }
+        }
+    }
+}
+
+void
+ReuseUnit::onOtherSquash(const std::vector<DynInstPtr> &squashed,
+                         bool invalidate_all)
+{
+    clearSessions();
+    for (const auto &inst : squashed)
+        if (inst->si.hasRd())
+            freeList_.release(inst->dst);
+    if (invalidate_all) {
+        for (unsigned s = 0; s < wpb_.numStreams(); ++s) {
+            releaseStream(s);
+            log_.clearStream(s);
+        }
+        wpb_.invalidateAll();
+        bloom_.reset();
+    }
+}
+
+void
+ReuseUnit::detect(Addr start_pc, Addr end_pc)
+{
+    ++detectCalls_;
+    if (!wpb_.anyValid() || sessions_.size() >= wpb_.numStreams())
+        return;
+    ++detectEligible_;
+
+    // Most-recently-updated stream is preferred (section 3.3.1);
+    // streams already claimed by a queued session are skipped.
+    std::vector<unsigned> order;
+    for (unsigned s = 0; s < wpb_.numStreams(); ++s)
+        if (wpb_.stream(s).valid && !streamInSession(s))
+            order.push_back(s);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return wpb_.stream(a).squashEventIndex >
+               wpb_.stream(b).squashEventIndex;
+    });
+
+    for (unsigned s : order) {
+        const WpbStream &stream = wpb_.stream(s);
+        const ReconvHit hit = ReconvDetector::match(
+            stream, start_pc, end_pc, cfg_.restrictVpn);
+        if (!hit.found)
+            continue;
+        if (hit.instOffset >= log_.stream(s).numEntries) {
+            ++reconvBeyondLog_;
+            return; // WPB covers more insts than the Squash Log kept
+        }
+        ++reconvDetected_;
+
+        // Classification (Figure 4): compare the hit stream's origin
+        // branch with the branch whose squash created the current
+        // corrected stream.
+        if (stream.originBranchSeq == lastRedirectBranchSeq_)
+            ++reconvSimple_;
+        else if (stream.originBranchSeq < lastRedirectBranchSeq_)
+            ++reconvSoftware_;
+        else
+            ++reconvHardware_;
+
+        // Stream distance (Figure 11): 1 = neighboring stream.
+        const std::uint64_t distance =
+            squashEvents_ - stream.squashEventIndex + 1;
+        distance_.sample(std::min<std::uint64_t>(distance, 7));
+
+        Session session;
+        session.stream = s;
+        session.startCursor = hit.instOffset;
+        session.reconvPC = hit.reconvPC;
+        // The detection block itself is covered up to its end.
+        session.fetchAhead = static_cast<unsigned>(
+            (end_pc - hit.reconvPC) / InstBytes + 1);
+        sessions_.push_back(session);
+        return;
+    }
+}
+
+void
+ReuseUnit::onBlockFormed(const PredBlock &block)
+{
+    // IFU-side session monitoring (section 3.3.1): while a session is
+    // being extended, compare the new block against the squashed
+    // stream's continuation; on mismatch or end of coverage, stop
+    // extending and resume reconvergence detection immediately.
+    if (!sessions_.empty() && !sessions_.back().fetchDone) {
+        Session &fs = sessions_.back();
+        const WpbStream &stream = wpb_.stream(fs.stream);
+        unsigned index = 0;
+        const unsigned blockInsts = block.numInsts();
+        // Project the stream's instruction PCs against the block's.
+        while (index < blockInsts) {
+            Addr expect = 0;
+            const unsigned streamIdx = fs.startCursor + fs.fetchAhead;
+            if (!streamInstPC(stream, streamIdx, expect)) {
+                fs.fetchDone = true; // coverage exhausted
+                break;
+            }
+            if (expect != block.startPC + index * InstBytes) {
+                fs.fetchDone = true; // diverged
+                break;
+            }
+            ++fs.fetchAhead;
+            ++index;
+        }
+        if (!fs.fetchDone)
+            return; // block fully matched: keep extending
+        if (index > 0)
+            return; // partial match: detection resumes next block
+        // No instruction matched: fall through and let this block be
+        // considered for a fresh reconvergence immediately.
+    }
+    detect(block.startPC, block.endPC);
+}
+
+ReuseAdvice
+ReuseUnit::processRename(const DynInstPtr &inst,
+                         const Rgid current_src_rgids[2])
+{
+    // Stream aging and the 1024-instruction reconvergence timeout.
+    for (unsigned s = 0; s < wpb_.numStreams(); ++s) {
+        WpbStream &stream = wpb_.stream(s);
+        if (!stream.valid || streamInSession(s))
+            continue;
+        if (++stream.ageInsts > cfg_.reconvTimeoutInsts) {
+            releaseStream(s);
+            wpb_.invalidate(s);
+            log_.clearStream(s);
+            ++timeouts_;
+        }
+    }
+
+    ReuseAdvice advice;
+    // Activation may fall through from a just-ended session to the
+    // next queued one whose reconvergence PC is this instruction.
+    for (int attempts = 0; attempts < 2; ++attempts) {
+        if (sessions_.empty())
+            return advice;
+        Session &front = sessions_.front();
+        if (!renameActive_) {
+            if (inst->pc != front.reconvPC)
+                return advice;
+            renameActive_ = true;
+            renameCursor_ = front.startCursor;
+        }
+
+        SquashLogStream &stream = log_.stream(front.stream);
+        if (renameCursor_ >= stream.numEntries) {
+            endFrontSession();
+            continue; // try the next queued session for this inst
+        }
+        SquashLogEntry &entry = stream.entries[renameCursor_];
+        if (!entry.valid || entry.pc != inst->pc) {
+            // The corrected stream diverged from the squashed stream:
+            // policy (4) releases the remaining reservations.
+            ++divergences_;
+            endFrontSession();
+            continue;
+        }
+        ++renameCursor_;
+        const bool exhausted = renameCursor_ >= stream.numEntries;
+
+        // ---- Reuse test (section 3.5) ----
+        ++reuseTests_;
+        bool ok = true;
+        if (entry.consumed || !entry.reserved) {
+            // Covers: no destination, stores, control insts,
+            // unexecuted squashed insts, already-consumed entries.
+            if (!entry.hasDest || entry.isStore || entry.isControl)
+                ++reuseFailKind_;
+            else if (!entry.executed)
+                ++reuseFailNotExecuted_;
+            else
+                ++reuseFailKind_;
+            ok = false;
+        } else if (!rgids_.inWindow(inst->si.rd, entry.dstRgid)) {
+            // Hardware's rgidBits-wide tag would have wrapped since
+            // this mapping was created: not reusable (capacity cost
+            // of the finite RGID width, see rgid.hh).
+            ++reuseFailRgidCapacity_;
+            ok = false;
+        } else {
+            mssr_assert(entry.op == inst->si.op,
+                        "PC match with opcode mismatch");
+            ArchReg srcRegs[2] = {0, 0};
+            unsigned nsrc = 0;
+            if (inst->si.hasRs1())
+                srcRegs[nsrc++] = inst->si.rs1;
+            if (inst->si.hasRs2())
+                srcRegs[nsrc++] = inst->si.rs2;
+            mssr_assert(nsrc == entry.numSrcs);
+            bool stale = false;
+            for (unsigned i = 0; i < nsrc; ++i) {
+                if (current_src_rgids[i] != entry.srcRgid[i])
+                    ok = false;
+                else if (!rgids_.inWindow(srcRegs[i], entry.srcRgid[i]))
+                    stale = true;
+            }
+            if (!ok) {
+                ++reuseFailRgid_;
+            } else if (stale) {
+                ++reuseFailRgidCapacity_;
+                ok = false;
+            }
+        }
+
+        if (ok && entry.isLoad && cfg_.useBloomFilter &&
+            (bloom_.mayContain(entry.memAddr) ||
+             bloom_.mayContain(entry.memAddr + entry.memSize - 1))) {
+            // A store may have touched this address since the squash:
+            // the load must re-execute rather than be reused.
+            ++reuseFailBloom_;
+            ok = false;
+        }
+
+        if (ok) {
+            freeList_.adopt(entry.destPreg);
+            entry.consumed = true;
+            ++reuseSuccess_;
+            if (entry.isLoad)
+                ++reuseLoads_;
+            advice.reuse = true;
+            advice.needVerify = entry.isLoad && !cfg_.useBloomFilter;
+            advice.destPreg = entry.destPreg;
+            advice.dstRgid = entry.dstRgid;
+            advice.memAddr = entry.memAddr;
+            advice.memSize = entry.memSize;
+        } else if (entry.reserved && !entry.consumed) {
+            // Policy (3): a failed reuse test releases the reservation.
+            freeList_.release(entry.destPreg);
+            entry.consumed = true;
+        }
+
+        if (exhausted)
+            endFrontSession();
+        return advice;
+    }
+    return advice;
+}
+
+void
+ReuseUnit::onStoreExecuted(Addr addr, unsigned size)
+{
+    if (!cfg_.useBloomFilter || log_.allUnoccupied())
+        return;
+    bloom_.insert(addr);
+    bloom_.insert(addr + size - 1);
+}
+
+bool
+ReuseUnit::reclaimLeastRecentStream()
+{
+    int best = -1;
+    for (unsigned s = 0; s < wpb_.numStreams(); ++s) {
+        const WpbStream &stream = wpb_.stream(s);
+        if (!stream.valid)
+            continue;
+        if (best < 0 || stream.squashEventIndex <
+                            wpb_.stream(best).squashEventIndex) {
+            best = static_cast<int>(s);
+        }
+    }
+    if (best < 0)
+        return false;
+    const std::size_t before = freeList_.numFree();
+    // Drop any queued sessions on the reclaimed stream.
+    for (std::size_t i = 0; i < sessions_.size();) {
+        if (sessions_[i].stream == static_cast<unsigned>(best)) {
+            if (i == 0)
+                renameActive_ = false;
+            sessions_.erase(sessions_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+    releaseStream(static_cast<unsigned>(best));
+    wpb_.invalidate(static_cast<unsigned>(best));
+    log_.clearStream(static_cast<unsigned>(best));
+    ++pressureReclaims_;
+    return freeList_.numFree() > before;
+}
+
+void
+ReuseUnit::reportStats(StatSet &stats) const
+{
+    stats.set("reuse.squashEvents", static_cast<double>(squashEvents_));
+    stats.set("reuse.streamsCaptured", static_cast<double>(streamsCaptured_));
+    stats.set("reuse.detectCalls", static_cast<double>(detectCalls_));
+    stats.set("reuse.detectEligible", static_cast<double>(detectEligible_));
+    stats.set("reuse.reconvDetected", static_cast<double>(reconvDetected_));
+    stats.set("reuse.reconvSimple", static_cast<double>(reconvSimple_));
+    stats.set("reuse.reconvSoftware", static_cast<double>(reconvSoftware_));
+    stats.set("reuse.reconvHardware", static_cast<double>(reconvHardware_));
+    stats.set("reuse.reconvBeyondLog",
+              static_cast<double>(reconvBeyondLog_));
+    for (unsigned d = 1; d <= 7; ++d)
+        stats.set("reuse.distance" + std::to_string(d),
+                  static_cast<double>(distance_.bucket(d)));
+    stats.set("reuse.tests", static_cast<double>(reuseTests_));
+    stats.set("reuse.success", static_cast<double>(reuseSuccess_));
+    stats.set("reuse.loadsReused", static_cast<double>(reuseLoads_));
+    stats.set("reuse.failRgid", static_cast<double>(reuseFailRgid_));
+    stats.set("reuse.failRgidCapacity",
+              static_cast<double>(reuseFailRgidCapacity_));
+    stats.set("reuse.failNotExecuted",
+              static_cast<double>(reuseFailNotExecuted_));
+    stats.set("reuse.failKind", static_cast<double>(reuseFailKind_));
+    stats.set("reuse.failBloom", static_cast<double>(reuseFailBloom_));
+    stats.set("reuse.divergences", static_cast<double>(divergences_));
+    stats.set("reuse.timeouts", static_cast<double>(timeouts_));
+    stats.set("reuse.pressureReclaims",
+              static_cast<double>(pressureReclaims_));
+    stats.set("reuse.bloomInsertions",
+              static_cast<double>(bloom_.insertions()));
+}
+
+} // namespace mssr

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Multi-Stream Squash Reuse unit (paper section 3): owns the Wrong-
+ * Path Buffers, Squash Logs, RGID allocator and Bloom filter, and
+ * coordinates the fetch-side reconvergence detection with the rename-
+ * side reuse test. The owning core delegates squashed-register
+ * disposition to this unit so the physical-register reservation
+ * policies (1)-(5) of section 3.3.2 are applied in one place.
+ */
+
+#ifndef MSSR_REUSE_REUSE_UNIT_HH
+#define MSSR_REUSE_REUSE_UNIT_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/free_list.hh"
+#include "frontend/pred_block.hh"
+#include "reuse/bloom.hh"
+#include "reuse/reconv_detector.hh"
+#include "reuse/rgid.hh"
+#include "reuse/squash_log.hh"
+#include "reuse/wpb.hh"
+
+namespace mssr
+{
+
+/** Rename-stage outcome of the reuse test for one instruction. */
+struct ReuseAdvice
+{
+    bool reuse = false;          //!< adopt destPreg/dstRgid, complete now
+    bool needVerify = false;     //!< reused load must re-execute & compare
+    PhysReg destPreg = InvalidPhysReg;
+    Rgid dstRgid = 0;
+    Addr memAddr = 0;            //!< squash-time load address
+    std::uint8_t memSize = 0;
+};
+
+class ReuseUnit
+{
+  public:
+    ReuseUnit(const ReuseConfig &cfg, FreeList &free_list);
+
+    /** @name Squash-side interface */
+    /// @{
+    /**
+     * Records a branch-misprediction squash: dumps the squashed path
+     * into a fresh WPB stream, populates the matching Squash Log
+     * stream, and reserves or releases each squashed instruction's
+     * destination physical register per the reservation policies.
+     * @param branch_seq sequence number of the mispredicted branch.
+     * @param squashed squashed instructions, oldest first (renamed
+     *        instructions only; all still own their dst pregs).
+     */
+    void onBranchSquash(SeqNum branch_seq,
+                        const std::vector<DynInstPtr> &squashed);
+
+    /**
+     * Non-branch squash (memory-order violation or reuse-verification
+     * failure): releases squashed dst pregs; when @p invalidate_all is
+     * set (verification failure, section 3.8.3) every stream and the
+     * Bloom filter are cleared.
+     */
+    void onOtherSquash(const std::vector<DynInstPtr> &squashed,
+                       bool invalidate_all);
+    /// @}
+
+    /** @name Fetch-side interface */
+    /// @{
+    /** Runs reconvergence detection against a newly formed block. */
+    void onBlockFormed(const PredBlock &block);
+    /// @}
+
+    /** @name Rename-side interface */
+    /// @{
+    /**
+     * Advances the lockstep reuse session (if any) with the renamed
+     * instruction and performs the reuse test against the current
+     * source RGIDs. Must be called for every renamed instruction.
+     * On advice.reuse the caller must adopt the returned mapping.
+     */
+    ReuseAdvice processRename(const DynInstPtr &inst,
+                              const Rgid current_src_rgids[2]);
+
+    /** Allocates a fresh destination RGID (non-reused rename). */
+    Rgid allocDstRgid(ArchReg rd) { return rgids_.alloc(rd); }
+    /// @}
+
+    /** @name Memory-hazard interface (section 3.8) */
+    /// @{
+    /** Reports an executed store's address for Bloom tracking. */
+    void onStoreExecuted(Addr addr, unsigned size);
+    /// @}
+
+    /**
+     * Frees the least-recent stream's reservations (policy (5), free-
+     * list pressure). @return true when any register was reclaimed.
+     */
+    bool reclaimLeastRecentStream();
+
+    const Wpb &wpb() const { return wpb_; }
+    const SquashLog &squashLog() const { return log_; }
+    const RgidAllocator &rgids() const { return rgids_; }
+
+    void reportStats(StatSet &stats) const;
+
+  private:
+    /**
+     * One reuse session: a detected reconvergence between the fetch
+     * stream and one squashed stream. The IFU (onBlockFormed) tracks
+     * the session against newly formed blocks and marks it fetchDone
+     * on divergence/exhaustion so detection can resume immediately --
+     * this is what lets a corrected stream chain from one squashed
+     * stream to a more distant one (Figure 1). The Rename stage
+     * processes sessions in FIFO order in lockstep with the incoming
+     * instructions.
+     */
+    struct Session
+    {
+        unsigned stream = 0;
+        unsigned startCursor = 0; //!< first Squash Log entry to test
+        Addr reconvPC = 0;
+        bool fetchDone = false;   //!< IFU stopped extending coverage
+        unsigned fetchAhead = 0;  //!< insts matched by the IFU so far
+    };
+
+    /** PC of squashed-stream instruction @p index, if covered. */
+    static bool streamInstPC(const WpbStream &stream, unsigned index,
+                             Addr &pc_out);
+
+    /** True when stream @p s is referenced by a queued session. */
+    bool streamInSession(unsigned s) const;
+
+    /** Releases every unconsumed reserved preg of stream @p s. */
+    void releaseStream(unsigned s);
+
+    /** Ends the front session, invalidating its stream. */
+    void endFrontSession();
+
+    /** Clears all sessions (squash / full invalidation). */
+    void clearSessions();
+
+    /** Detection for one block; enqueues a session on a hit. */
+    void detect(Addr start_pc, Addr end_pc);
+
+    ReuseConfig cfg_;
+    FreeList &freeList_;
+    Wpb wpb_;
+    SquashLog log_;
+    RgidAllocator rgids_;
+    BloomFilter bloom_;
+    std::deque<Session> sessions_;
+    bool renameActive_ = false; //!< front session reached lockstep
+    unsigned renameCursor_ = 0; //!< Squash Log cursor of front session
+
+    std::uint64_t squashEvents_ = 0;
+    SeqNum lastRedirectBranchSeq_ = InvalidSeqNum;
+
+    // Statistics.
+    std::uint64_t detectCalls_ = 0;
+    std::uint64_t detectEligible_ = 0;
+    std::uint64_t reconvDetected_ = 0;
+    std::uint64_t reconvSimple_ = 0;
+    std::uint64_t reconvSoftware_ = 0;
+    std::uint64_t reconvHardware_ = 0;
+    std::uint64_t reconvBeyondLog_ = 0;
+    Histogram distance_{8};
+    std::uint64_t reuseTests_ = 0;
+    std::uint64_t reuseSuccess_ = 0;
+    std::uint64_t reuseLoads_ = 0;
+    std::uint64_t reuseFailRgid_ = 0;
+    std::uint64_t reuseFailRgidCapacity_ = 0;
+    std::uint64_t reuseFailNotExecuted_ = 0;
+    std::uint64_t reuseFailKind_ = 0;
+    std::uint64_t reuseFailBloom_ = 0;
+    std::uint64_t divergences_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t pressureReclaims_ = 0;
+    std::uint64_t streamsCaptured_ = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_REUSE_REUSE_UNIT_HH

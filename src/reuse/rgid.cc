@@ -1,0 +1,19 @@
+#include "reuse/rgid.hh"
+
+namespace mssr
+{
+
+RgidAllocator::RgidAllocator(unsigned bits)
+    : bits_(bits), next_(NumArchRegs, 1)
+{
+    mssr_assert(bits >= 2 && bits <= 16, "unsupported RGID width");
+}
+
+Rgid
+RgidAllocator::alloc(ArchReg r)
+{
+    mssr_assert(r < NumArchRegs);
+    return next_[r]++;
+}
+
+} // namespace mssr

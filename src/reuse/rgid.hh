@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Rename Mapping Generation ID allocation (paper section 3.1): one
+ * global monotonic counter per architectural register hands out a new
+ * RGID whenever the register is renamed. Counters are never
+ * checkpointed or rolled back -- they identify mappings uniquely on
+ * both correct and wrong paths.
+ *
+ * Capacity modeling: hardware stores RGIDs in rgidBits (Table 2: 6)
+ * bits and keeps them alias-free with the overflow/global-reset
+ * protocol of section 3.3.2. The simulator instead keeps wide
+ * monotonic counters -- so RGID equality is exact by construction --
+ * and charges the finite width at reuse-test time: a squashed
+ * mapping whose generation lies more than 2^rgidBits - 2 renames in
+ * the past could have aliased in hardware and therefore must not be
+ * reused (see DESIGN.md, deviation D3). This models the same steady-
+ * state capacity without the reset protocol's pathological reset
+ * storms on rename-hot registers.
+ */
+
+#ifndef MSSR_REUSE_RGID_HH
+#define MSSR_REUSE_RGID_HH
+
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace mssr
+{
+
+class RgidAllocator
+{
+  public:
+    /** @param bits hardware RGID width (Table 2: 6 bits). */
+    explicit RgidAllocator(unsigned bits = 6);
+
+    /** Allocates the next RGID for @p r (monotonic per register). */
+    Rgid alloc(ArchReg r);
+
+    /** Number of generations a rgidBits-wide tag can distinguish. */
+    Rgid
+    window() const
+    {
+        return static_cast<Rgid>(mask(bits_) - 1);
+    }
+
+    /**
+     * True when @p rgid is recent enough for a hardware tag of
+     * rgidBits bits to have remained alias-free (the capacity check
+     * applied during the reuse test).
+     */
+    bool
+    inWindow(ArchReg r, Rgid rgid) const
+    {
+        mssr_assert(r < NumArchRegs);
+        if (rgid >= next_[r])
+            return true; // at-or-ahead of the counter: cannot be stale
+        return next_[r] - rgid <= window();
+    }
+
+    /** Next RGID value for @p r (exposed for window computations). */
+    Rgid
+    next(ArchReg r) const
+    {
+        mssr_assert(r < NumArchRegs);
+        return next_[r];
+    }
+
+    unsigned bits() const { return bits_; }
+
+  private:
+    unsigned bits_;
+    std::vector<Rgid> next_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_REUSE_RGID_HH

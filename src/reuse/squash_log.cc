@@ -1,0 +1,49 @@
+#include "reuse/squash_log.hh"
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+SquashLog::SquashLog(unsigned num_streams, unsigned entries_per_stream)
+    : streams_(num_streams), entriesPerStream_(entries_per_stream)
+{
+    mssr_assert(num_streams >= 1 && entries_per_stream >= 1);
+    for (auto &s : streams_)
+        s.entries.resize(entries_per_stream);
+}
+
+void
+SquashLog::clearStream(unsigned s)
+{
+    mssr_assert(s < streams_.size());
+    streams_[s].valid = false;
+    streams_[s].numEntries = 0;
+    for (auto &e : streams_[s].entries)
+        e = SquashLogEntry{};
+}
+
+bool
+SquashLog::append(unsigned s, const SquashLogEntry &entry)
+{
+    mssr_assert(s < streams_.size());
+    SquashLogStream &stream = streams_[s];
+    if (stream.numEntries >= entriesPerStream_)
+        return false;
+    stream.entries[stream.numEntries] = entry;
+    stream.entries[stream.numEntries].valid = true;
+    ++stream.numEntries;
+    stream.valid = true;
+    return true;
+}
+
+bool
+SquashLog::allUnoccupied() const
+{
+    for (const auto &s : streams_)
+        if (s.valid)
+            return false;
+    return true;
+}
+
+} // namespace mssr

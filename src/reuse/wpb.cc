@@ -1,0 +1,90 @@
+#include "reuse/wpb.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace mssr
+{
+
+unsigned
+WpbStream::numInsts() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries)
+        if (e.valid)
+            n += static_cast<unsigned>((e.endPC - e.startPC) / InstBytes + 1);
+    return n;
+}
+
+Wpb::Wpb(unsigned num_streams, unsigned entries_per_stream,
+         bool restrict_vpn)
+    : streams_(num_streams),
+      entriesPerStream_(entries_per_stream),
+      restrictVpn_(restrict_vpn)
+{
+    mssr_assert(num_streams >= 1);
+    mssr_assert(entries_per_stream >= 1);
+    for (auto &s : streams_)
+        s.entries.resize(entries_per_stream);
+}
+
+unsigned
+Wpb::writeStream(const std::vector<WpbEntry> &ranges,
+                 SeqNum origin_branch_seq,
+                 std::uint64_t squash_event_index)
+{
+    const unsigned s = writePtr_;
+    writePtr_ = (writePtr_ + 1) % numStreams();
+
+    WpbStream &stream = streams_[s];
+    stream.valid = !ranges.empty();
+    stream.originBranchSeq = origin_branch_seq;
+    stream.squashEventIndex = squash_event_index;
+    stream.ageInsts = 0;
+    for (auto &e : stream.entries)
+        e.valid = false;
+
+    if (ranges.empty())
+        return s;
+
+    stream.vpn = bits(ranges.front().startPC, 47, 12);
+    unsigned filled = 0;
+    for (const auto &range : ranges) {
+        if (filled >= entriesPerStream_)
+            break; // capacity: younger blocks are discarded
+        if (restrictVpn_ && bits(range.startPC, 47, 12) != stream.vpn)
+            break; // single-page restriction (section 3.4)
+        stream.entries[filled] = range;
+        stream.entries[filled].valid = true;
+        ++filled;
+    }
+    stream.valid = filled > 0;
+    return s;
+}
+
+void
+Wpb::invalidate(unsigned s)
+{
+    mssr_assert(s < streams_.size());
+    streams_[s].valid = false;
+    for (auto &e : streams_[s].entries)
+        e.valid = false;
+}
+
+void
+Wpb::invalidateAll()
+{
+    for (unsigned s = 0; s < numStreams(); ++s)
+        invalidate(s);
+}
+
+bool
+Wpb::anyValid() const
+{
+    for (const auto &s : streams_)
+        if (s.valid)
+            return true;
+    return false;
+}
+
+} // namespace mssr

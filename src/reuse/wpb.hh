@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Wrong-Path Buffers (paper section 3.3.1): a two-dimensional buffer
+ * of N streams x M fetch-block entries that retains the prediction
+ * blocks of squashed instruction streams. The currently fetched
+ * prediction blocks are compared against all WPB entries to detect a
+ * reconvergence point (section 3.4).
+ */
+
+#ifndef MSSR_REUSE_WPB_HH
+#define MSSR_REUSE_WPB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mssr
+{
+
+/** One WPB entry: a contiguous squashed fetch-block range. */
+struct WpbEntry
+{
+    bool valid = false;
+    Addr startPC = 0;
+    Addr endPC = 0;   //!< inclusive
+};
+
+/** One squashed stream in the WPB. */
+struct WpbStream
+{
+    bool valid = false;
+    std::vector<WpbEntry> entries;
+    Addr vpn = 0;                    //!< PC[47:12] when VPN-restricted
+    SeqNum originBranchSeq = 0;      //!< branch whose squash made this
+    std::uint64_t squashEventIndex = 0;
+    std::uint64_t ageInsts = 0;      //!< renamed insts since creation
+
+    /** Total instructions covered by valid entries. */
+    unsigned numInsts() const;
+};
+
+class Wpb
+{
+  public:
+    /**
+     * @param num_streams N squashed streams.
+     * @param entries_per_stream M fetch blocks per stream.
+     * @param restrict_vpn keep each stream within one virtual page.
+     */
+    Wpb(unsigned num_streams, unsigned entries_per_stream,
+        bool restrict_vpn);
+
+    unsigned numStreams() const
+    {
+        return static_cast<unsigned>(streams_.size());
+    }
+    const WpbStream &stream(unsigned s) const { return streams_[s]; }
+    WpbStream &stream(unsigned s) { return streams_[s]; }
+
+    /**
+     * Allocates the next stream (round-robin), clearing its previous
+     * contents, and fills it from @p ranges (squashed-path block
+     * ranges, oldest first). Ranges beyond capacity or outside the
+     * first block's page (when VPN-restricted) are dropped.
+     * @return the stream index written.
+     */
+    unsigned writeStream(const std::vector<WpbEntry> &ranges,
+                         SeqNum origin_branch_seq,
+                         std::uint64_t squash_event_index);
+
+    /** Stream index the next writeStream() call will overwrite. */
+    unsigned nextStream() const { return writePtr_; }
+
+    /** Invalidates stream @p s. */
+    void invalidate(unsigned s);
+
+    /** Invalidates all streams. */
+    void invalidateAll();
+
+    /** True when any stream holds valid entries. */
+    bool anyValid() const;
+
+    bool restrictVpn() const { return restrictVpn_; }
+
+  private:
+    std::vector<WpbStream> streams_;
+    unsigned entriesPerStream_;
+    bool restrictVpn_;
+    unsigned writePtr_ = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_REUSE_WPB_HH

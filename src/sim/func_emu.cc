@@ -1,0 +1,68 @@
+#include "sim/func_emu.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace mssr
+{
+
+FuncEmu::FuncEmu(const isa::Program &prog, Memory &mem)
+    : prog_(prog), mem_(mem), pc_(prog.entry())
+{
+    prog_.loadInto(mem_);
+    regs_[2] = prog_.stackTop(); // sp
+}
+
+void
+FuncEmu::step()
+{
+    using isa::Op;
+    if (halted_)
+        return;
+    if (!prog_.hasInst(pc_))
+        fatal("functional emulator: pc 0x", std::hex, pc_,
+              " outside program code");
+    const isa::Inst &inst = prog_.instAt(pc_);
+    ++instret_;
+
+    const RegVal a = regs_[inst.rs1];
+    const RegVal b = regs_[inst.rs2];
+    Addr next_pc = pc_ + InstBytes;
+
+    if (inst.isHalt()) {
+        halted_ = true;
+        return;
+    } else if (inst.op == Op::NOP) {
+        // nothing
+    } else if (inst.isLoad()) {
+        const Addr addr = isa::evalMemAddr(inst, a);
+        const unsigned n = inst.memBytes();
+        std::uint64_t raw = mem_.read(addr, n);
+        if (inst.memSigned())
+            raw = static_cast<std::uint64_t>(sext(raw, 8 * n));
+        setReg(inst.rd, raw);
+    } else if (inst.isStore()) {
+        const Addr addr = isa::evalMemAddr(inst, a);
+        mem_.write(addr, b, inst.memBytes());
+    } else if (inst.isCondBranch()) {
+        if (isa::evalCondBranch(inst, a, b))
+            next_pc = isa::evalTarget(inst, pc_, a);
+    } else if (inst.isJump()) {
+        setReg(inst.rd, pc_ + InstBytes);
+        next_pc = isa::evalTarget(inst, pc_, a);
+    } else {
+        setReg(inst.rd, isa::evalAlu(inst, a, b));
+    }
+    pc_ = next_pc;
+}
+
+std::uint64_t
+FuncEmu::run(std::uint64_t maxInsts)
+{
+    const std::uint64_t start = instret_;
+    while (!halted_ && (maxInsts == 0 || instret_ - start < maxInsts))
+        step();
+    return instret_ - start;
+}
+
+} // namespace mssr

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional (architectural) emulator. Executes one instruction per
+ * step with precise architectural semantics; used standalone to run
+ * programs, as the golden reference in co-simulation tests, and to
+ * validate workload kernels against their C++ reference algorithms.
+ */
+
+#ifndef MSSR_SIM_FUNC_EMU_HH
+#define MSSR_SIM_FUNC_EMU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace mssr
+{
+
+/** Architectural machine state plus a step interpreter. */
+class FuncEmu
+{
+  public:
+    /**
+     * Binds to a program and memory. Loads the program's data image and
+     * initialises pc = entry and sp = stackTop.
+     */
+    FuncEmu(const isa::Program &prog, Memory &mem);
+
+    /** Executes one instruction. No-op once halted. */
+    void step();
+
+    /**
+     * Runs until HALT or @p maxInsts executed (0 = unbounded).
+     * @return number of instructions executed by this call.
+     */
+    std::uint64_t run(std::uint64_t maxInsts = 0);
+
+    bool halted() const { return halted_; }
+    Addr pc() const { return pc_; }
+    std::uint64_t instret() const { return instret_; }
+
+    RegVal reg(ArchReg r) const { return regs_[r]; }
+    void
+    setReg(ArchReg r, RegVal v)
+    {
+        if (r != 0)
+            regs_[r] = v;
+    }
+
+    const std::array<RegVal, NumArchRegs> &regs() const { return regs_; }
+    Memory &memory() { return mem_; }
+
+  private:
+    const isa::Program &prog_;
+    Memory &mem_;
+    std::array<RegVal, NumArchRegs> regs_{};
+    Addr pc_;
+    bool halted_ = false;
+    std::uint64_t instret_ = 0;
+};
+
+} // namespace mssr
+
+#endif // MSSR_SIM_FUNC_EMU_HH

@@ -1,0 +1,74 @@
+#include "sim/memory.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr / PageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr / PageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint64_t
+Memory::read(Addr addr, unsigned n) const
+{
+    mssr_assert(n >= 1 && n <= 8);
+    std::uint64_t out = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr a = addr + i;
+        const Page *page = findPage(a);
+        const std::uint8_t byte = page ? (*page)[a % PageBytes] : 0;
+        out |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return out;
+}
+
+void
+Memory::write(Addr addr, std::uint64_t value, unsigned n)
+{
+    mssr_assert(n >= 1 && n <= 8);
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr a = addr + i;
+        touchPage(a)[a % PageBytes] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+bool
+Memory::equals(const Memory &other) const
+{
+    // A page missing on one side must be all-zero on the other.
+    auto coveredBy = [](const Memory &a, const Memory &b) {
+        for (const auto &[pageNum, page] : a.pages_) {
+            auto it = b.pages_.find(pageNum);
+            if (it == b.pages_.end()) {
+                for (auto byte : *page)
+                    if (byte != 0)
+                        return false;
+            } else if (std::memcmp(page->data(), it->second->data(),
+                                   PageBytes) != 0) {
+                return false;
+            }
+        }
+        return true;
+    };
+    return coveredBy(*this, other) && coveredBy(other, *this);
+}
+
+} // namespace mssr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sparse byte-addressable backing memory for the simulated machine.
+ * Pages are allocated on first touch and zero-initialised.
+ */
+
+#ifndef MSSR_SIM_MEMORY_HH
+#define MSSR_SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace mssr
+{
+
+/** Sparse physical memory with typed accessors. */
+class Memory
+{
+  public:
+    static constexpr std::size_t PageBytes = 4096;
+
+    /** Reads @p n bytes (n <= 8) at @p addr, little-endian. */
+    std::uint64_t read(Addr addr, unsigned n) const;
+
+    /** Writes the low @p n bytes (n <= 8) of @p value at @p addr. */
+    void write(Addr addr, std::uint64_t value, unsigned n);
+
+    std::uint64_t read64(Addr addr) const { return read(addr, 8); }
+    std::uint32_t
+    read32(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(read(addr, 4));
+    }
+    std::uint8_t
+    read8(Addr addr) const
+    {
+        return static_cast<std::uint8_t>(read(addr, 1));
+    }
+    void write64(Addr addr, std::uint64_t v) { write(addr, v, 8); }
+    void write32(Addr addr, std::uint32_t v) { write(addr, v, 4); }
+    void write8(Addr addr, std::uint8_t v) { write(addr, v, 1); }
+
+    /** Number of pages currently allocated (for tests/inspection). */
+    std::size_t numPages() const { return pages_.size(); }
+
+    /** Byte-for-byte comparison with another memory (both sparse). */
+    bool equals(const Memory &other) const;
+
+  private:
+    using Page = std::array<std::uint8_t, PageBytes>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_SIM_MEMORY_HH

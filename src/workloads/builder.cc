@@ -1,0 +1,55 @@
+#include "workloads/builder.hh"
+
+namespace mssr::workloads
+{
+
+std::string
+hashSeq(const std::string &dst, const std::string &src,
+        const std::string &tmp)
+{
+    std::ostringstream os;
+    // MurmurHash3-style finalizer. The multiplies are essential: a
+    // pure shift/xor hash is linear over GF(2), and TAGE-class
+    // predictors learn linear functions of a loop counter almost
+    // perfectly -- the carry chains of the multiplications are what
+    // make the branch outcomes genuinely hard to predict.
+    os << "    mv " << dst << ", " << src << "\n";
+    os << "    li " << tmp << ", -0x00ae502812aa7333\n"; // 0xff51afd7ed558ccd
+    os << "    mul " << dst << ", " << dst << ", " << tmp << "\n";
+    os << "    srli " << tmp << ", " << dst << ", 33\n";
+    os << "    xor " << dst << ", " << dst << ", " << tmp << "\n";
+    os << "    li " << tmp << ", -0x3b314601e57a13ad\n"; // 0xc4ceb9fe1a85ec53
+    os << "    mul " << dst << ", " << dst << ", " << tmp << "\n";
+    os << "    srli " << tmp << ", " << dst << ", 29\n";
+    os << "    xor " << dst << ", " << dst << ", " << tmp << "\n";
+    return os.str();
+}
+
+std::string
+calcSeq(const std::string &reg, unsigned depth, unsigned salt)
+{
+    std::ostringstream os;
+    // The chain rotates across {t5, t6, reg} like compiled code would,
+    // so no single architectural register is renamed 'depth' times in
+    // a row (which would pathologically saturate 6-bit RGID counters).
+    // Only bijective, low-bit-entropy-preserving ops are used: shifts
+    // (or doubling) would zero the low bits that the workloads'
+    // branches test after these chains.
+    const std::string regs[3] = {"t5", "t6", reg};
+    std::string prev = reg;
+    for (unsigned i = 0; i < depth; ++i) {
+        const std::string &dst =
+            i + 1 == depth ? reg : regs[(i + salt) % 3];
+        if ((i + salt) % 2 == 0) {
+            os << "    addi " << dst << ", " << prev << ", "
+               << (salt * 7 + i + 1) << "\n";
+        } else {
+            os << "    xori " << dst << ", " << prev << ", "
+               << (salt * 13 + i + 3) << "\n";
+        }
+        prev = dst;
+    }
+    return os.str();
+}
+
+} // namespace mssr::workloads

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Helpers for generating assembly workloads programmatically: a tiny
+ * printf-style formatter for assembly text plus reusable code
+ * fragments (xorshift hash, dependent ALU chains) shared by the
+ * microbenchmarks and the SPEC-like synthetic kernels.
+ */
+
+#ifndef MSSR_WORKLOADS_BUILDER_HH
+#define MSSR_WORKLOADS_BUILDER_HH
+
+#include <sstream>
+#include <string>
+
+namespace mssr::workloads
+{
+
+/** Accumulates assembly source text. */
+class AsmBuilder
+{
+  public:
+    /** Appends one line (newline added). */
+    AsmBuilder &
+    line(const std::string &text)
+    {
+        os_ << text << "\n";
+        return *this;
+    }
+
+    /** Appends a label definition. */
+    AsmBuilder &
+    label(const std::string &name)
+    {
+        os_ << name << ":\n";
+        return *this;
+    }
+
+    /** Appends raw multi-line text. */
+    AsmBuilder &
+    raw(const std::string &text)
+    {
+        os_ << text;
+        if (!text.empty() && text.back() != '\n')
+            os_ << "\n";
+        return *this;
+    }
+
+    std::string str() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+/**
+ * Emits a 64-bit xorshift hash of register @p src into @p dst (may
+ * alias), clobbering @p tmp. 9 instructions including two multiplies;
+ * the result is a pseudo-random function of the input -- the paper's
+ * "hash" (Listing 1) that makes branch outcomes effectively
+ * unpredictable (the multiply carry chains defeat TAGE-class
+ * predictors, unlike pure shift/xor hashes, which are GF(2)-linear).
+ */
+std::string hashSeq(const std::string &dst, const std::string &src,
+                    const std::string &tmp);
+
+/**
+ * Emits a chain of @p depth dependent ALU operations ending in @p reg
+ * (the paper's compute-intensive calc1/calc2), clobbering t5 and t6.
+ * @param salt differentiates chains so results are distinct functions.
+ */
+std::string calcSeq(const std::string &reg, unsigned depth, unsigned salt);
+
+} // namespace mssr::workloads
+
+#endif // MSSR_WORKLOADS_BUILDER_HH

@@ -1,0 +1,646 @@
+#include "workloads/gap_kernels.hh"
+
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "workloads/builder.hh"
+
+namespace mssr::workloads
+{
+
+namespace
+{
+
+/** Embeds the graph and allocates an int64[n] result array. */
+isa::Program
+prepare(const Graph &graph, const std::string &array_name, bool weights,
+        GraphLayout *layout_out = nullptr)
+{
+    isa::Program prog;
+    const GraphLayout layout = embedGraph(prog, graph, "g", weights);
+    if (layout_out)
+        *layout_out = layout;
+    if (!array_name.empty())
+        prog.allocData(array_name,
+                       std::size_t(graph.numVertices) * 8);
+    return prog;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+isa::Program
+makeBfs(const Graph &graph)
+{
+    isa::Program prog = prepare(graph, "depth", false);
+    prog.allocData("queue", std::size_t(graph.numVertices) * 8);
+    const unsigned n = graph.numVertices;
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    la s2, depth");
+    b.line("    la s3, queue");
+    b.line("    li s4, " + num(n));
+    // depth[i] = -1 for all i.
+    b.line("    li t0, 0");
+    b.line("    li t3, -1");
+    b.label("bfs_init");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    sd t3, 0(t1)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, bfs_init");
+    // depth[0] = 0; queue[0] = 0; head = 0; tail = 1.
+    b.line("    sd zero, 0(s2)");
+    b.line("    sd zero, 0(s3)");
+    b.line("    li a0, 0");
+    b.line("    li a1, 1");
+    b.label("bfs_outer");
+    b.line("    bge a0, a1, bfs_done");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s3");
+    b.line("    ld a2, 0(t0)");        // u = queue[head]
+    b.line("    addi a0, a0, 1");
+    b.line("    slli t0, a2, 3");
+    b.line("    add t1, t0, s0");
+    b.line("    ld a3, 0(t1)");        // e = rowptr[u]
+    b.line("    ld a4, 8(t1)");        // end = rowptr[u+1]
+    b.line("    add t1, t0, s2");
+    b.line("    ld a6, 0(t1)");        // du = depth[u]
+    b.line("    addi a6, a6, 1");      // du + 1
+    b.label("bfs_inner");
+    b.line("    bge a3, a4, bfs_outer");
+    b.line("    slli t0, a3, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a5, 0(t0)");        // v = col[e]
+    b.line("    addi a3, a3, 1");
+    b.line("    slli t1, a5, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    ld t2, 0(t1)");        // depth[v]
+    b.line("    bgez t2, bfs_inner");  // visited? H2P branch
+    b.line("    sd a6, 0(t1)");        // depth[v] = du + 1
+    b.line("    slli t0, a1, 3");
+    b.line("    add t0, t0, s3");
+    b.line("    sd a5, 0(t0)");        // queue[tail] = v
+    b.line("    addi a1, a1, 1");
+    b.line("    j bfs_inner");
+    b.label("bfs_done");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+
+isa::Program
+makeBfsDirectionOptimizing(const Graph &graph, unsigned bottom_up_divisor)
+{
+    isa::Program prog = prepare(graph, "depth", false);
+    const unsigned n = graph.numVertices;
+    prog.allocData("qa", std::size_t(n) * 8);
+    prog.allocData("qb", std::size_t(n) * 8);
+    const unsigned threshold =
+        std::max(1u, n / std::max(1u, bottom_up_divisor));
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    la s2, depth");
+    b.line("    la s3, qa");            // current frontier
+    b.line("    la s5, qb");            // next frontier
+    b.line("    li s4, " + num(n));
+    b.line("    li s9, " + num(threshold));
+    // depth[i] = -1.
+    b.line("    li t0, 0");
+    b.line("    li t3, -1");
+    b.label("do_init");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    sd t3, 0(t1)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, do_init");
+    b.line("    sd zero, 0(s2)");       // depth[0] = 0
+    b.line("    sd zero, 0(s3)");       // frontier = {0}
+    b.line("    li s7, 1");             // curSize
+    b.line("    li s6, 0");             // level
+    b.label("do_level");
+    b.line("    beqz s7, do_done");
+    b.line("    li s8, 0");             // nextSize
+    // Direction choice: large frontiers go bottom-up.
+    b.line("    bgt s7, s9, do_bu");
+    // ---- top-down step ----
+    b.line("    li t0, 0");             // frontier index
+    b.label("td_u");
+    b.line("    bge t0, s7, do_level_end");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s3");
+    b.line("    ld a2, 0(t1)");         // u
+    b.line("    addi t0, t0, 1");
+    b.line("    slli t1, a2, 3");
+    b.line("    add t1, t1, s0");
+    b.line("    ld a3, 0(t1)");
+    b.line("    ld a4, 8(t1)");
+    b.label("td_e");
+    b.line("    bge a3, a4, td_u");
+    b.line("    slli t1, a3, 3");
+    b.line("    add t1, t1, s1");
+    b.line("    ld a5, 0(t1)");         // v
+    b.line("    addi a3, a3, 1");
+    b.line("    slli t1, a5, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    ld t2, 0(t1)");
+    b.line("    bgez t2, td_e");        // visited? (H2P)
+    b.line("    addi t3, s6, 1");
+    b.line("    sd t3, 0(t1)");
+    b.line("    slli t1, s8, 3");
+    b.line("    add t1, t1, s5");
+    b.line("    sd a5, 0(t1)");         // enqueue v
+    b.line("    addi s8, s8, 1");
+    b.line("    j td_e");
+    // ---- bottom-up step: every unvisited vertex searches for a
+    // parent on the current level (the early 'break' on the first
+    // parent found is another data-dependent branch) ----
+    b.label("do_bu");
+    b.line("    li t0, 0");             // u
+    b.label("bu_u");
+    b.line("    bge t0, s4, bu_rebuild");
+    b.line("    slli t1, t0, 3");
+    b.line("    add a6, t1, s2");       // &depth[u]
+    b.line("    ld t2, 0(a6)");
+    b.line("    bgez t2, bu_next");     // already visited
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s0");
+    b.line("    ld a3, 0(t1)");
+    b.line("    ld a4, 8(t1)");
+    b.label("bu_e");
+    b.line("    bge a3, a4, bu_next");
+    b.line("    slli t1, a3, 3");
+    b.line("    add t1, t1, s1");
+    b.line("    ld a5, 0(t1)");         // candidate parent
+    b.line("    addi a3, a3, 1");
+    b.line("    slli t1, a5, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    ld t3, 0(t1)");
+    b.line("    bne t3, s6, bu_e");     // parent on frontier? (H2P)
+    b.line("    addi t3, s6, 1");
+    b.line("    sd t3, 0(a6)");         // claim the vertex
+    b.line("    addi s8, s8, 1");
+    b.label("bu_next");
+    b.line("    addi t0, t0, 1");
+    b.line("    j bu_u");
+    // Rebuild the next frontier queue from the depth array (the
+    // bitmap-to-queue conversion of the GAP implementation).
+    b.label("bu_rebuild");
+    b.line("    addi a7, s6, 1");       // level + 1
+    b.line("    li t0, 0");
+    b.line("    li t4, 0");
+    b.label("bu_scan");
+    b.line("    bge t0, s4, do_level_end");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    ld t2, 0(t1)");
+    b.line("    bne t2, a7, bu_scan_next");
+    b.line("    slli t1, t4, 3");
+    b.line("    add t1, t1, s5");
+    b.line("    sd t0, 0(t1)");
+    b.line("    addi t4, t4, 1");
+    b.label("bu_scan_next");
+    b.line("    addi t0, t0, 1");
+    b.line("    j bu_scan");
+    // ---- end of level: swap frontiers, advance ----
+    b.label("do_level_end");
+    b.line("    mv t0, s3");
+    b.line("    mv s3, s5");
+    b.line("    mv s5, t0");
+    b.line("    mv s7, s8");
+    b.line("    addi s6, s6, 1");
+    b.line("    j do_level");
+    b.label("do_done");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeCc(const Graph &graph)
+{
+    isa::Program prog = prepare(graph, "label", false);
+    const unsigned n = graph.numVertices;
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    la s2, label");
+    b.line("    li s4, " + num(n));
+    // label[i] = i.
+    b.line("    li t0, 0");
+    b.label("cc_init");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    sd t0, 0(t1)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, cc_init");
+    b.label("cc_pass");
+    b.line("    li a6, 0");            // changed = 0
+    b.line("    li a0, 0");            // u = 0
+    b.label("cc_u");
+    b.line("    bge a0, s4, cc_check");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t1, t0, s0");
+    b.line("    ld a1, 0(t1)");        // e
+    b.line("    ld a2, 8(t1)");        // end
+    b.line("    add t1, t0, s2");
+    b.line("    ld a3, 0(t1)");        // lu = label[u]
+    b.label("cc_e");
+    b.line("    bge a1, a2, cc_u_next");
+    b.line("    slli t0, a1, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a4, 0(t0)");        // v
+    b.line("    addi a1, a1, 1");
+    b.line("    slli t0, a4, 3");
+    b.line("    add t0, t0, s2");
+    b.line("    ld a5, 0(t0)");        // lv
+    b.line("    bge a5, a3, cc_e");    // keep smaller label (H2P)
+    b.line("    mv a3, a5");
+    b.line("    li a6, 1");
+    b.line("    j cc_e");
+    b.label("cc_u_next");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s2");
+    b.line("    sd a3, 0(t0)");        // label[u] = lu
+    b.line("    addi a0, a0, 1");
+    b.line("    j cc_u");
+    b.label("cc_check");
+    b.line("    bnez a6, cc_pass");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makePr(const Graph &graph, unsigned iterations)
+{
+    isa::Program prog = prepare(graph, "rank", false);
+    prog.allocData("next", std::size_t(graph.numVertices) * 8);
+    const unsigned n = graph.numVertices;
+    const std::int64_t base = 15 * GapFixedPoint / 100;
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    la s2, rank");
+    b.line("    la s3, next");
+    b.line("    li s4, " + num(n));
+    b.line("    li s5, " + num(iterations));
+    b.line("    li a7, " + std::to_string(base));
+    // rank[i] = FIXED_POINT.
+    b.line("    li t0, 0");
+    b.line("    li t3, " + std::to_string(GapFixedPoint));
+    b.label("pr_rinit");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    sd t3, 0(t1)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, pr_rinit");
+    b.label("pr_iter");
+    // next[i] = base.
+    b.line("    li t0, 0");
+    b.label("pr_ninit");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s3");
+    b.line("    sd a7, 0(t1)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, pr_ninit");
+    b.line("    li a0, 0");            // u
+    b.label("pr_u");
+    b.line("    bge a0, s4, pr_swap");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t1, t0, s0");
+    b.line("    ld a1, 0(t1)");        // e
+    b.line("    ld a2, 8(t1)");        // end
+    b.line("    sub t1, a2, a1");      // deg
+    b.line("    beqz t1, pr_u_next");  // dangling vertex
+    b.line("    add t2, t0, s2");
+    b.line("    ld a3, 0(t2)");        // rank[u]
+    b.line("    li t2, 85");
+    b.line("    mul a3, a3, t2");
+    b.line("    li t2, 100");
+    b.line("    div a3, a3, t2");
+    b.line("    div a3, a3, t1");      // contrib
+    b.label("pr_e");
+    b.line("    bge a1, a2, pr_u_next");
+    b.line("    slli t0, a1, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a4, 0(t0)");        // v
+    b.line("    addi a1, a1, 1");
+    b.line("    slli t0, a4, 3");
+    b.line("    add t0, t0, s3");
+    b.line("    ld t2, 0(t0)");
+    b.line("    add t2, t2, a3");
+    b.line("    sd t2, 0(t0)");        // next[v] += contrib
+    b.line("    j pr_e");
+    b.label("pr_u_next");
+    b.line("    addi a0, a0, 1");
+    b.line("    j pr_u");
+    b.label("pr_swap");
+    b.line("    li t0, 0");
+    b.label("pr_copy");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t2, t1, s3");
+    b.line("    ld t3, 0(t2)");
+    b.line("    add t2, t1, s2");
+    b.line("    sd t3, 0(t2)");        // rank = next
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, pr_copy");
+    b.line("    addi s5, s5, -1");
+    b.line("    bnez s5, pr_iter");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeSssp(const Graph &graph, unsigned max_passes)
+{
+    isa::Program prog = prepare(graph, "dist", true);
+    const unsigned n = graph.numVertices;
+    const std::int64_t inf = std::int64_t(1) << 40;
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    la s2, dist");
+    b.line("    la s3, g_wgt");
+    b.line("    li s4, " + num(n));
+    b.line("    li s6, " + num(max_passes));
+    b.line("    li a7, " + std::to_string(inf));
+    // dist[i] = INF; dist[0] = 0.
+    b.line("    li t0, 0");
+    b.label("ss_init");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    sd a7, 0(t1)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, ss_init");
+    b.line("    sd zero, 0(s2)");
+    b.label("ss_pass");
+    b.line("    li a6, 0");            // changed
+    b.line("    li a0, 0");            // u
+    b.label("ss_u");
+    b.line("    bge a0, s4, ss_chk");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t1, t0, s2");
+    b.line("    ld a3, 0(t1)");        // du
+    b.line("    bge a3, a7, ss_u_next"); // unreached: skip
+    b.line("    add t1, t0, s0");
+    b.line("    ld a1, 0(t1)");        // e
+    b.line("    ld a2, 8(t1)");        // end
+    b.label("ss_e");
+    b.line("    bge a1, a2, ss_u_next");
+    b.line("    slli t0, a1, 3");
+    b.line("    add t1, t0, s1");
+    b.line("    ld a4, 0(t1)");        // v
+    b.line("    add t1, t0, s3");
+    b.line("    ld a5, 0(t1)");        // w
+    b.line("    addi a1, a1, 1");
+    b.line("    add a5, a5, a3");      // nd = du + w
+    b.line("    slli t0, a4, 3");
+    b.line("    add t0, t0, s2");
+    b.line("    ld t2, 0(t0)");        // dist[v]
+    b.line("    bge a5, t2, ss_e");    // relaxation test (H2P)
+    b.line("    sd a5, 0(t0)");
+    b.line("    li a6, 1");
+    b.line("    j ss_e");
+    b.label("ss_u_next");
+    b.line("    addi a0, a0, 1");
+    b.line("    j ss_u");
+    b.label("ss_chk");
+    b.line("    addi s6, s6, -1");
+    b.line("    beqz s6, ss_done");
+    b.line("    bnez a6, ss_pass");
+    b.label("ss_done");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeTc(const Graph &graph)
+{
+    isa::Program prog = prepare(graph, "", false);
+    prog.allocData("tricount", 8);
+    const unsigned n = graph.numVertices;
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    li s4, " + num(n));
+    b.line("    li a7, 0");            // triangle count
+    b.line("    li a0, 0");            // u
+    b.label("tc_u");
+    b.line("    bge a0, s4, tc_done");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    ld s5, 0(t0)");        // ub
+    b.line("    ld s6, 8(t0)");        // ue
+    b.line("    mv a1, s5");           // e1
+    b.label("tc_v");
+    b.line("    bge a1, s6, tc_u_next");
+    b.line("    slli t0, a1, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a2, 0(t0)");        // v
+    b.line("    addi a1, a1, 1");
+    b.line("    bge a2, a0, tc_u_next"); // sorted: only v < u
+    b.line("    slli t0, a2, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    ld a3, 0(t0)");        // j = rowptr[v]
+    b.line("    ld a4, 8(t0)");        // jend
+    b.line("    mv a5, s5");           // i = ub
+    b.label("tc_merge");
+    b.line("    bge a5, s6, tc_v");
+    b.line("    bge a3, a4, tc_v");
+    b.line("    slli t0, a5, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld t1, 0(t0)");        // wi = col[i]
+    b.line("    slli t0, a3, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld t2, 0(t0)");        // wj = col[j]
+    b.line("    bge t1, a2, tc_v");    // only w < v
+    b.line("    bge t2, a2, tc_v");
+    b.line("    blt t1, t2, tc_inc_i"); // merge compares (H2P)
+    b.line("    blt t2, t1, tc_inc_j");
+    b.line("    addi a7, a7, 1");      // triangle found
+    b.line("    addi a5, a5, 1");
+    b.line("    addi a3, a3, 1");
+    b.line("    j tc_merge");
+    b.label("tc_inc_i");
+    b.line("    addi a5, a5, 1");
+    b.line("    j tc_merge");
+    b.label("tc_inc_j");
+    b.line("    addi a3, a3, 1");
+    b.line("    j tc_merge");
+    b.label("tc_u_next");
+    b.line("    addi a0, a0, 1");
+    b.line("    j tc_u");
+    b.label("tc_done");
+    b.line("    la t0, tricount");
+    b.line("    sd a7, 0(t0)");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeBc(const Graph &graph, unsigned num_sources)
+{
+    isa::Program prog = prepare(graph, "bc", false);
+    const unsigned n = graph.numVertices;
+    prog.allocData("depth", std::size_t(n) * 8);
+    prog.allocData("sigma", std::size_t(n) * 8);
+    prog.allocData("delta", std::size_t(n) * 8);
+    prog.allocData("queue", std::size_t(n) * 8);
+
+    AsmBuilder b;
+    b.line("    la s0, g_rowptr");
+    b.line("    la s1, g_col");
+    b.line("    la s2, depth");
+    b.line("    la s3, sigma");
+    b.line("    li s4, " + num(n));
+    b.line("    la s5, queue");
+    b.line("    la s6, delta");
+    b.line("    la s7, bc");
+    b.line("    li s8, 0");            // src
+    b.line("    li s9, " + num(num_sources));
+    b.label("bc_src_loop");
+    // depth = -1, sigma = 0, delta = 0.
+    b.line("    li t0, 0");
+    b.line("    li t3, -1");
+    b.label("bc_init");
+    b.line("    slli t1, t0, 3");
+    b.line("    add t2, t1, s2");
+    b.line("    sd t3, 0(t2)");
+    b.line("    add t2, t1, s3");
+    b.line("    sd zero, 0(t2)");
+    b.line("    add t2, t1, s6");
+    b.line("    sd zero, 0(t2)");
+    b.line("    addi t0, t0, 1");
+    b.line("    blt t0, s4, bc_init");
+    // depth[src]=0, sigma[src]=1, queue[0]=src.
+    b.line("    slli t1, s8, 3");
+    b.line("    add t2, t1, s2");
+    b.line("    sd zero, 0(t2)");
+    b.line("    add t2, t1, s3");
+    b.line("    li t3, 1");
+    b.line("    sd t3, 0(t2)");
+    b.line("    sd s8, 0(s5)");
+    b.line("    li a0, 0");            // head
+    b.line("    li a1, 1");            // tail
+    b.label("bc_bfs");
+    b.line("    bge a0, a1, bc_back");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s5");
+    b.line("    ld a2, 0(t0)");        // u
+    b.line("    addi a0, a0, 1");
+    b.line("    slli t0, a2, 3");
+    b.line("    add t1, t0, s2");
+    b.line("    ld a6, 0(t1)");        // du
+    b.line("    add t1, t0, s3");
+    b.line("    ld a7, 0(t1)");        // sigma_u
+    b.line("    add t1, t0, s0");
+    b.line("    ld a3, 0(t1)");        // e
+    b.line("    ld a4, 8(t1)");        // end
+    b.line("    addi a6, a6, 1");      // du + 1
+    b.label("bc_bfs_e");
+    b.line("    bge a3, a4, bc_bfs");
+    b.line("    slli t0, a3, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a5, 0(t0)");        // v
+    b.line("    addi a3, a3, 1");
+    b.line("    slli t0, a5, 3");
+    b.line("    add t1, t0, s2");
+    b.line("    ld t2, 0(t1)");        // dv
+    b.line("    bgez t2, bc_bfs_chk"); // visited? (H2P)
+    b.line("    sd a6, 0(t1)");        // depth[v] = du + 1
+    b.line("    slli t3, a1, 3");
+    b.line("    add t3, t3, s5");
+    b.line("    sd a5, 0(t3)");        // enqueue v
+    b.line("    addi a1, a1, 1");
+    b.line("    mv t2, a6");
+    b.label("bc_bfs_chk");
+    b.line("    bne t2, a6, bc_bfs_e"); // shortest-path edge? (H2P)
+    b.line("    add t1, t0, s3");
+    b.line("    ld t3, 0(t1)");
+    b.line("    add t3, t3, a7");
+    b.line("    sd t3, 0(t1)");        // sigma[v] += sigma[u]
+    b.line("    j bc_bfs_e");
+    b.label("bc_back");
+    b.line("    addi a0, a1, -1");     // idx = tail - 1
+    b.label("bc_back_loop");
+    b.line("    blez a0, bc_src_next");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s5");
+    b.line("    ld a2, 0(t0)");        // w = queue[idx]
+    b.line("    addi a0, a0, -1");
+    b.line("    slli t0, a2, 3");
+    b.line("    add t1, t0, s2");
+    b.line("    ld a6, 0(t1)");        // dw
+    b.line("    add t1, t0, s3");
+    b.line("    ld a7, 0(t1)");        // sigma_w
+    b.line("    add t1, t0, s6");
+    b.line("    ld t4, 0(t1)");        // delta_w
+    b.line("    li t5, " + std::to_string(GapFixedPoint));
+    b.line("    add t4, t4, t5");      // FIXED + delta_w
+    b.line("    add t1, t0, s0");
+    b.line("    ld a3, 0(t1)");        // e
+    b.line("    ld a4, 8(t1)");        // end
+    b.line("    addi a6, a6, -1");     // dw - 1
+    b.label("bc_back_e");
+    b.line("    bge a3, a4, bc_back_w");
+    b.line("    slli t0, a3, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a5, 0(t0)");        // v
+    b.line("    addi a3, a3, 1");
+    b.line("    slli t0, a5, 3");
+    b.line("    add t1, t0, s2");
+    b.line("    ld t2, 0(t1)");
+    b.line("    bne t2, a6, bc_back_e"); // predecessor test (H2P)
+    b.line("    add t1, t0, s3");
+    b.line("    ld t3, 0(t1)");        // sigma_v
+    b.line("    mul t3, t3, t4");
+    b.line("    div t3, t3, a7");      // sigma_v*(F+delta_w)/sigma_w
+    b.line("    add t1, t0, s6");
+    b.line("    ld t6, 0(t1)");
+    b.line("    add t6, t6, t3");
+    b.line("    sd t6, 0(t1)");        // delta[v] += ...
+    b.line("    j bc_back_e");
+    b.label("bc_back_w");
+    b.line("    slli t0, a2, 3");
+    b.line("    add t1, t0, s6");
+    b.line("    ld t2, 0(t1)");
+    b.line("    add t1, t0, s7");
+    b.line("    ld t3, 0(t1)");
+    b.line("    add t3, t3, t2");
+    b.line("    sd t3, 0(t1)");        // bc[w] += delta[w]
+    b.line("    j bc_back_loop");
+    b.label("bc_src_next");
+    b.line("    addi s8, s8, 1");
+    b.line("    addi s9, s9, -1");
+    b.line("    bnez s9, bc_src_loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+} // namespace mssr::workloads

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The six GAP benchmark kernels [Beamer et al.] written in the mini
+ * ISA, operating on CSR graphs embedded in the program's data image.
+ * These reproduce the paper's GAP evaluation workloads (section 4,
+ * "-g 12"): bfs, bc, cc, pr, sssp, tc. Each kernel's result arrays are
+ * reachable via program labels so tests can validate them against the
+ * C++ reference implementations in gap_reference.hh.
+ *
+ * The data-dependent branches of these kernels ("visited?" checks,
+ * label/distance compares, sorted-list merges) are exactly the
+ * hard-to-predict branches the paper targets.
+ */
+
+#ifndef MSSR_WORKLOADS_GAP_KERNELS_HH
+#define MSSR_WORKLOADS_GAP_KERNELS_HH
+
+#include "isa/program.hh"
+#include "workloads/graph.hh"
+
+namespace mssr::workloads
+{
+
+/** Fixed-point scale used by pr and bc (2^16). */
+constexpr std::int64_t GapFixedPoint = 1 << 16;
+
+/** Top-down BFS from vertex 0; result label: "depth" (int64[n]). */
+isa::Program makeBfs(const Graph &graph);
+
+/**
+ * Direction-optimizing BFS (GAP's actual algorithm [Beamer]): level-
+ * synchronous traversal that switches from top-down frontier expansion
+ * to bottom-up parent search when the frontier exceeds n / @p
+ * bottom_up_divisor vertices. Produces the same depth array as
+ * makeBfs; result label: "depth".
+ */
+isa::Program makeBfsDirectionOptimizing(const Graph &graph,
+                                        unsigned bottom_up_divisor = 8);
+
+/**
+ * Connected components by label propagation; result label: "label"
+ * (int64[n]).
+ */
+isa::Program makeCc(const Graph &graph);
+
+/**
+ * PageRank, push-style, fixed-point, @p iterations rounds; result
+ * label: "rank" (int64[n]).
+ */
+isa::Program makePr(const Graph &graph, unsigned iterations = 3);
+
+/**
+ * Single-source shortest paths (Bellman-Ford) from vertex 0 with at
+ * most @p max_passes relaxation passes; result label: "dist"
+ * (int64[n]).
+ */
+isa::Program makeSssp(const Graph &graph, unsigned max_passes = 32);
+
+/**
+ * Triangle counting over sorted adjacency lists; result label:
+ * "tricount" (single int64).
+ */
+isa::Program makeTc(const Graph &graph);
+
+/**
+ * Betweenness centrality (Brandes, unweighted, fixed-point) from
+ * @p num_sources consecutive sources; result label: "bc" (int64[n]).
+ */
+isa::Program makeBc(const Graph &graph, unsigned num_sources = 2);
+
+} // namespace mssr::workloads
+
+#endif // MSSR_WORKLOADS_GAP_KERNELS_HH

@@ -1,0 +1,174 @@
+#include "workloads/gap_reference.hh"
+
+#include <deque>
+
+#include "workloads/gap_kernels.hh"
+
+namespace mssr::workloads
+{
+
+std::vector<std::int64_t>
+bfsRef(const Graph &graph)
+{
+    std::vector<std::int64_t> depth(graph.numVertices, -1);
+    if (graph.numVertices == 0)
+        return depth;
+    std::deque<std::uint32_t> queue{0};
+    depth[0] = 0;
+    while (!queue.empty()) {
+        const std::uint32_t u = queue.front();
+        queue.pop_front();
+        for (std::uint32_t v : graph.adj[u]) {
+            if (depth[v] < 0) {
+                depth[v] = depth[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return depth;
+}
+
+std::vector<std::int64_t>
+ccRef(const Graph &graph)
+{
+    std::vector<std::int64_t> label(graph.numVertices);
+    for (std::uint32_t i = 0; i < graph.numVertices; ++i)
+        label[i] = i;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t u = 0; u < graph.numVertices; ++u) {
+            std::int64_t lu = label[u];
+            for (std::uint32_t v : graph.adj[u]) {
+                if (label[v] < lu) {
+                    lu = label[v];
+                    changed = true;
+                }
+            }
+            label[u] = lu;
+        }
+    }
+    return label;
+}
+
+std::vector<std::int64_t>
+prRef(const Graph &graph, unsigned iterations)
+{
+    const std::int64_t base = 15 * GapFixedPoint / 100;
+    std::vector<std::int64_t> rank(graph.numVertices, GapFixedPoint);
+    std::vector<std::int64_t> next(graph.numVertices, 0);
+    for (unsigned it = 0; it < iterations; ++it) {
+        std::fill(next.begin(), next.end(), base);
+        for (std::uint32_t u = 0; u < graph.numVertices; ++u) {
+            const std::int64_t deg =
+                static_cast<std::int64_t>(graph.adj[u].size());
+            if (deg == 0)
+                continue;
+            const std::int64_t contrib = rank[u] * 85 / 100 / deg;
+            for (std::uint32_t v : graph.adj[u])
+                next[v] += contrib;
+        }
+        rank = next;
+    }
+    return rank;
+}
+
+std::vector<std::int64_t>
+ssspRef(const Graph &graph, unsigned max_passes)
+{
+    const std::int64_t inf = std::int64_t(1) << 40;
+    std::vector<std::int64_t> dist(graph.numVertices, inf);
+    if (graph.numVertices == 0)
+        return dist;
+    dist[0] = 0;
+    unsigned passes = max_passes;
+    bool changed = true;
+    while (changed && passes > 0) {
+        changed = false;
+        for (std::uint32_t u = 0; u < graph.numVertices; ++u) {
+            const std::int64_t du = dist[u];
+            if (du >= inf)
+                continue;
+            for (std::size_t i = 0; i < graph.adj[u].size(); ++i) {
+                const std::uint32_t v = graph.adj[u][i];
+                const std::int64_t nd = du + graph.wgt[u][i];
+                if (nd < dist[v]) {
+                    dist[v] = nd;
+                    changed = true;
+                }
+            }
+        }
+        --passes;
+    }
+    return dist;
+}
+
+std::int64_t
+tcRef(const Graph &graph)
+{
+    std::int64_t count = 0;
+    for (std::uint32_t u = 0; u < graph.numVertices; ++u) {
+        const auto &adjU = graph.adj[u];
+        for (std::uint32_t v : adjU) {
+            if (v >= u)
+                break; // sorted adjacency
+            const auto &adjV = graph.adj[v];
+            std::size_t i = 0, j = 0;
+            while (i < adjU.size() && j < adjV.size()) {
+                const std::uint32_t wi = adjU[i];
+                const std::uint32_t wj = adjV[j];
+                if (wi >= v || wj >= v)
+                    break; // only w < v
+                if (wi < wj) {
+                    ++i;
+                } else if (wj < wi) {
+                    ++j;
+                } else {
+                    ++count;
+                    ++i;
+                    ++j;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+std::vector<std::int64_t>
+bcRef(const Graph &graph, unsigned num_sources)
+{
+    const std::uint32_t n = graph.numVertices;
+    std::vector<std::int64_t> bc(n, 0);
+    for (unsigned src = 0; src < num_sources && src < n; ++src) {
+        std::vector<std::int64_t> depth(n, -1), sigma(n, 0), delta(n, 0);
+        std::vector<std::uint32_t> order;
+        order.reserve(n);
+        depth[src] = 0;
+        sigma[src] = 1;
+        order.push_back(src);
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            const std::uint32_t u = order[head];
+            const std::int64_t next_depth = depth[u] + 1;
+            for (std::uint32_t v : graph.adj[u]) {
+                if (depth[v] < 0) {
+                    depth[v] = next_depth;
+                    order.push_back(v);
+                }
+                if (depth[v] == next_depth)
+                    sigma[v] += sigma[u];
+            }
+        }
+        for (std::size_t idx = order.size(); idx-- > 1;) {
+            const std::uint32_t w = order[idx];
+            const std::int64_t coeff = GapFixedPoint + delta[w];
+            for (std::uint32_t v : graph.adj[w]) {
+                if (depth[v] == depth[w] - 1)
+                    delta[v] += sigma[v] * coeff / sigma[w];
+            }
+            bc[w] += delta[w];
+        }
+    }
+    return bc;
+}
+
+} // namespace mssr::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * C++ reference implementations of the six GAP kernels, mirroring the
+ * assembly kernels' arithmetic bit-for-bit (same fixed-point scaling,
+ * same traversal order, same update-in-place semantics) so that test
+ * harnesses can compare the simulated result arrays exactly.
+ */
+
+#ifndef MSSR_WORKLOADS_GAP_REFERENCE_HH
+#define MSSR_WORKLOADS_GAP_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/graph.hh"
+
+namespace mssr::workloads
+{
+
+/** BFS depths from vertex 0 (-1 = unreached). */
+std::vector<std::int64_t> bfsRef(const Graph &graph);
+
+/** Label-propagation component labels. */
+std::vector<std::int64_t> ccRef(const Graph &graph);
+
+/** Fixed-point PageRank after @p iterations rounds. */
+std::vector<std::int64_t> prRef(const Graph &graph, unsigned iterations);
+
+/** Bellman-Ford distances from vertex 0 (INF = 1<<40 unreached). */
+std::vector<std::int64_t> ssspRef(const Graph &graph, unsigned max_passes);
+
+/** Total triangle count. */
+std::int64_t tcRef(const Graph &graph);
+
+/** Fixed-point betweenness centrality from @p num_sources sources. */
+std::vector<std::int64_t> bcRef(const Graph &graph, unsigned num_sources);
+
+} // namespace mssr::workloads
+
+#endif // MSSR_WORKLOADS_GAP_REFERENCE_HH

@@ -1,0 +1,123 @@
+#include "workloads/micro.hh"
+
+#include "isa/assembler.hh"
+#include "workloads/builder.hh"
+
+namespace mssr::workloads
+{
+
+namespace
+{
+
+/**
+ * Common generator for the Listing-1 microbenchmark.
+ *
+ * calc1/calc2 are real functions (call/ret), as in the listing. This
+ * matters for the comparison with Register Integration: the three
+ * calc2 call sites share the same instruction PCs with different
+ * operand contexts, which a PC-indexed reuse table can only hold
+ * ways-many of (the temporal-reference limitation of section 3.7.1),
+ * while the positional Squash Log + RGID scheme distinguishes them
+ * naturally.
+ *
+ * @p br1_on_data1 selects the nested variation (Br1 tests data1, the
+ * slower value, so the younger Br2 resolves first and mispredictions
+ * nest); false selects linear (in-order mispredictions).
+ */
+isa::Program
+makeMicro(const MicroParams &params, bool br1_on_data1)
+{
+    // Register plan:
+    //   s0 = i, s1 = SIZE, s2 = &arr, s6 = checksum
+    //   a0 = data1, a1 = data2, s3/s4/s5 = t0/t1/t2
+    //   a6 = calc1 argument/result, a7 = calc2 argument/result
+    const std::string br1 = br1_on_data1 ? "a0" : "a1";
+    const std::string br2 = br1_on_data1 ? "a1" : "a0";
+    const unsigned depth = params.calcDepth;
+
+    AsmBuilder b;
+    b.line("    li s0, 0");
+    b.line("    li s1, " + std::to_string(params.iterations));
+    b.line("    la s2, arr");
+    b.line("    li s6, 0");
+    b.line("    j loop");
+    // calc1: compute-intensive function on a6.
+    b.label("calc1");
+    b.raw(calcSeq("a6", depth, 1));
+    b.line("    ret");
+    // calc2: compute-intensive function on a7.
+    b.label("calc2");
+    b.raw(calcSeq("a7", depth, 2));
+    b.line("    ret");
+
+    b.label("loop");
+    // data2 = hash(i + C); the +C avoids hashing tiny integers only.
+    b.line("    addi t2, s0, 1234567");
+    b.raw(hashSeq("a1", "t2", "t0"));
+    // Delay data2 through dependent multiplies (bijective: odd
+    // multiplier), so Br2 resolves tens of cycles after fetch.
+    b.line("    li t0, 0x9e3779b97f4a7c15");
+    for (unsigned i = 0; i < params.resolveDelayMuls; ++i)
+        b.line("    mul a1, a1, t0");
+    // data1 = hash(data2): serially dependent, so data1 resolves
+    // roughly one hash latency after data2.
+    b.raw(hashSeq("a0", "a1", "t0"));
+    b.line("    li t0, 0xc4ceb9fe1a85ec55");
+    for (unsigned i = 0; i < params.resolveDelayMuls; ++i)
+        b.line("    mul a0, a0, t0");
+
+    // Br1: if (cond1 & 0x1) { ... } -- beqz skips the body to M2.
+    b.line("    andi t0, " + br1 + ", 1");
+    b.line("    beqz t0, M2");
+    // Br2: if (cond2 & 0x2) { data2 = calc1(data2) }
+    b.line("    andi t1, " + br2 + ", 2");
+    b.line("    beqz t1, M1");
+    b.line("    mv a6, a1");
+    b.line("    call calc1");
+    b.line("    mv a1, a6");           // data2 = calc1(data2)
+    b.label("M1");
+    b.line("    mv a6, a0");
+    b.line("    call calc1");
+    b.line("    mv a0, a6");           // M1: data1 = calc1(data1)
+    b.label("M2");
+    // Potential CIDI operations (reconvergence region).
+    b.line("    mv a7, s0");
+    b.line("    call calc2");
+    b.line("    mv s3, a7");           // t0 = calc2(i)      -- CIDI
+    b.line("    mv a7, a0");
+    b.line("    call calc2");
+    b.line("    mv s4, a7");           // t1 = calc2(data1)  -- CIDD
+    b.line("    mv a7, a1");
+    b.line("    call calc2");
+    b.line("    mv s5, a7");           // t2 = calc2(data2)  -- dyn CIDI
+    b.line("    add t0, s3, s4");
+    b.line("    add t0, t0, s5");
+    b.line("    xor s6, s6, t0");      // checksum for validation
+    b.line("    slli t1, s0, 3");
+    b.line("    add t1, t1, s2");
+    b.line("    sd t0, 0(t1)");        // arr[i] = t0 + t1 + t2
+    b.line("    addi s0, s0, 1");
+    b.line("    blt s0, s1, loop");
+    b.line("    halt");
+
+    isa::Program prog;
+    prog.allocData("arr", std::size_t(params.iterations) * 8);
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+} // namespace
+
+isa::Program
+makeNestedMispred(const MicroParams &params)
+{
+    return makeMicro(params, true);
+}
+
+isa::Program
+makeLinearMispred(const MicroParams &params)
+{
+    return makeMicro(params, false);
+}
+
+} // namespace mssr::workloads

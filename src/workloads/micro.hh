@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The paper's Listing-1 microbenchmark in two variations (section
+ * 2.2.4):
+ *
+ *  - nested-mispred: Br1 depends on data1 (the slower value, derived
+ *    from data2), Br2 on data2. Br2 resolves before the elder Br1,
+ *    producing out-of-order (hardware-induced) multi-stream squashes.
+ *  - linear-mispred: the dependencies are swapped so Br1 resolves
+ *    first and mispredictions occur in order (software-induced
+ *    multi-stream reconvergence only).
+ *
+ * Both branches test bits of xorshift-hashed values and are therefore
+ * effectively unpredictable (H2P). The code beyond the reconvergence
+ * point computes three calc2 chains (t0 from i: always CIDI; t1 from
+ * data1: CIDD; t2 from data2: dynamically CIDI) and stores their sum
+ * to arr[i], exactly as in Listing 1.
+ */
+
+#ifndef MSSR_WORKLOADS_MICRO_HH
+#define MSSR_WORKLOADS_MICRO_HH
+
+#include "isa/program.hh"
+
+namespace mssr::workloads
+{
+
+struct MicroParams
+{
+    unsigned iterations = 2000;  //!< loop trip count (SIZE)
+    unsigned calcDepth = 12;     //!< length of calc1/calc2 ALU chains
+    /**
+     * Number of dependent multiplies delaying the branch conditions,
+     * mimicking the listing's compute-intensive hash chains: slower
+     * resolution lets the wrong path execute deeper into the
+     * control-independent region before the squash, which is what
+     * creates reusable results.
+     */
+    unsigned resolveDelayMuls = 4;
+};
+
+/** Builds the nested-mispred variation. */
+isa::Program makeNestedMispred(const MicroParams &params = {});
+
+/** Builds the linear-mispred variation. */
+isa::Program makeLinearMispred(const MicroParams &params = {});
+
+} // namespace mssr::workloads
+
+#endif // MSSR_WORKLOADS_MICRO_HH

@@ -1,0 +1,526 @@
+#include "workloads/speclike.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "workloads/builder.hh"
+
+namespace mssr::workloads
+{
+
+namespace
+{
+
+std::string
+num(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Allocates and fills an int64 array with random values. */
+Addr
+randomArray(isa::Program &prog, const std::string &name, std::size_t count,
+            Rng &rng, std::int64_t mask_value = -1)
+{
+    const Addr addr = prog.allocData(name, count * 8);
+    std::vector<std::int64_t> values(count);
+    for (auto &v : values) {
+        v = static_cast<std::int64_t>(rng.next());
+        if (mask_value >= 0)
+            v &= mask_value;
+    }
+    prog.initData64(addr, values);
+    return addr;
+}
+
+} // namespace
+
+isa::Program
+makeAstarLike(const SpecParams &params)
+{
+    // Frontier-driven grid search: each iteration pops the next node
+    // from a frontier array (indexed by the loop counter, so the next
+    // iteration's work is control independent of this iteration's
+    // branch), evaluates its hashed cost against the grid, and
+    // conditionally relaxes the node. This is the structure that gives
+    // astar the paper's largest gains: the wrong path of the
+    // hard-to-predict cost test runs straight into the next node's
+    // evaluation, which squash reuse then recovers.
+    constexpr unsigned GridBits = 12; // 32KB grid: L1-resident
+
+    constexpr std::int64_t Mask = (1 << GridBits) - 1;
+    Rng rng(params.seed);
+    isa::Program prog;
+    randomArray(prog, "grid", 1 << GridBits, rng, 0xffff);
+    randomArray(prog, "frontier", 1 << GridBits, rng, Mask);
+
+    AsmBuilder b;
+    b.line("    la s0, grid");
+    b.line("    la s1, frontier");
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s4, " + num(Mask));
+    b.line("    li s6, 0");               // checksum
+    b.label("loop");
+    // Pop the next node (control independent: indexed by counter).
+    b.line("    and t0, s3, s4");
+    b.line("    slli t0, t0, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    ld a5, 0(t0)");           // node = frontier[iter & mask]
+    // Hashed heuristic of (node, iter).
+    b.line("    add t2, a5, s3");
+    b.raw(hashSeq("a0", "t2", "t0"));
+    // Load the node's g-cost from the grid.
+    b.line("    and t1, a5, s4");
+    b.line("    slli t1, t1, 3");
+    b.line("    add a6, t1, s0");         // &grid[node]
+    b.line("    ld a1, 0(a6)");           // g-cost
+    // H2P admission test: hashed heuristic vs loaded cost parity.
+    b.line("    xor t3, a1, a0");
+    b.line("    andi t3, t3, 1");
+    b.line("    beqz t3, merge");
+    // Control-dependent relaxation: update the node's cost in place
+    // (a store that can alias reused loads of later streams).
+    b.line("    andi t4, a0, 255");
+    b.line("    add t4, t4, a1");
+    b.line("    srli t4, t4, 1");
+    b.line("    sd t4, 0(a6)");           // grid[node] = relaxed cost
+    b.line("    addi s7, s7, 1");         // nodes relaxed
+    b.label("merge");
+    // Control-independent successor evaluation (the reusable region):
+    // an expensive chain on the hashed heuristic plus the next
+    // frontier entry's precomputation.
+    b.line("    mv a3, a0");
+    b.raw(calcSeq("a3", 14, 2));
+    b.line("    xor s6, s6, a3");
+    b.line("    addi t0, s3, 5");         // future frontier slot
+    b.line("    and t0, t0, s4");
+    b.line("    slli t0, t0, 3");
+    b.line("    add t0, t0, s1");
+    b.line("    and t1, a3, s4");
+    b.line("    sd t1, 0(t0)");           // frontier[iter+5] = successor
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeGobmkLike(const SpecParams &params)
+{
+    isa::Program prog;
+    AsmBuilder b;
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s6, 0");
+    b.label("loop");
+    b.line("    addi t2, s3, " + num(static_cast<std::int64_t>(
+                                     params.seed | 1)));
+    b.raw(hashSeq("a0", "t2", "t0"));     // h0
+    b.raw(hashSeq("a1", "a0", "t0"));     // h1 = hash(h0), slower
+    b.raw(hashSeq("a2", "a1", "t0"));     // h2 = hash(h1), slowest
+    // Three-level nested hashed conditions (board-evaluation style).
+    b.line("    andi t0, a2, 1");
+    b.line("    beqz t0, M3");            // outer (slowest to resolve)
+    b.raw(calcSeq("a3", 6, 1));
+    b.line("    andi t0, a1, 1");
+    b.line("    beqz t0, M2");
+    b.raw(calcSeq("a4", 6, 2));
+    b.line("    andi t0, a0, 1");
+    b.line("    beqz t0, M1");
+    b.raw(calcSeq("a5", 6, 3));
+    b.line("    xor s6, s6, a5");
+    b.label("M1");
+    b.line("    xor s6, s6, a4");
+    b.label("M2");
+    b.line("    xor s6, s6, a3");
+    b.label("M3");
+    // Control-independent evaluation tail.
+    b.line("    mv a6, s3");
+    b.raw(calcSeq("a6", 12, 5));
+    b.line("    xor s6, s6, a6");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeMcfLike(const SpecParams &params)
+{
+    // 2^19 nodes x 8B = 4MB: larger than L2, so the chase is
+    // DRAM-latency bound (reuse cannot help much).
+    constexpr unsigned Bits = 19;
+    const std::size_t n = std::size_t(1) << Bits;
+    Rng rng(params.seed);
+    isa::Program prog;
+    const Addr nextAddr = prog.allocData("next", n * 8);
+    // Single-cycle random permutation (Sattolo's algorithm) so the
+    // chase visits every node without short cycles.
+    std::vector<std::int64_t> next(n);
+    std::vector<std::int64_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = static_cast<std::int64_t>(i);
+    for (std::size_t i = n - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i)]);
+    for (std::size_t i = 0; i < n; ++i)
+        next[perm[i]] = perm[(i + 1) % n];
+    prog.initData64(nextAddr, next);
+
+    AsmBuilder b;
+    b.line("    la s0, next");
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s6, 0");
+    b.line("    li a0, 0");               // current node
+    b.label("loop");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    ld a0, 0(t0)");           // a0 = next[a0] (serial)
+    b.line("    andi t1, a0, 1");
+    b.line("    beqz t1, skip");          // H2P on pointer parity
+    b.line("    addi s6, s6, 1");
+    b.label("skip");
+    b.line("    xor s6, s6, a0");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeOmnetppLike(const SpecParams &params)
+{
+    // Event queue: binary min-heap pre-filled with 4096 keys (a
+    // sorted array is a valid heap); each iteration inserts a random
+    // key and extracts the minimum.
+    constexpr std::size_t HeapCap = 8192;
+    constexpr std::size_t InitSize = 4096;
+    Rng rng(params.seed);
+    isa::Program prog;
+    const Addr heapAddr = prog.allocData("heap", HeapCap * 8);
+    std::vector<std::int64_t> keys(InitSize);
+    for (auto &k : keys)
+        k = static_cast<std::int64_t>(rng.next() & 0xffffff);
+    std::sort(keys.begin(), keys.end());
+    prog.initData64(heapAddr, keys);
+
+    AsmBuilder b;
+    b.line("    la s0, heap");
+    b.line("    li a0, " + num(InitSize)); // size
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s6, 0");
+    b.label("loop");
+    b.line("    addi t2, s3, 99991");
+    b.raw(hashSeq("a1", "t2", "t0"));
+    b.line("    li t0, 0xffffff");
+    b.line("    and a1, a1, t0");          // key
+    // ---- insert(key): sift up ----
+    b.line("    mv a2, a0");               // i = size
+    b.line("    addi a0, a0, 1");
+    b.line("    slli t0, a2, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    sd a1, 0(t0)");            // heap[i] = key
+    b.label("sift_up");
+    b.line("    beqz a2, ins_done");
+    b.line("    addi t1, a2, -1");
+    b.line("    srli t1, t1, 1");          // p = (i-1)/2
+    b.line("    slli t2, t1, 3");
+    b.line("    add t2, t2, s0");
+    b.line("    ld a3, 0(t2)");            // heap[p]
+    b.line("    slli t3, a2, 3");
+    b.line("    add t3, t3, s0");
+    b.line("    ld a4, 0(t3)");            // heap[i]
+    b.line("    ble a3, a4, ins_done");    // heap order ok? (H2P)
+    b.line("    sd a4, 0(t2)");            // swap
+    b.line("    sd a3, 0(t3)");
+    b.line("    mv a2, t1");
+    b.line("    j sift_up");
+    b.label("ins_done");
+    // ---- extract-min: move last to root, sift down ----
+    b.line("    ld a5, 0(s0)");            // min
+    b.line("    xor s6, s6, a5");
+    b.line("    addi a0, a0, -1");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    ld a3, 0(t0)");            // last
+    b.line("    sd a3, 0(s0)");            // heap[0] = last
+    b.line("    li a2, 0");                // i = 0
+    b.label("sift_down");
+    b.line("    slli t1, a2, 1");
+    b.line("    addi t1, t1, 1");          // l = 2i+1
+    b.line("    bge t1, a0, ext_done");
+    b.line("    slli t2, t1, 3");
+    b.line("    add t2, t2, s0");
+    b.line("    ld a4, 0(t2)");            // heap[l]
+    b.line("    addi t3, t1, 1");          // r = l+1
+    b.line("    bge t3, a0, pick_l");
+    b.line("    slli t4, t3, 3");
+    b.line("    add t4, t4, s0");
+    b.line("    ld a5, 0(t4)");            // heap[r]
+    b.line("    ble a4, a5, pick_l");      // smaller child? (H2P)
+    b.line("    mv t1, t3");
+    b.line("    mv t2, t4");
+    b.line("    mv a4, a5");
+    b.label("pick_l");
+    b.line("    slli t4, a2, 3");
+    b.line("    add t4, t4, s0");
+    b.line("    ld a3, 0(t4)");            // heap[i]
+    b.line("    ble a3, a4, ext_done");    // order ok? (H2P)
+    b.line("    sd a4, 0(t4)");
+    b.line("    sd a3, 0(t2)");
+    b.line("    mv a2, t1");
+    b.line("    j sift_down");
+    b.label("ext_done");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeLeelaLike(const SpecParams &params)
+{
+    constexpr unsigned Children = 8;
+    isa::Program prog;
+    const Addr winsAddr = prog.allocData("wins", Children * 8);
+    const Addr visitsAddr = prog.allocData("visits", Children * 8);
+    std::vector<std::int64_t> init(Children, 1);
+    prog.initData64(winsAddr, init);
+    prog.initData64(visitsAddr, init);
+
+    AsmBuilder b;
+    b.line("    la s0, wins");
+    b.line("    la s1, visits");
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s6, 0");
+    b.label("loop");
+    b.line("    addi t2, s3, 7777");
+    b.raw(hashSeq("a0", "t2", "t0"));
+    // UCT-like argmax over children.
+    b.line("    li a1, -1");               // best score
+    b.line("    li a2, 0");                // best index
+    b.line("    li a3, 0");                // i
+    b.label("child");
+    b.line("    slli t0, a3, 3");
+    b.line("    add t1, t0, s0");
+    b.line("    ld t2, 0(t1)");            // wins[i]
+    b.line("    add t1, t0, s1");
+    b.line("    ld t3, 0(t1)");            // visits[i]
+    b.line("    slli t2, t2, 16");
+    b.line("    div t2, t2, t3");          // exploitation term
+    b.line("    srl t4, a0, a3");
+    b.line("    andi t4, t4, 255");        // hashed exploration term
+    b.line("    add t2, t2, t4");          // score
+    b.line("    ble t2, a1, no_best");     // argmax compare (H2P)
+    b.line("    mv a1, t2");
+    b.line("    mv a2, a3");
+    b.label("no_best");
+    b.line("    addi a3, a3, 1");
+    b.line("    slti t0, a3, " + num(Children));
+    b.line("    bnez t0, child");
+    // Update the chosen child.
+    b.line("    slli t0, a2, 3");
+    b.line("    add t1, t0, s1");
+    b.line("    ld t2, 0(t1)");
+    b.line("    addi t2, t2, 1");
+    b.line("    sd t2, 0(t1)");            // visits[best]++
+    b.line("    andi t3, a0, 1");
+    b.line("    add t1, t0, s0");
+    b.line("    ld t2, 0(t1)");
+    b.line("    add t2, t2, t3");
+    b.line("    sd t2, 0(t1)");            // wins[best] += h & 1
+    // Control-independent playout bookkeeping.
+    b.line("    mv a4, s3");
+    b.raw(calcSeq("a4", 10, 6));
+    b.line("    xor s6, s6, a4");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeXzLike(const SpecParams &params)
+{
+    // LZ-style match finding over a small-alphabet window: match
+    // lengths are geometric and unpredictable; the literal/update
+    // stores frequently alias addresses that squashed-path loads have
+    // read, provoking memory-order hazards on reused loads.
+    constexpr unsigned WindowBits = 14;
+    constexpr std::int64_t Mask = (1 << WindowBits) - 1;
+    Rng rng(params.seed);
+    isa::Program prog;
+    const Addr winAddr = prog.allocData("window", std::size_t(1)
+                                                      << WindowBits);
+    std::vector<std::uint8_t> window(std::size_t(1) << WindowBits);
+    for (auto &c : window)
+        c = static_cast<std::uint8_t>(rng.below(4)); // 2-bit alphabet
+    prog.initBytes(winAddr, window);
+
+    AsmBuilder b;
+    b.line("    la s0, window");
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s4, " + num(Mask - 64));
+    b.line("    li s6, 0");
+    b.label("loop");
+    b.line("    addi t2, s3, 31337");
+    b.raw(hashSeq("a0", "t2", "t0"));
+    b.line("    and a1, a0, s4");          // src offset
+    b.line("    srli t0, a0, 17");
+    b.line("    and a2, t0, s4");          // dst offset
+    b.line("    add a1, a1, s0");
+    b.line("    add a2, a2, s0");
+    b.line("    li a3, 0");                // len
+    b.label("match");
+    b.line("    add t0, a1, a3");
+    b.line("    lbu t1, 0(t0)");
+    b.line("    add t0, a2, a3");
+    b.line("    lbu t2, 0(t0)");
+    b.line("    bne t1, t2, match_end");   // H2P: geometric lengths
+    b.line("    addi a3, a3, 1");
+    b.line("    slti t0, a3, 8");
+    b.line("    bnez t0, match");
+    b.label("match_end");
+    // Control-dependent literal emission: whether the store happens
+    // depends on a hashed bit, so the wrong path may have read the
+    // window bytes *before* this store, and the reconverged path then
+    // reuses those loads with stale values -- the reused-load memory-
+    // order hazard that makes xz degrade (sections 3.8 and 4.1.1).
+    b.line("    andi t1, a0, 3");
+    b.line("    beqz t1, no_store");       // H2P
+    b.line("    sb t1, 0(a2)");
+    b.line("    sb t1, 1(a1)");
+    b.label("no_store");
+    // Control-independent window digest: addresses depend only on
+    // a1/a2, which the store branch does not modify.
+    b.line("    lbu t3, 0(a2)");
+    b.line("    lbu t4, 1(a2)");
+    b.line("    lbu t0, 1(a1)");
+    b.line("    add t3, t3, t4");
+    b.line("    add t3, t3, t0");
+    b.line("    xor s6, s6, t3");
+    b.line("    xor s6, s6, a3");
+    // Control-independent length accounting.
+    b.line("    mv a4, s3");
+    b.raw(calcSeq("a4", 8, 7));
+    b.line("    xor s6, s6, a4");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeAlphabetaLike(const SpecParams &params, unsigned depth_knob)
+{
+    constexpr unsigned TableBits = 12;
+    constexpr std::int64_t Mask = (1 << TableBits) - 1;
+    Rng rng(params.seed);
+    isa::Program prog;
+    randomArray(prog, "ttable", 1 << TableBits, rng, 0xffff);
+
+    AsmBuilder b;
+    b.line("    la s0, ttable");
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s4, " + num(Mask));
+    b.line("    li s6, 0");
+    b.label("loop");
+    b.line("    addi t2, s3, 271828");
+    b.raw(hashSeq("a0", "t2", "t0"));
+    b.raw(hashSeq("a1", "a0", "t0"));
+    // Transposition-table probe: hit/miss is data dependent.
+    b.line("    and t0, a0, s4");
+    b.line("    slli t0, t0, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    ld a2, 0(t0)");            // tt entry
+    b.line("    andi t1, a2, 1");
+    b.line("    andi t2, a0, 1");
+    b.line("    beq t1, t2, tt_hit");      // H2P
+    b.raw(calcSeq("a3", 4 * depth_knob, 8)); // full evaluation
+    b.line("    sd a3, 0(t0)");            // store back
+    b.line("    j tt_done");
+    b.label("tt_hit");
+    b.line("    mv a3, a2");               // cheap path
+    b.label("tt_done");
+    // Min/max alternation on a second hashed condition.
+    b.line("    andi t1, a1, 1");
+    b.line("    beqz t1, minimize");
+    b.line("    blt a3, a0, ab_keep");     // max(a3, a0) (H2P)
+    b.line("    mv a0, a3");
+    b.line("    j ab_keep");
+    b.label("minimize");
+    b.line("    bge a3, a0, ab_keep");     // min(a3, a0) (H2P)
+    b.line("    mv a0, a3");
+    b.label("ab_keep");
+    b.line("    xor s6, s6, a0");
+    // Control-independent move bookkeeping.
+    b.line("    mv a4, s3");
+    b.raw(calcSeq("a4", 4 * depth_knob, 9));
+    b.line("    xor s6, s6, a4");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+isa::Program
+makeExchange2Like(const SpecParams &params)
+{
+    constexpr unsigned N = 9; // 9x9 sudoku-ish blocks
+    isa::Program prog;
+    const Addr arrAddr = prog.allocData("arr", N * 8);
+    std::vector<std::int64_t> init(N);
+    for (unsigned i = 0; i < N; ++i)
+        init[i] = i; // sorted: compares are fully predictable
+    prog.initData64(arrAddr, init);
+
+    AsmBuilder b;
+    b.line("    la s0, arr");
+    b.line("    li s3, " + num(params.iterations));
+    b.line("    li s6, 0");
+    b.label("loop");
+    b.line("    li a0, 0");                // i
+    b.label("outer");
+    b.line("    addi a1, a0, 1");          // j = i+1
+    b.label("inner");
+    b.line("    slli t0, a0, 3");
+    b.line("    add t0, t0, s0");
+    b.line("    ld t2, 0(t0)");
+    b.line("    slli t1, a1, 3");
+    b.line("    add t1, t1, s0");
+    b.line("    ld t3, 0(t1)");
+    b.line("    ble t2, t3, no_swap");     // sorted: always taken
+    b.line("    sd t3, 0(t0)");
+    b.line("    sd t2, 0(t1)");
+    b.label("no_swap");
+    b.line("    add t4, t2, t3");
+    b.line("    xor s6, s6, t4");
+    b.line("    addi a1, a1, 1");
+    b.line("    slti t0, a1, " + num(N));
+    b.line("    bnez t0, inner");
+    b.line("    addi a0, a0, 1");
+    b.line("    slti t0, a0, " + num(N - 1));
+    b.line("    bnez t0, outer");
+    b.line("    addi s3, s3, -1");
+    b.line("    bnez s3, loop");
+    b.line("    halt");
+
+    isa::assemble(prog, b.str());
+    return prog;
+}
+
+} // namespace mssr::workloads

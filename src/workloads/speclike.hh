@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SPEC-like synthetic kernels (substitution for the proprietary
+ * SPECint2006/2017 binaries, see DESIGN.md section 4): each kernel
+ * reproduces the branch/memory *mechanisms* that drive the paper's
+ * per-benchmark results rather than the benchmark's code:
+ *
+ *  - astar_like: grid search with data-dependent direction compares
+ *    and a control-independent per-step tail (largest gains).
+ *  - gobmk_like: deeply nested hashed-condition evaluation (gains).
+ *  - mcf_like: DRAM-bound pointer chasing (flat: latency dominates).
+ *  - omnetpp_like: binary-heap event queue, compare-driven sift loops
+ *    over a large footprint (flat-to-small gains).
+ *  - leela_like: UCT child-selection argmax loops (moderate gains).
+ *  - xz_like: LZ match loops whose stores alias recently squashed
+ *    loads, provoking reuse-verification flushes (slight degradation).
+ *  - alphabeta_like: game-tree evaluation, two parameter sets stand in
+ *    for sjeng (2006) and deepsjeng (2017).
+ *  - exchange2_like: regular permutation loops, highly predictable
+ *    branches (nothing to reuse).
+ */
+
+#ifndef MSSR_WORKLOADS_SPECLIKE_HH
+#define MSSR_WORKLOADS_SPECLIKE_HH
+
+#include "isa/program.hh"
+
+namespace mssr::workloads
+{
+
+struct SpecParams
+{
+    unsigned iterations = 4000;
+    std::uint64_t seed = 42;
+};
+
+isa::Program makeAstarLike(const SpecParams &params = {});
+isa::Program makeGobmkLike(const SpecParams &params = {});
+isa::Program makeMcfLike(const SpecParams &params = {});
+isa::Program makeOmnetppLike(const SpecParams &params = {});
+isa::Program makeLeelaLike(const SpecParams &params = {});
+isa::Program makeXzLike(const SpecParams &params = {});
+isa::Program makeAlphabetaLike(const SpecParams &params = {},
+                               unsigned depth_knob = 2);
+isa::Program makeExchange2Like(const SpecParams &params = {});
+
+} // namespace mssr::workloads
+
+#endif // MSSR_WORKLOADS_SPECLIKE_HH

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+
+using namespace mssr;
+using namespace mssr::isa;
+
+TEST(Assembler, BasicInstructions)
+{
+    Program prog = assembleProgram(R"(
+        add a0, a1, a2
+        addi t0, t1, -42
+        li s0, 0x1234
+        halt
+    )");
+    ASSERT_EQ(prog.numInsts(), 4u);
+    const Inst &i0 = prog.instAt(prog.codeBase());
+    EXPECT_EQ(i0.op, Op::ADD);
+    EXPECT_EQ(i0.rd, 10);
+    EXPECT_EQ(i0.rs1, 11);
+    EXPECT_EQ(i0.rs2, 12);
+    const Inst &i1 = prog.instAt(prog.codeBase() + 4);
+    EXPECT_EQ(i1.op, Op::ADDI);
+    EXPECT_EQ(i1.imm, -42);
+    const Inst &i2 = prog.instAt(prog.codeBase() + 8);
+    EXPECT_EQ(i2.op, Op::LI);
+    EXPECT_EQ(i2.imm, 0x1234);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program prog = assembleProgram(R"(
+        li t0, 10
+    loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        halt
+    )");
+    ASSERT_EQ(prog.numInsts(), 4u);
+    EXPECT_EQ(prog.label("loop"), prog.codeBase() + 4);
+    const Inst &br = prog.instAt(prog.codeBase() + 8);
+    EXPECT_EQ(br.op, Op::BNE);
+    EXPECT_EQ(br.imm, -4); // back to 'loop'
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program prog = assembleProgram(R"(
+        j end
+        nop
+    end:
+        halt
+    )");
+    const Inst &jmp = prog.instAt(prog.codeBase());
+    EXPECT_EQ(jmp.op, Op::JAL);
+    EXPECT_EQ(jmp.rd, 0);
+    EXPECT_EQ(jmp.imm, 8);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program prog = assembleProgram(R"(
+        ld a0, 16(sp)
+        sd a0, -8(s0)
+        lw t0, 0(a1)
+    )");
+    const Inst &ld = prog.instAt(prog.codeBase());
+    EXPECT_EQ(ld.op, Op::LD);
+    EXPECT_EQ(ld.rs1, 2);
+    EXPECT_EQ(ld.imm, 16);
+    const Inst &sd = prog.instAt(prog.codeBase() + 4);
+    EXPECT_EQ(sd.op, Op::SD);
+    EXPECT_EQ(sd.rs2, 10);
+    EXPECT_EQ(sd.imm, -8);
+}
+
+TEST(Assembler, DataLabels)
+{
+    Program prog;
+    const Addr arr = prog.allocData("arr", 64);
+    assemble(prog, R"(
+        la s0, arr
+        ld a0, arr(zero)
+        halt
+    )");
+    EXPECT_EQ(prog.instAt(prog.codeBase()).imm,
+              static_cast<std::int64_t>(arr));
+    EXPECT_EQ(prog.instAt(prog.codeBase() + 4).imm,
+              static_cast<std::int64_t>(arr));
+}
+
+TEST(Assembler, Pseudos)
+{
+    Program prog = assembleProgram(R"(
+        mv a0, a1
+        not a2, a3
+        neg a4, a5
+        seqz t0, t1
+        snez t2, t3
+        ret
+        call target
+    target:
+        nop
+    )");
+    EXPECT_EQ(prog.instAt(prog.codeBase()).op, Op::ADDI);
+    EXPECT_EQ(prog.instAt(prog.codeBase() + 4).op, Op::XORI);
+    EXPECT_EQ(prog.instAt(prog.codeBase() + 4).imm, -1);
+    EXPECT_EQ(prog.instAt(prog.codeBase() + 8).op, Op::SUB);
+    const Inst &ret = prog.instAt(prog.codeBase() + 20);
+    EXPECT_EQ(ret.op, Op::JALR);
+    EXPECT_EQ(ret.rd, 0);
+    EXPECT_EQ(ret.rs1, 1);
+    const Inst &call = prog.instAt(prog.codeBase() + 24);
+    EXPECT_EQ(call.op, Op::JAL);
+    EXPECT_EQ(call.rd, 1);
+    EXPECT_EQ(call.imm, 4);
+}
+
+TEST(Assembler, CommentsAndWhitespace)
+{
+    Program prog = assembleProgram(R"(
+        # full-line comment
+        nop        # trailing comment
+        nop        // c++ style
+        nop        ; asm style
+    )");
+    EXPECT_EQ(prog.numInsts(), 3u);
+}
+
+TEST(Assembler, SwappedCompareBranches)
+{
+    Program prog = assembleProgram(R"(
+    top:
+        bgt a0, a1, top
+        ble a2, a3, top
+    )");
+    const Inst &bgt = prog.instAt(prog.codeBase());
+    EXPECT_EQ(bgt.op, Op::BLT);
+    EXPECT_EQ(bgt.rs1, 11); // swapped
+    EXPECT_EQ(bgt.rs2, 10);
+    const Inst &ble = prog.instAt(prog.codeBase() + 4);
+    EXPECT_EQ(ble.op, Op::BGE);
+    EXPECT_EQ(ble.rs1, 13);
+    EXPECT_EQ(ble.rs2, 12);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assembleProgram("bogus a0, a1"), SimFatal);
+    EXPECT_THROW(assembleProgram("add a0, a1"), SimFatal);
+    EXPECT_THROW(assembleProgram("j nowhere"), SimFatal);
+    EXPECT_THROW(assembleProgram("dup:\ndup:\n nop"), SimFatal);
+}

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+using namespace mssr;
+
+TEST(Bitops, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(6), 63u);
+    EXPECT_EQ(mask(64), ~std::uint64_t(0));
+}
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(bits(0xabcd, 7, 4), 0xcu);
+    EXPECT_EQ(bits(0xffffffffffffffffull, 47, 12), mask(36));
+    EXPECT_EQ(bits(0x1000, 12, 12), 1u);
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(log2ceil(1), 0u);
+    EXPECT_EQ(log2ceil(2), 1u);
+    EXPECT_EQ(log2ceil(3), 2u);
+    EXPECT_EQ(log2ceil(64), 6u);
+    EXPECT_EQ(log2floor(64), 6u);
+    EXPECT_EQ(log2floor(65), 6u);
+}
+
+TEST(Bitops, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+}
+
+TEST(Bitops, SignExtend)
+{
+    EXPECT_EQ(sext(0xff, 8), -1);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x1234, 16), 0x1234);
+    EXPECT_EQ(sext(0xffffffffffffffffull, 64), -1);
+}
+
+TEST(Bitops, FoldXor)
+{
+    // Folding a value shorter than the window is identity.
+    EXPECT_EQ(foldXor(0x2b, 8), 0x2bu);
+    // Folding two identical chunks cancels.
+    EXPECT_EQ(foldXor(0xaa00000000000000ull | 0xaa, 8), 0xaau ^ 0xaau);
+    // Result always fits.
+    EXPECT_LE(foldXor(0xdeadbeefcafebabeull, 10), mask(10));
+}

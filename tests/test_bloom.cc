@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "reuse/bloom.hh"
+
+using namespace mssr;
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomFilter bloom(1024, 2);
+    Rng rng(7);
+    std::vector<Addr> inserted;
+    for (int i = 0; i < 200; ++i) {
+        const Addr a = rng.next() & 0xffffff8;
+        bloom.insert(a);
+        inserted.push_back(a);
+    }
+    for (Addr a : inserted)
+        EXPECT_TRUE(bloom.mayContain(a));
+}
+
+TEST(Bloom, EmptyFilterRejectsEverything)
+{
+    BloomFilter bloom(1024, 2);
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(bloom.mayContain(rng.next()));
+}
+
+TEST(Bloom, ResetClears)
+{
+    BloomFilter bloom(256, 2);
+    bloom.insert(0x1000);
+    EXPECT_TRUE(bloom.mayContain(0x1000));
+    bloom.reset();
+    EXPECT_FALSE(bloom.mayContain(0x1000));
+}
+
+TEST(Bloom, FalsePositiveRateIsBounded)
+{
+    BloomFilter bloom(4096, 2);
+    Rng rng(11);
+    for (int i = 0; i < 128; ++i)
+        bloom.insert(rng.next());
+    // With 128 insertions in 4096 bits / 2 hashes the false-positive
+    // rate should be small.
+    int falsePositives = 0;
+    const int probes = 10000;
+    for (int i = 0; i < probes; ++i)
+        falsePositives += bloom.mayContain(rng.next() | 0x1) ? 1 : 0;
+    EXPECT_LT(falsePositives, probes / 20); // < 5%
+}
+
+TEST(Bloom, CountsInsertions)
+{
+    BloomFilter bloom(256, 2);
+    bloom.insert(1);
+    bloom.insert(2);
+    EXPECT_EQ(bloom.insertions(), 2u);
+}

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "frontend/bpu_pipeline.hh"
+#include "isa/assembler.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+CoreConfig
+bimodalCfg()
+{
+    CoreConfig cfg;
+    cfg.predictor = BranchPredictorKind::Bimodal;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BpuPipeline, BlockEndsAtFetchLimit)
+{
+    // 10 plain instructions: the first block must stop at 8 (32B).
+    isa::Program prog = isa::assembleProgram(R"(
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        halt
+    )");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    const PredBlock b = bpu.formBlock();
+    EXPECT_EQ(b.startPC, prog.codeBase());
+    EXPECT_EQ(b.numInsts(), 8u);
+    EXPECT_EQ(b.nextPC, prog.codeBase() + 8 * InstBytes);
+    EXPECT_TRUE(b.branches.empty());
+}
+
+TEST(BpuPipeline, BlockEndsAtPredictedTakenJump)
+{
+    isa::Program prog = isa::assembleProgram(R"(
+        nop
+        j target
+        nop
+    target:
+        halt
+    )");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    const PredBlock b = bpu.formBlock();
+    EXPECT_EQ(b.numInsts(), 2u); // nop + j
+    EXPECT_EQ(b.nextPC, prog.label("target"));
+    ASSERT_EQ(b.branches.size(), 1u);
+    EXPECT_TRUE(b.branches[0].predTaken);
+}
+
+TEST(BpuPipeline, NotTakenBranchDoesNotEndBlock)
+{
+    // Bimodal initializes weakly not-taken: the block runs through the
+    // branch to the fetch limit.
+    isa::Program prog = isa::assembleProgram(R"(
+        beq t0, t1, far
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+    far:
+        halt
+    )");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    const PredBlock b = bpu.formBlock();
+    EXPECT_EQ(b.numInsts(), 8u);
+    ASSERT_EQ(b.branches.size(), 1u);
+    EXPECT_FALSE(b.branches[0].predTaken);
+}
+
+TEST(BpuPipeline, RedirectRetrainsAndRetargets)
+{
+    isa::Program prog = isa::assembleProgram(R"(
+        beq t0, t1, far
+        nop
+    far:
+        halt
+    )");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    PredBlock b = bpu.formBlock();
+    ASSERT_EQ(b.branches.size(), 1u);
+    EXPECT_FALSE(b.branches[0].predTaken);
+    // The branch was actually taken: redirect the frontend.
+    const Addr target = prog.label("far");
+    bpu.redirect(b.branches[0], true, target,
+                 prog.instAt(b.branches[0].pc));
+    EXPECT_EQ(bpu.fetchTarget(), target);
+    // Train at commit a few times; prediction should flip to taken.
+    for (int i = 0; i < 4; ++i)
+        bpu.commitControl(b.branches[0].pc, prog.instAt(b.branches[0].pc),
+                          true, target);
+    bpu.redirectSimple(prog.codeBase());
+    b = bpu.formBlock();
+    ASSERT_EQ(b.branches.size(), 1u);
+    EXPECT_TRUE(b.branches[0].predTaken);
+    EXPECT_EQ(b.nextPC, target);
+}
+
+TEST(BpuPipeline, RasPredictsReturn)
+{
+    isa::Program prog = isa::assembleProgram(R"(
+        call func
+        nop
+        halt
+    func:
+        ret
+    )");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    const PredBlock callBlock = bpu.formBlock();
+    EXPECT_EQ(callBlock.nextPC, prog.label("func"));
+    const PredBlock retBlock = bpu.formBlock();
+    ASSERT_EQ(retBlock.branches.size(), 1u);
+    // The RAS supplies the return target: the instruction after call.
+    EXPECT_EQ(retBlock.nextPC, prog.codeBase() + InstBytes);
+}
+
+TEST(BpuPipeline, JalrUsesBtbAfterTraining)
+{
+    isa::Program prog = isa::assembleProgram(R"(
+        jalr t1, 0(t0)
+        nop
+    dest:
+        halt
+    )");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    // Untrained: falls through (no target knowledge).
+    PredBlock b = bpu.formBlock();
+    EXPECT_EQ(b.nextPC, prog.codeBase() + InstBytes);
+    // Commit-train the BTB, re-form: target predicted.
+    bpu.commitControl(prog.codeBase(), prog.instAt(prog.codeBase()), true,
+                      prog.label("dest"));
+    bpu.redirectSimple(prog.codeBase());
+    b = bpu.formBlock();
+    EXPECT_EQ(b.nextPC, prog.label("dest"));
+}
+
+TEST(BpuPipeline, WrongPathOutsideCodeSynthesizesFullBlocks)
+{
+    isa::Program prog = isa::assembleProgram("halt");
+    CoreConfig cfg = bimodalCfg();
+    BpuPipeline bpu(cfg, prog);
+    bpu.redirectSimple(0xdead000);
+    const PredBlock b = bpu.formBlock();
+    EXPECT_EQ(b.startPC, 0xdead000u);
+    EXPECT_EQ(b.numInsts(), 8u);
+    EXPECT_TRUE(b.branches.empty());
+}

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "bpu/btb.hh"
+#include "bpu/ras.hh"
+
+using namespace mssr;
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(64, 4);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000, 0x2000);
+    ASSERT_TRUE(btb.lookup(0x1000).has_value());
+    EXPECT_EQ(*btb.lookup(0x1000), 0x2000u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb btb(64, 4);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, LruWithinSet)
+{
+    Btb btb(8, 2); // 4 sets x 2 ways
+    // Three PCs mapping to the same set (stride = sets * 4 bytes).
+    const Addr a = 0x1000, b = a + 4 * 4, c = a + 8 * 4;
+    btb.update(a, 1);
+    btb.update(b, 2);
+    btb.lookup(a); // lookups do not refresh LRU (updates do)
+    btb.update(c, 3); // evicts the least recently *updated*: a
+    EXPECT_FALSE(btb.lookup(a).has_value());
+    EXPECT_TRUE(btb.lookup(b).has_value());
+    EXPECT_TRUE(btb.lookup(c).has_value());
+}
+
+TEST(Ras, PushPopOrder)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, SnapshotRepairsSingleDivergence)
+{
+    Ras ras(8);
+    ras.push(0x100);
+    const Ras::Snapshot snap = ras.snapshot();
+    // Wrong path: pop the entry and push garbage.
+    ras.pop();
+    ras.push(0xdead);
+    ras.restore(snap);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, WrapsAround)
+{
+    Ras ras(4);
+    for (Addr i = 1; i <= 6; ++i)
+        ras.push(i * 0x10);
+    // Capacity 4: only the last four survive.
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+}

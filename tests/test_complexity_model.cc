@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "analysis/complexity_model.hh"
+
+using namespace mssr::analysis;
+
+TEST(ComplexityModel, ReconvDetectionScalesWithWpbSize)
+{
+    const auto small = reconvDetectionComplexity(4, 16);
+    const auto mid = reconvDetectionComplexity(4, 32);
+    const auto large = reconvDetectionComplexity(4, 64);
+    // Area and power scale roughly linearly with total entries
+    // (Table 4 trend); logic levels grow slowly (log depth).
+    EXPECT_LT(small.areaUm2, mid.areaUm2);
+    EXPECT_LT(mid.areaUm2, large.areaUm2);
+    EXPECT_LT(small.powerMw, mid.powerMw);
+    EXPECT_LE(small.logicLevels, large.logicLevels);
+    EXPECT_NEAR(large.areaUm2 / small.areaUm2, 4.0, 0.6);
+}
+
+TEST(ComplexityModel, ReconvDetectionAnchorsNearPaper)
+{
+    // The smallest configuration is calibrated against Table 4
+    // (4x16: 13 levels, 2682 um^2, 1.508 mW).
+    const auto e = reconvDetectionComplexity(4, 16);
+    EXPECT_NEAR(e.areaUm2, 2682.0, 300.0);
+    EXPECT_NEAR(e.powerMw, 1.508, 0.2);
+    EXPECT_NEAR(static_cast<double>(e.logicLevels), 13.0, 4.0);
+}
+
+TEST(ComplexityModel, ReuseTestScalesWithPipelineWidth)
+{
+    const auto w4 = reuseTestComplexity(4);
+    const auto w6 = reuseTestComplexity(6);
+    const auto w8 = reuseTestComplexity(8);
+    EXPECT_LT(w4.logicLevels, w8.logicLevels);
+    EXPECT_LT(w4.areaUm2, w6.areaUm2);
+    EXPECT_LT(w6.areaUm2, w8.areaUm2);
+    EXPECT_LT(w4.powerMw, w8.powerMw);
+}
+
+TEST(ComplexityModel, ReuseTestAnchorsNearPaper)
+{
+    // Table 4: width 4 -> 28 levels, 3201 um^2, 3.039 mW.
+    const auto e = reuseTestComplexity(4);
+    EXPECT_NEAR(e.areaUm2, 3201.0, 400.0);
+    EXPECT_NEAR(e.powerMw, 3.039, 0.4);
+    EXPECT_NEAR(static_cast<double>(e.logicLevels), 28.0, 14.0);
+}
+
+TEST(ComplexityModel, LogEntriesHaveMinorLevelImpact)
+{
+    // The paper notes ROB/log sizing barely affects the critical path.
+    const auto p64 = reuseTestComplexity(8, 64);
+    const auto p128 = reuseTestComplexity(8, 128);
+    EXPECT_LE(p128.logicLevels - p64.logicLevels, 2u);
+}

@@ -1,0 +1,177 @@
+/**
+ * Parameterized co-simulation sweeps (TEST_P): the architectural-
+ * equivalence invariant must hold for every combination of reuse
+ * scheme, structure sizing and workload family. These are the
+ * property-style tests of the master invariant: squash reuse never
+ * changes architectural results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "driver/sim_runner.hh"
+#include "sim/func_emu.hh"
+#include "workloads/registry.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+void
+expectMatch(const isa::Program &prog, const SimConfig &cfg,
+            const std::string &what)
+{
+    Memory refMem;
+    FuncEmu emu(prog, refMem);
+    emu.run(50'000'000);
+    ASSERT_TRUE(emu.halted()) << what;
+
+    Memory o3Mem;
+    const RunResult r = runSim(prog, cfg, &o3Mem);
+    ASSERT_TRUE(r.halted) << what;
+    EXPECT_EQ(r.insts, emu.instret()) << what;
+    for (unsigned reg = 0; reg < NumArchRegs; ++reg)
+        ASSERT_EQ(r.archRegs[reg], emu.reg(static_cast<ArchReg>(reg)))
+            << what << " reg " << isa::regName(static_cast<ArchReg>(reg));
+    ASSERT_TRUE(o3Mem.equals(refMem)) << what;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Sweep 1: RGID structure sizing on a reuse-heavy workload.
+
+class RgidSizingCosim
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(RgidSizingCosim, ArchitecturallyInvisible)
+{
+    const auto [streams, entries] = GetParam();
+    workloads::WorkloadScale scale;
+    scale.iterations = 250;
+    scale.graphScale = 6;
+    const isa::Program prog =
+        workloads::buildWorkload("nested-mispred", scale);
+    expectMatch(prog, rgidConfig(streams, entries),
+                "rgid " + std::to_string(streams) + "x" +
+                    std::to_string(entries));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RgidSizingCosim,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(16u, 64u, 128u)));
+
+// ---------------------------------------------------------------------
+// Sweep 2: Register Integration table geometries.
+
+class RiSizingCosim
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(RiSizingCosim, ArchitecturallyInvisible)
+{
+    const auto [sets, ways] = GetParam();
+    workloads::WorkloadScale scale;
+    scale.iterations = 250;
+    const isa::Program prog =
+        workloads::buildWorkload("linear-mispred", scale);
+    expectMatch(prog, regIntConfig(sets, ways),
+                "ri " + std::to_string(sets) + "x" + std::to_string(ways));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RiSizingCosim,
+                         ::testing::Combine(::testing::Values(16u, 64u,
+                                                              128u),
+                                            ::testing::Values(1u, 2u, 4u)));
+
+// ---------------------------------------------------------------------
+// Sweep 3: every workload under every reuse scheme.
+
+class WorkloadSchemeCosim
+    : public ::testing::TestWithParam<std::tuple<std::string, ReuseKind>>
+{
+};
+
+TEST_P(WorkloadSchemeCosim, ArchitecturallyInvisible)
+{
+    const auto [name, kind] = GetParam();
+    workloads::WorkloadScale scale;
+    scale.iterations = 200;
+    scale.graphScale = 6;
+    const isa::Program prog = workloads::buildWorkload(name, scale);
+    SimConfig cfg;
+    cfg.reuseKind = kind;
+    expectMatch(prog, cfg, name + "/" + toString(kind));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSchemeCosim,
+    ::testing::Combine(::testing::Values("astar", "gobmk", "omnetpp",
+                                         "leela", "xz", "sjeng",
+                                         "exchange2", "bfs", "cc", "sssp",
+                                         "tc", "pr", "bc"),
+                       ::testing::Values(ReuseKind::None, ReuseKind::Rgid,
+                                         ReuseKind::RegInt)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 4: core-structure sizing stress under reuse.
+
+class CoreSizingCosim : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CoreSizingCosim, ArchitecturallyInvisible)
+{
+    const unsigned rob = GetParam();
+    workloads::WorkloadScale scale;
+    scale.iterations = 200;
+    const isa::Program prog =
+        workloads::buildWorkload("nested-mispred", scale);
+    SimConfig cfg = rgidConfig(4, 64);
+    cfg.core.robEntries = rob;
+    cfg.core.physRegs = rob; // keep preg count matched to the ROB
+    expectMatch(prog, cfg, "rob " + std::to_string(rob));
+}
+
+INSTANTIATE_TEST_SUITE_P(Robs, CoreSizingCosim,
+                         ::testing::Values(64u, 128u, 256u));
+
+// ---------------------------------------------------------------------
+// Sweep 5: predictor choice changes timing, never results.
+
+class PredictorCosim
+    : public ::testing::TestWithParam<BranchPredictorKind>
+{
+};
+
+TEST_P(PredictorCosim, ArchitecturallyInvisible)
+{
+    workloads::WorkloadScale scale;
+    scale.iterations = 200;
+    const isa::Program prog = workloads::buildWorkload("gobmk", scale);
+    SimConfig cfg = rgidConfig(2, 64);
+    cfg.core.predictor = GetParam();
+    expectMatch(prog, cfg, toString(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PredictorCosim,
+                         ::testing::Values(BranchPredictorKind::Bimodal,
+                                           BranchPredictorKind::Gshare,
+                                           BranchPredictorKind::TageScL),
+                         [](const auto &info) {
+                             std::string name = toString(info.param);
+                             for (auto &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });

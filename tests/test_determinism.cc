@@ -1,0 +1,59 @@
+/**
+ * Determinism: the simulator must be bit-reproducible -- identical
+ * configurations produce identical cycle counts, statistics and
+ * architectural results. The benchmark harness and EXPERIMENTS.md
+ * rely on this.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/sim_runner.hh"
+#include "workloads/registry.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+void
+expectIdentical(const RunResult &a, const RunResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.insts, b.insts) << what;
+    EXPECT_EQ(a.archRegs, b.archRegs) << what;
+    for (const auto &[key, value] : a.stats.scalars())
+        EXPECT_EQ(value, b.stats.get(key)) << what << " stat " << key;
+}
+
+} // namespace
+
+TEST(Determinism, RepeatedRunsAreIdentical)
+{
+    workloads::WorkloadScale scale;
+    scale.iterations = 400;
+    scale.graphScale = 7;
+    for (const std::string name : {"gobmk", "bfs", "xz"}) {
+        const isa::Program prog = workloads::buildWorkload(name, scale);
+        for (const SimConfig &cfg :
+             {baselineConfig(), rgidConfig(4, 64), regIntConfig(64, 4)}) {
+            const RunResult first = runSim(prog, cfg);
+            const RunResult second = runSim(prog, cfg);
+            expectIdentical(first, second,
+                            name + "/" + toString(cfg.reuseKind));
+        }
+    }
+}
+
+TEST(Determinism, RebuiltWorkloadIsIdentical)
+{
+    workloads::WorkloadScale scale;
+    scale.iterations = 300;
+    const isa::Program a = workloads::buildWorkload("astar", scale);
+    const isa::Program b = workloads::buildWorkload("astar", scale);
+    EXPECT_EQ(a.numInsts(), b.numInsts());
+    for (Addr pc = a.codeBase(); pc < a.codeEnd(); pc += InstBytes)
+        ASSERT_EQ(a.instAt(pc), b.instAt(pc)) << std::hex << pc;
+    expectIdentical(runSim(a, rgidConfig(2, 64)),
+                    runSim(b, rgidConfig(2, 64)), "rebuilt astar");
+}

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/sim_runner.hh"
+#include "isa/assembler.hh"
+
+using namespace mssr;
+
+TEST(Driver, ConvenienceConfigs)
+{
+    const SimConfig base = baselineConfig(123);
+    EXPECT_EQ(base.reuseKind, ReuseKind::None);
+    EXPECT_EQ(base.maxInsts, 123u);
+
+    const SimConfig rgid = rgidConfig(2, 128);
+    EXPECT_EQ(rgid.reuseKind, ReuseKind::Rgid);
+    EXPECT_EQ(rgid.reuse.numStreams, 2u);
+    EXPECT_EQ(rgid.reuse.squashLogEntriesPerStream, 128u);
+    EXPECT_EQ(rgid.reuse.wpbEntriesPerStream, 32u); // entries / 4
+
+    const SimConfig ri = regIntConfig(128, 2);
+    EXPECT_EQ(ri.reuseKind, ReuseKind::RegInt);
+    EXPECT_EQ(ri.regint.sets, 128u);
+    EXPECT_EQ(ri.regint.ways, 2u);
+}
+
+TEST(Driver, ToStringNames)
+{
+    EXPECT_EQ(toString(ReuseKind::None), "none");
+    EXPECT_EQ(toString(ReuseKind::Rgid), "rgid");
+    EXPECT_EQ(toString(ReuseKind::RegInt), "regint");
+    EXPECT_EQ(toString(BranchPredictorKind::TageScL), "tage-sc-l");
+    EXPECT_EQ(toString(BranchPredictorKind::Gshare), "gshare");
+    EXPECT_EQ(toString(BranchPredictorKind::Bimodal), "bimodal");
+}
+
+TEST(Driver, ResultHelpers)
+{
+    RunResult base, fast;
+    base.cycles = 200;
+    base.ipc = 1.0;
+    fast.cycles = 100;
+    fast.ipc = 2.0;
+    EXPECT_DOUBLE_EQ(fast.speedupOver(base), 2.0);
+    EXPECT_DOUBLE_EQ(fast.ipcImprovementOver(base), 1.0);
+    RunResult zero;
+    EXPECT_DOUBLE_EQ(zero.speedupOver(base), 0.0);
+}
+
+TEST(Driver, InspectHookSeesFinishedCore)
+{
+    const isa::Program prog = isa::assembleProgram(R"(
+        li t0, 5
+        halt
+    )");
+    bool called = false;
+    runSim(prog, baselineConfig(), nullptr, [&](const O3Cpu &cpu) {
+        called = true;
+        EXPECT_TRUE(cpu.halted());
+        EXPECT_EQ(cpu.archReg(5), 5u);
+    });
+    EXPECT_TRUE(called);
+}
+
+TEST(Driver, PipelineTraceProducesEvents)
+{
+    const isa::Program prog = isa::assembleProgram(R"(
+        li t0, 1
+        addi t0, t0, 2
+        halt
+    )");
+    std::ostringstream trace;
+    SimConfig cfg = baselineConfig();
+    cfg.trace = &trace;
+    runSim(prog, cfg);
+    const std::string text = trace.str();
+    EXPECT_NE(text.find("fetch"), std::string::npos);
+    EXPECT_NE(text.find("rename"), std::string::npos);
+    EXPECT_NE(text.find("commit"), std::string::npos);
+    EXPECT_NE(text.find("addi t0, t0, 2"), std::string::npos);
+}
+
+TEST(Driver, TraceShowsReuseAndSquash)
+{
+    // One hashed H2P branch loop: squashes and reuse appear in traces.
+    const isa::Program prog = isa::assembleProgram(R"(
+        li s0, 0
+        li s1, 300
+    loop:
+        addi t0, s0, 999
+        li t1, -0x61c8864680b583eb
+        mul t0, t0, t1
+        srli t1, t0, 31
+        xor t0, t0, t1
+        andi t1, t0, 1
+        beqz t1, skip
+        addi s2, s2, 1
+    skip:
+        addi s3, s3, 7
+        xori s3, s3, 3
+        addi s0, s0, 1
+        blt s0, s1, loop
+        halt
+    )");
+    std::ostringstream trace;
+    SimConfig cfg = rgidConfig(4, 64);
+    cfg.trace = &trace;
+    const RunResult r = runSim(prog, cfg);
+    const std::string text = trace.str();
+    EXPECT_NE(text.find("squash"), std::string::npos);
+    if (r.stats.get("reuse.success") > 0)
+        EXPECT_NE(text.find("reused"), std::string::npos);
+}

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "core/free_list.hh"
+
+using namespace mssr;
+
+TEST(FreeList, InitialState)
+{
+    FreeList fl(64, 32);
+    EXPECT_EQ(fl.numFree(), 32u);
+    EXPECT_EQ(fl.state(0), PregState::Arch);
+    EXPECT_EQ(fl.state(31), PregState::Arch);
+    EXPECT_EQ(fl.state(32), PregState::Free);
+}
+
+TEST(FreeList, AllocRelease)
+{
+    FreeList fl(40, 32);
+    const PhysReg r = fl.alloc();
+    EXPECT_GE(r, 32);
+    EXPECT_EQ(fl.state(r), PregState::InFlight);
+    EXPECT_EQ(fl.numFree(), 7u);
+    fl.release(r);
+    EXPECT_EQ(fl.state(r), PregState::Free);
+    EXPECT_EQ(fl.numFree(), 8u);
+}
+
+TEST(FreeList, CommitLifecycle)
+{
+    FreeList fl(40, 32);
+    const PhysReg r = fl.alloc();
+    fl.setArch(r);
+    EXPECT_EQ(fl.state(r), PregState::Arch);
+    fl.release(r); // prior mapping freed at a later commit
+    EXPECT_EQ(fl.state(r), PregState::Free);
+}
+
+TEST(FreeList, ReservationLifecycle)
+{
+    FreeList fl(40, 32);
+    const PhysReg r = fl.alloc();
+    fl.reserve(r);
+    EXPECT_EQ(fl.state(r), PregState::Reserved);
+    EXPECT_EQ(fl.countState(PregState::Reserved), 1u);
+    fl.adopt(r); // squash reuse
+    EXPECT_EQ(fl.state(r), PregState::InFlight);
+    fl.reserve(r);
+    fl.release(r); // reservation released without reuse
+    EXPECT_EQ(fl.state(r), PregState::Free);
+}
+
+TEST(FreeList, UnderflowAndDoubleFreePanic)
+{
+    FreeList fl(33, 32);
+    const PhysReg r = fl.alloc();
+    EXPECT_TRUE(fl.empty());
+    EXPECT_THROW(fl.alloc(), SimPanic);
+    fl.release(r);
+    EXPECT_THROW(fl.release(r), SimPanic);
+}
+
+TEST(FreeList, InvalidTransitionsPanic)
+{
+    FreeList fl(40, 32);
+    const PhysReg r = fl.alloc();
+    EXPECT_THROW(fl.adopt(r), SimPanic);   // not reserved
+    fl.setArch(r);
+    EXPECT_THROW(fl.reserve(r), SimPanic); // not in flight
+}
+
+TEST(FreeList, FifoRecycling)
+{
+    FreeList fl(34, 32);
+    const PhysReg a = fl.alloc();
+    const PhysReg b = fl.alloc();
+    fl.release(b);
+    fl.release(a);
+    EXPECT_EQ(fl.alloc(), b); // FIFO: b went back first
+    EXPECT_EQ(fl.alloc(), a);
+}

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/func_emu.hh"
+
+using namespace mssr;
+using namespace mssr::isa;
+
+namespace
+{
+
+/** Runs source to halt, returns the emulator for state inspection. */
+std::pair<std::unique_ptr<FuncEmu>, std::unique_ptr<Memory>>
+runSource(const std::string &source, std::uint64_t max_insts = 100000)
+{
+    auto mem = std::make_unique<Memory>();
+    static thread_local Program prog; // keep alive for the emu
+    prog = assembleProgram(source);
+    auto emu = std::make_unique<FuncEmu>(prog, *mem);
+    emu->run(max_insts);
+    return {std::move(emu), std::move(mem)};
+}
+
+} // namespace
+
+TEST(FuncEmu, ArithmeticLoop)
+{
+    auto [emu, mem] = runSource(R"(
+        li t0, 0
+        li t1, 10
+        li t2, 0
+    loop:
+        add t2, t2, t0
+        addi t0, t0, 1
+        blt t0, t1, loop
+        halt
+    )");
+    EXPECT_TRUE(emu->halted());
+    EXPECT_EQ(emu->reg(7), 45u); // t2 = sum 0..9
+}
+
+TEST(FuncEmu, LoadStoreRoundTrip)
+{
+    auto [emu, mem] = runSource(R"(
+        li t0, 0x123456789abcdef0
+        li t1, 0x200000
+        sd t0, 0(t1)
+        ld t2, 0(t1)
+        lw t3, 0(t1)
+        lwu t4, 0(t1)
+        lb t5, 7(t1)
+        halt
+    )");
+    EXPECT_EQ(emu->reg(7), 0x123456789abcdef0ull);   // t2
+    EXPECT_EQ(emu->reg(28), 0xffffffff9abcdef0ull);  // t3: lw sext
+    EXPECT_EQ(emu->reg(29), 0x9abcdef0ull);          // t4: lwu zext
+    EXPECT_EQ(emu->reg(30), 0x12ull);                // t5
+    EXPECT_EQ(mem->read64(0x200000), 0x123456789abcdef0ull);
+}
+
+TEST(FuncEmu, CallAndReturn)
+{
+    auto [emu, mem] = runSource(R"(
+        li a0, 5
+        call double_it
+        mv s0, a0
+        halt
+    double_it:
+        slli a0, a0, 1
+        ret
+    )");
+    EXPECT_EQ(emu->reg(8), 10u); // s0
+}
+
+TEST(FuncEmu, ZeroRegisterIsImmutable)
+{
+    auto [emu, mem] = runSource(R"(
+        addi zero, zero, 99
+        mv t0, zero
+        halt
+    )");
+    EXPECT_EQ(emu->reg(0), 0u);
+    EXPECT_EQ(emu->reg(5), 0u);
+}
+
+TEST(FuncEmu, StackPointerInitialized)
+{
+    Program prog = assembleProgram(R"(
+        addi sp, sp, -16
+        sd ra, 8(sp)
+        halt
+    )");
+    Memory mem;
+    FuncEmu emu(prog, mem);
+    EXPECT_EQ(emu.reg(2), prog.stackTop());
+    emu.run();
+    EXPECT_EQ(emu.reg(2), prog.stackTop() - 16);
+}
+
+TEST(FuncEmu, InstretCountsExecuted)
+{
+    auto [emu, mem] = runSource(R"(
+        nop
+        nop
+        halt
+    )");
+    EXPECT_EQ(emu->instret(), 3u);
+}
+
+TEST(FuncEmu, RunRespectsMaxInsts)
+{
+    Program prog = assembleProgram(R"(
+    spin:
+        j spin
+    )");
+    Memory mem;
+    FuncEmu emu(prog, mem);
+    EXPECT_EQ(emu.run(1000), 1000u);
+    EXPECT_FALSE(emu.halted());
+}
+
+TEST(FuncEmu, DataImageLoaded)
+{
+    Program prog;
+    const Addr arr = prog.allocData("arr", 16);
+    prog.initData64(arr, {42, -7});
+    assemble(prog, R"(
+        la t0, arr
+        ld t1, 0(t0)
+        ld t2, 8(t0)
+        halt
+    )");
+    Memory mem;
+    FuncEmu emu(prog, mem);
+    emu.run();
+    EXPECT_EQ(emu.reg(6), 42u);
+    EXPECT_EQ(emu.reg(7), static_cast<RegVal>(-7));
+}

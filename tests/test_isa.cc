@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+
+using namespace mssr;
+using namespace mssr::isa;
+
+namespace
+{
+
+Inst
+make(Op op, ArchReg rd = 0, ArchReg rs1 = 0, ArchReg rs2 = 0,
+     std::int64_t imm = 0)
+{
+    return Inst{op, rd, rs1, rs2, imm};
+}
+
+} // namespace
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(make(Op::LD).isLoad());
+    EXPECT_TRUE(make(Op::SB).isStore());
+    EXPECT_TRUE(make(Op::BEQ).isCondBranch());
+    EXPECT_TRUE(make(Op::JAL).isJump());
+    EXPECT_TRUE(make(Op::JALR).isControl());
+    EXPECT_FALSE(make(Op::ADD).isControl());
+    EXPECT_TRUE(make(Op::HALT).isHalt());
+}
+
+TEST(Isa, SourceAndDestPresence)
+{
+    EXPECT_TRUE(make(Op::ADD, 1, 2, 3).hasRs1());
+    EXPECT_TRUE(make(Op::ADD, 1, 2, 3).hasRs2());
+    EXPECT_FALSE(make(Op::ADDI, 1, 2).hasRs2());
+    EXPECT_FALSE(make(Op::LI, 1).hasRs1());
+    EXPECT_FALSE(make(Op::JAL, 1).hasRs1());
+    EXPECT_TRUE(make(Op::JALR, 1, 2).hasRs1());
+    // x0 destination writes are architecturally void.
+    EXPECT_FALSE(make(Op::ADD, 0, 1, 2).hasRd());
+    EXPECT_TRUE(make(Op::ADD, 5, 1, 2).hasRd());
+    // Stores and branches have no destination.
+    EXPECT_FALSE(make(Op::SD, 0, 1, 2).hasRd());
+    EXPECT_FALSE(make(Op::BEQ, 0, 1, 2).hasRd());
+}
+
+TEST(Isa, MemBytes)
+{
+    EXPECT_EQ(make(Op::LB).memBytes(), 1u);
+    EXPECT_EQ(make(Op::LHU).memBytes(), 2u);
+    EXPECT_EQ(make(Op::SW).memBytes(), 4u);
+    EXPECT_EQ(make(Op::LD).memBytes(), 8u);
+    EXPECT_TRUE(make(Op::LW).memSigned());
+    EXPECT_FALSE(make(Op::LWU).memSigned());
+}
+
+TEST(Isa, FuClasses)
+{
+    EXPECT_EQ(make(Op::ADD).fuClass(), FuClass::Alu);
+    EXPECT_EQ(make(Op::MUL).fuClass(), FuClass::Mul);
+    EXPECT_EQ(make(Op::DIV).fuClass(), FuClass::Div);
+    EXPECT_EQ(make(Op::BEQ).fuClass(), FuClass::Branch);
+    EXPECT_EQ(make(Op::LD).fuClass(), FuClass::Load);
+    EXPECT_EQ(make(Op::SD).fuClass(), FuClass::Store);
+    EXPECT_EQ(make(Op::NOP).fuClass(), FuClass::None);
+}
+
+TEST(Isa, AluSemantics)
+{
+    EXPECT_EQ(evalAlu(make(Op::ADD), 2, 3), 5u);
+    EXPECT_EQ(evalAlu(make(Op::SUB), 2, 3), static_cast<RegVal>(-1));
+    EXPECT_EQ(evalAlu(make(Op::SRA), static_cast<RegVal>(-8), 1),
+              static_cast<RegVal>(-4));
+    EXPECT_EQ(evalAlu(make(Op::SRL), static_cast<RegVal>(-8), 1),
+              (~RegVal(0) - 7) >> 1);
+    EXPECT_EQ(evalAlu(make(Op::SLT), static_cast<RegVal>(-1), 1), 1u);
+    EXPECT_EQ(evalAlu(make(Op::SLTU), static_cast<RegVal>(-1), 1), 0u);
+    EXPECT_EQ(evalAlu(make(Op::MUL), 7, 6), 42u);
+    EXPECT_EQ(evalAlu(make(Op::ADDI, 0, 0, 0, -5), 3, 0),
+              static_cast<RegVal>(-2));
+    EXPECT_EQ(evalAlu(make(Op::LI, 0, 0, 0, 123), 0, 0), 123u);
+}
+
+TEST(Isa, DivisionEdgeCases)
+{
+    // RISC-V semantics: div by zero = -1, rem by zero = dividend.
+    EXPECT_EQ(evalAlu(make(Op::DIV), 10, 0), ~RegVal(0));
+    EXPECT_EQ(evalAlu(make(Op::REM), 10, 0), 10u);
+    // INT64_MIN / -1 = INT64_MIN, rem = 0.
+    const RegVal int_min = RegVal(1) << 63;
+    EXPECT_EQ(evalAlu(make(Op::DIV), int_min, static_cast<RegVal>(-1)),
+              int_min);
+    EXPECT_EQ(evalAlu(make(Op::REM), int_min, static_cast<RegVal>(-1)), 0u);
+    EXPECT_EQ(evalAlu(make(Op::DIV), static_cast<RegVal>(-7), 2),
+              static_cast<RegVal>(-3));
+}
+
+TEST(Isa, BranchSemantics)
+{
+    EXPECT_TRUE(evalCondBranch(make(Op::BEQ), 5, 5));
+    EXPECT_FALSE(evalCondBranch(make(Op::BNE), 5, 5));
+    EXPECT_TRUE(evalCondBranch(make(Op::BLT), static_cast<RegVal>(-1), 0));
+    EXPECT_FALSE(evalCondBranch(make(Op::BLTU), static_cast<RegVal>(-1), 0));
+    EXPECT_TRUE(evalCondBranch(make(Op::BGEU), static_cast<RegVal>(-1), 0));
+}
+
+TEST(Isa, Targets)
+{
+    EXPECT_EQ(evalTarget(make(Op::JAL, 1, 0, 0, 16), 0x1000, 0), 0x1010u);
+    EXPECT_EQ(evalTarget(make(Op::JALR, 1, 2, 0, 5), 0x1000, 0x2000),
+              0x2004u); // low bit cleared
+    EXPECT_EQ(evalTarget(make(Op::BEQ, 0, 1, 2, -8), 0x1000, 0), 0xff8u);
+}
+
+TEST(Isa, Disassembly)
+{
+    EXPECT_EQ(disasm(make(Op::ADD, 10, 11, 12), 0), "add a0, a1, a2");
+    EXPECT_EQ(disasm(make(Op::LD, 5, 2, 0, 16), 0), "ld t0, 16(sp)");
+    EXPECT_EQ(disasm(make(Op::SD, 0, 2, 5, 8), 0), "sd t0, 8(sp)");
+    EXPECT_EQ(disasm(make(Op::HALT), 0), "halt");
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "core/issue_queue.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+DynInstPtr
+makeInst(SeqNum seq)
+{
+    auto inst = std::make_shared<DynInst>();
+    inst->seq = seq;
+    return inst;
+}
+
+} // namespace
+
+TEST(IssueQueue, SelectsOldestReadyFirst)
+{
+    IssueQueue iq(8);
+    auto a = makeInst(1), b = makeInst(2), c = makeInst(3);
+    iq.insert(a);
+    iq.insert(b);
+    iq.insert(c);
+    // Only b and c ready; width 1 picks b (oldest ready).
+    auto picked = iq.selectReady(
+        1, [&](const DynInstPtr &inst) { return inst->seq >= 2; });
+    ASSERT_EQ(picked.size(), 1u);
+    EXPECT_EQ(picked[0]->seq, 2u);
+    EXPECT_EQ(iq.size(), 2u);
+    EXPECT_FALSE(b->inIq);
+    EXPECT_TRUE(a->inIq);
+}
+
+TEST(IssueQueue, WidthLimitsSelection)
+{
+    IssueQueue iq(8);
+    for (SeqNum s = 1; s <= 5; ++s)
+        iq.insert(makeInst(s));
+    auto picked =
+        iq.selectReady(3, [](const DynInstPtr &) { return true; });
+    EXPECT_EQ(picked.size(), 3u);
+    EXPECT_EQ(picked[0]->seq, 1u);
+    EXPECT_EQ(picked[2]->seq, 3u);
+}
+
+TEST(IssueQueue, CapacityEnforced)
+{
+    IssueQueue iq(1);
+    iq.insert(makeInst(1));
+    EXPECT_TRUE(iq.full());
+    EXPECT_THROW(iq.insert(makeInst(2)), SimPanic);
+}
+
+TEST(IssueQueue, SquashRemovesYounger)
+{
+    IssueQueue iq(8);
+    for (SeqNum s = 1; s <= 4; ++s)
+        iq.insert(makeInst(s));
+    iq.squashAfter(2);
+    EXPECT_EQ(iq.size(), 2u);
+    auto picked =
+        iq.selectReady(8, [](const DynInstPtr &) { return true; });
+    ASSERT_EQ(picked.size(), 2u);
+    EXPECT_EQ(picked[1]->seq, 2u);
+}
+
+TEST(IssueQueue, NoneReadyNoneSelected)
+{
+    IssueQueue iq(4);
+    iq.insert(makeInst(1));
+    auto picked =
+        iq.selectReady(4, [](const DynInstPtr &) { return false; });
+    EXPECT_TRUE(picked.empty());
+    EXPECT_EQ(iq.size(), 1u);
+}

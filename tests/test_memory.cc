@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+
+using namespace mssr;
+
+TEST(Memory, ZeroInitialized)
+{
+    Memory mem;
+    EXPECT_EQ(mem.read64(0x1000), 0u);
+    EXPECT_EQ(mem.numPages(), 0u); // reads allocate nothing
+}
+
+TEST(Memory, ReadWriteRoundTrip)
+{
+    Memory mem;
+    mem.write64(0x2000, 0xdeadbeefcafebabeull);
+    EXPECT_EQ(mem.read64(0x2000), 0xdeadbeefcafebabeull);
+    EXPECT_EQ(mem.read32(0x2000), 0xcafebabeu);
+    EXPECT_EQ(mem.read8(0x2007), 0xdeu);
+}
+
+TEST(Memory, LittleEndianByteOrder)
+{
+    Memory mem;
+    mem.write(0x3000, 0x0102030405060708ull, 8);
+    EXPECT_EQ(mem.read8(0x3000), 0x08u);
+    EXPECT_EQ(mem.read8(0x3007), 0x01u);
+}
+
+TEST(Memory, CrossPageAccess)
+{
+    Memory mem;
+    const Addr addr = Memory::PageBytes - 4;
+    mem.write64(addr, 0x1122334455667788ull);
+    EXPECT_EQ(mem.read64(addr), 0x1122334455667788ull);
+    EXPECT_EQ(mem.numPages(), 2u);
+}
+
+TEST(Memory, PartialWidthWrites)
+{
+    Memory mem;
+    mem.write64(0x100, ~0ull);
+    mem.write8(0x100, 0);
+    EXPECT_EQ(mem.read64(0x100), 0xffffffffffffff00ull);
+    mem.write(0x102, 0xabcd, 2);
+    EXPECT_EQ(mem.read(0x102, 2), 0xabcdu);
+}
+
+TEST(Memory, Equals)
+{
+    Memory a, b;
+    EXPECT_TRUE(a.equals(b));
+    a.write64(0x5000, 42);
+    EXPECT_FALSE(a.equals(b));
+    b.write64(0x5000, 42);
+    EXPECT_TRUE(a.equals(b));
+    // Explicit zero page on one side still equals a missing page.
+    a.write64(0x9000, 0);
+    EXPECT_TRUE(a.equals(b));
+}

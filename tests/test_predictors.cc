@@ -1,0 +1,187 @@
+/**
+ * Direction-predictor behaviour tests: learnability of simple
+ * patterns, speculative-history snapshot/restore, and the expected
+ * capability ordering (TAGE handles history-correlated patterns that
+ * bimodal cannot).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "bpu/bimodal.hh"
+#include "bpu/gshare.hh"
+#include "bpu/loop_predictor.hh"
+#include "bpu/statistical_corrector.hh"
+#include "bpu/tage.hh"
+#include "bpu/tage_sc_l.hh"
+#include "common/rng.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+/**
+ * Trains @p pred on @p pattern(i) for a branch at @p pc and returns
+ * the accuracy over the last quarter of @p iters trials.
+ */
+double
+accuracy(DirPredictor &pred, Addr pc, unsigned iters,
+         const std::function<bool(unsigned)> &pattern)
+{
+    unsigned correct = 0, measured = 0;
+    for (unsigned i = 0; i < iters; ++i) {
+        const bool taken = pattern(i);
+        const bool guess = pred.predict(pc);
+        pred.specUpdate(pc, taken); // in-order: spec follows actual
+        pred.commitUpdate(pc, taken);
+        if (i >= iters - iters / 4) {
+            ++measured;
+            correct += guess == taken ? 1 : 0;
+        }
+    }
+    return static_cast<double>(correct) / measured;
+}
+
+} // namespace
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor pred;
+    EXPECT_GT(accuracy(pred, 0x1000, 400, [](unsigned) { return true; }),
+              0.99);
+    BimodalPredictor pred2;
+    EXPECT_GT(accuracy(pred2, 0x1000, 400, [](unsigned) { return false; }),
+              0.99);
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    BimodalPredictor pred;
+    const double acc =
+        accuracy(pred, 0x2000, 1000, [](unsigned i) { return i % 2 == 0; });
+    EXPECT_LT(acc, 0.7); // 2-bit counters thrash on T/N/T/N
+}
+
+TEST(Gshare, LearnsShortPattern)
+{
+    GsharePredictor pred;
+    EXPECT_GT(accuracy(pred, 0x3000, 4000,
+                       [](unsigned i) { return i % 3 == 0; }),
+              0.95);
+}
+
+TEST(Tage, LearnsLongPeriodicPattern)
+{
+    TagePredictor pred;
+    // Period-20 pattern: needs real history, defeats bimodal.
+    EXPECT_GT(accuracy(pred, 0x4000, 20000,
+                       [](unsigned i) { return (i % 20) < 7; }),
+              0.95);
+}
+
+TEST(Tage, RandomIsUnpredictable)
+{
+    TagePredictor pred;
+    Rng rng(3);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 8000; ++i)
+        outcomes.push_back(rng.chance(0.5));
+    const double acc = accuracy(pred, 0x5000, 8000,
+                                [&](unsigned i) { return outcomes[i]; });
+    EXPECT_LT(acc, 0.62); // near coin-flip on true randomness
+}
+
+TEST(Tage, SnapshotRestoreRoundTrip)
+{
+    TagePredictor pred;
+    for (int i = 0; i < 50; ++i)
+        pred.specUpdate(0x100, i % 3 == 0);
+    const PredSnapshot snap = pred.snapshot();
+    const bool before = pred.predict(0x100);
+    // Pollute speculative history (wrong path), then restore.
+    for (int i = 0; i < 30; ++i)
+        pred.specUpdate(0x104, true);
+    pred.restore(snap);
+    EXPECT_EQ(pred.predict(0x100), before);
+}
+
+TEST(TageScL, LoopPredictorCapturesFixedTripLoops)
+{
+    // Trip count 37 defeats short-history predictors; the loop
+    // predictor should nail the exit after warmup.
+    TageScLPredictor pred;
+    const double acc = accuracy(pred, 0x6000, 37 * 300, [](unsigned i) {
+        return (i % 37) != 36; // taken 36x, exit once
+    });
+    EXPECT_GT(acc, 0.99);
+}
+
+TEST(LoopPredictor, LearnsTripCount)
+{
+    LoopPredictor loop(64, 3, /*min_trip*/ 0);
+    const Addr pc = 0x7000;
+    // Warm up several full loop executions with trip count 5.
+    for (int rep = 0; rep < 6; ++rep) {
+        for (int i = 0; i < 5; ++i) {
+            const bool taken = i != 4;
+            loop.specUpdate(pc, taken);
+            loop.commitUpdate(pc, taken);
+        }
+    }
+    // Now confident: predicts taken for 4 iterations then exit.
+    for (int i = 0; i < 5; ++i) {
+        const auto p = loop.predict(pc);
+        ASSERT_TRUE(p.valid) << "iteration " << i;
+        EXPECT_EQ(p.taken, i != 4) << "iteration " << i;
+        loop.specUpdate(pc, i != 4);
+        loop.commitUpdate(pc, i != 4);
+    }
+}
+
+TEST(LoopPredictor, SquashResyncsSpeculativeState)
+{
+    LoopPredictor loop(64, 0, 0); // no thresholds: always valid
+    const Addr pc = 0x8000;
+    for (int rep = 0; rep < 4; ++rep)
+        for (int i = 0; i < 4; ++i) {
+            loop.specUpdate(pc, i != 3);
+            loop.commitUpdate(pc, i != 3);
+        }
+    // Speculatively advance without commits, then squash.
+    loop.specUpdate(pc, true);
+    loop.specUpdate(pc, true);
+    loop.squash();
+    // After squash the speculative iteration equals the committed one,
+    // so the prediction sequence restarts from the beginning.
+    const auto p = loop.predict(pc);
+    EXPECT_TRUE(p.valid);
+    EXPECT_TRUE(p.taken);
+}
+
+TEST(StatisticalCorrector, LearnsDisagreement)
+{
+    StatisticalCorrector sc;
+    GlobalHistory hist;
+    const Addr pc = 0x9000;
+    // TAGE always says taken; reality is always not-taken.
+    for (int i = 0; i < 200; ++i)
+        sc.train(pc, true, false, hist);
+    EXPECT_TRUE(sc.shouldRevert(pc, true, true, hist));
+    // Strong (non-weak) TAGE predictions are never reverted.
+    EXPECT_FALSE(sc.shouldRevert(pc, true, false, hist));
+}
+
+TEST(GlobalHistory, FoldStability)
+{
+    GlobalHistory a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.shift(i % 3 == 0);
+        b.shift(i % 3 == 0);
+    }
+    EXPECT_EQ(a.fold(64, 10), b.fold(64, 10));
+    a.shift(true);
+    b.shift(false);
+    EXPECT_NE(a.fold(4, 10), b.fold(4, 10));
+}

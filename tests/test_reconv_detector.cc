@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "reuse/reconv_detector.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+WpbStream
+makeStream(std::initializer_list<std::pair<Addr, Addr>> blocks,
+           Addr vpn_pc = 0)
+{
+    WpbStream stream;
+    stream.valid = true;
+    for (auto [s, e] : blocks)
+        stream.entries.push_back(WpbEntry{true, s, e});
+    // Pad to a fixed size with invalid entries as the hardware would.
+    while (stream.entries.size() < 8)
+        stream.entries.push_back(WpbEntry{});
+    stream.vpn = (vpn_pc ? vpn_pc : blocks.begin()->first) >> 12;
+    return stream;
+}
+
+} // namespace
+
+TEST(ReconvDetector, AlignerMasks)
+{
+    const WpbStream s = makeStream({{0x1000, 0x101c}, {0x1040, 0x105c}});
+    // head_start below both ends -> both bits set in the left mask.
+    EXPECT_EQ(ReconvDetector::leftAlignerMask(s, 0x0800), 0b11u);
+    // head_start above the first block's end -> only entry 1.
+    EXPECT_EQ(ReconvDetector::leftAlignerMask(s, 0x1020), 0b10u);
+    // head_end below both starts -> right mask empty.
+    EXPECT_EQ(ReconvDetector::rightAlignerMask(s, 0x0800), 0u);
+    EXPECT_EQ(ReconvDetector::rightAlignerMask(s, 0x1040), 0b11u);
+}
+
+TEST(ReconvDetector, ExactOverlapDetection)
+{
+    const WpbStream s = makeStream({{0x1000, 0x101c}});
+    // Overlapping block.
+    ReconvHit hit = ReconvDetector::match(s, 0x1010, 0x102c, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.entryIdx, 0u);
+    EXPECT_EQ(hit.reconvPC, 0x1010u); // max(head_start, wpb_start)
+    EXPECT_EQ(hit.instOffset, 4u);    // (0x1010-0x1000)/4
+    // Disjoint block.
+    EXPECT_FALSE(ReconvDetector::match(s, 0x1020, 0x103c, false).found);
+    // Head entirely inside.
+    hit = ReconvDetector::match(s, 0x1004, 0x1008, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.reconvPC, 0x1004u);
+}
+
+TEST(ReconvDetector, PriorityEncoderPicksFirstEntry)
+{
+    // Two WPB entries cover overlapping PC ranges (a loop fetched
+    // twice on the wrong path): the first (oldest) entry must win.
+    const WpbStream s = makeStream({{0x1000, 0x101c}, {0x1000, 0x101c}});
+    const ReconvHit hit = ReconvDetector::match(s, 0x1008, 0x1024, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.entryIdx, 0u);
+}
+
+TEST(ReconvDetector, InstOffsetAccumulatesEarlierBlocks)
+{
+    const WpbStream s =
+        makeStream({{0x1000, 0x101c}, {0x2000, 0x2004}, {0x3000, 0x301c}});
+    const ReconvHit hit = ReconvDetector::match(s, 0x3008, 0x3024, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.entryIdx, 2u);
+    // 8 insts (block 0) + 2 insts (block 1) + (0x3008-0x3000)/4 = 12.
+    EXPECT_EQ(hit.instOffset, 12u);
+}
+
+TEST(ReconvDetector, VpnRestriction)
+{
+    const WpbStream s = makeStream({{0x1000, 0x101c}});
+    // Same page: found.
+    EXPECT_TRUE(ReconvDetector::match(s, 0x1000, 0x101c, true).found);
+    // A different page whose low bits alias would wrongly match
+    // without the VPN compare.
+    WpbStream aliased = s;
+    const ReconvHit wrongPage =
+        ReconvDetector::match(aliased, 0x5000 + 0, 0x5000 + 0x1c, true);
+    EXPECT_FALSE(wrongPage.found);
+}
+
+TEST(ReconvDetector, InvalidStreamNeverMatches)
+{
+    WpbStream s = makeStream({{0x1000, 0x101c}});
+    s.valid = false;
+    EXPECT_FALSE(ReconvDetector::match(s, 0x1000, 0x101c, false).found);
+}

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "core/rename_map.hh"
+
+using namespace mssr;
+
+TEST(RenameMap, IdentityInitialMapping)
+{
+    RenameMap rat;
+    for (unsigned r = 0; r < NumArchRegs; ++r) {
+        EXPECT_EQ(rat.preg(static_cast<ArchReg>(r)), r);
+        EXPECT_EQ(rat.rgid(static_cast<ArchReg>(r)), 0u);
+    }
+}
+
+TEST(RenameMap, SetAndRead)
+{
+    RenameMap rat;
+    rat.set(5, 100, 7);
+    EXPECT_EQ(rat.preg(5), 100u);
+    EXPECT_EQ(rat.rgid(5), 7u);
+    EXPECT_EQ(rat.preg(6), 6u); // neighbours untouched
+}
+
+TEST(RenameMap, SnapshotRestore)
+{
+    RenameMap rat;
+    rat.set(3, 40, 1);
+    const auto snap = rat.snapshot();
+    rat.set(3, 50, 2);
+    rat.set(4, 60, 1);
+    rat.restore(snap);
+    EXPECT_EQ(rat.preg(3), 40u);
+    EXPECT_EQ(rat.rgid(3), 1u);
+    EXPECT_EQ(rat.preg(4), 4u);
+}
+
+TEST(RenameMap, ZeroRegisterProtected)
+{
+    RenameMap rat;
+    EXPECT_THROW(rat.set(0, 99, 1), SimPanic);
+    rat.set(0, 0, 0); // re-setting the identity is fine
+}

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/report.hh"
+
+using namespace mssr::analysis;
+
+TEST(Report, PercentFormatting)
+{
+    EXPECT_EQ(percent(0.024), "+2.4%");
+    EXPECT_EQ(percent(-0.001), "-0.1%");
+    EXPECT_EQ(percent(0.0), "+0.0%");
+    EXPECT_EQ(percent(0.12345, 2), "+12.35%");
+}
+
+TEST(Report, FixedFormatting)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"Name", "Value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string text = os.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+    // The value column starts at the same offset on each line.
+    const auto lines = [&] {
+        std::vector<std::string> out;
+        std::istringstream in(text);
+        std::string line;
+        while (std::getline(in, line))
+            out.push_back(line);
+        return out;
+    }();
+    EXPECT_EQ(lines[0].find("Value"), lines[2].find("1"));
+    EXPECT_EQ(lines[0].find("Value"), lines[3].find("22"));
+}
+
+TEST(Report, ShortRowsArePadded)
+{
+    Table t({"A", "B", "C"});
+    t.addRow({"only-one"});
+    std::ostringstream os;
+    t.print(os); // must not throw
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Report, Banner)
+{
+    std::ostringstream os;
+    banner(os, "Table 1");
+    EXPECT_NE(os.str().find("=== Table 1 ==="), std::string::npos);
+}

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "reuse/rgid.hh"
+
+using namespace mssr;
+
+TEST(Rgid, MonotonicPerRegister)
+{
+    RgidAllocator alloc(6);
+    EXPECT_EQ(alloc.alloc(10), 1u);
+    EXPECT_EQ(alloc.alloc(10), 2u);
+    EXPECT_EQ(alloc.alloc(11), 1u); // independent counter
+    EXPECT_EQ(alloc.alloc(10), 3u);
+    EXPECT_EQ(alloc.next(10), 4u);
+}
+
+TEST(Rgid, WindowSizeFollowsBitWidth)
+{
+    EXPECT_EQ(RgidAllocator(6).window(), 62u); // 2^6 - 2
+    EXPECT_EQ(RgidAllocator(4).window(), 14u);
+    EXPECT_EQ(RgidAllocator(8).window(), 254u);
+}
+
+TEST(Rgid, FreshRgidsAreInWindow)
+{
+    RgidAllocator alloc(6);
+    const Rgid r = alloc.alloc(5);
+    EXPECT_TRUE(alloc.inWindow(5, r));
+}
+
+TEST(Rgid, OldGenerationsFallOutOfWindow)
+{
+    RgidAllocator alloc(4); // window = 14 generations
+    const Rgid old = alloc.alloc(3);
+    for (int i = 0; i < 13; ++i)
+        alloc.alloc(3);
+    EXPECT_TRUE(alloc.inWindow(3, old)); // exactly at the edge
+    alloc.alloc(3);
+    EXPECT_FALSE(alloc.inWindow(3, old)); // a 4-bit tag has wrapped
+    // Other registers' windows are unaffected.
+    const Rgid other = alloc.alloc(7);
+    EXPECT_TRUE(alloc.inWindow(7, other));
+}
+
+TEST(Rgid, WindowTracksPerRegisterIndependently)
+{
+    RgidAllocator alloc(4);
+    const Rgid a = alloc.alloc(1);
+    const Rgid b = alloc.alloc(2);
+    for (int i = 0; i < 20; ++i)
+        alloc.alloc(1); // exhaust reg 1's window only
+    EXPECT_FALSE(alloc.inWindow(1, a));
+    EXPECT_TRUE(alloc.inWindow(2, b));
+}
+
+TEST(Rgid, InvalidWidthRejected)
+{
+    EXPECT_THROW(RgidAllocator(1), SimPanic);
+    EXPECT_THROW(RgidAllocator(17), SimPanic);
+}

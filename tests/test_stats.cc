@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace mssr;
+
+TEST(StatSet, SetGetAdd)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("x"));
+    EXPECT_EQ(s.get("x", -1.0), -1.0);
+    s.set("x", 3.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_EQ(s.get("x"), 3.0);
+    s.add("x", 2.0);
+    EXPECT_EQ(s.get("x"), 5.0);
+    s.add("fresh", 1.0); // add creates
+    EXPECT_EQ(s.get("fresh"), 1.0);
+}
+
+TEST(StatSet, DumpSortedByName)
+{
+    StatSet s;
+    s.set("b", 2);
+    s.set("a", 1);
+    std::ostringstream os;
+    s.dump(os);
+    const std::string text = os.str();
+    EXPECT_LT(text.find("a"), text.find("b"));
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4); // buckets 0..3 + overflow
+    h.sample(0);
+    h.sample(1);
+    h.sample(1);
+    h.sample(9); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(4), 1u); // overflow bucket
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(4);
+    for (int i = 0; i < 3; ++i)
+        h.sample(0);
+    h.sample(1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.75);
+}
+
+TEST(Histogram, EmptyFractionsAreZero)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(3), 0.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(2);
+    h.sample(1);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}

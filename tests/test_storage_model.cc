@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "analysis/storage_model.hh"
+#include "common/bitops.hh"
+
+using namespace mssr::analysis;
+
+TEST(StorageModel, MatchesTable2ConstantPart)
+{
+    const StorageBreakdown b = computeStorage(StorageParams{});
+    // Table 2: (4 x 6 x 256 + 64 x 6 + 64 x 6 x 32) = 18816 bits.
+    EXPECT_EQ(b.robRgidBits, 4u * 6 * 256);
+    EXPECT_EQ(b.ratRgidBits, 64u * 6);
+    EXPECT_EQ(b.ratCheckpointBits, 64u * 6 * 32);
+    EXPECT_EQ(b.constantBits(), 18816u);
+    EXPECT_NEAR(b.constantKB(), 2.30, 0.005);
+}
+
+TEST(StorageModel, MatchesTable2VariablePart)
+{
+    // N=4, M=16, P=64: (23M + 33P + 36)N + log2(M P N^4) = 10082 bits.
+    const StorageBreakdown b = computeStorage(StorageParams{});
+    EXPECT_EQ(b.variableBits(), 10082u);
+    EXPECT_NEAR(b.variableKB(), 1.23, 0.005);
+    EXPECT_NEAR(b.totalKB(), 3.53, 0.01);
+}
+
+TEST(StorageModel, Table2ClosedFormAgreesWithBreakdown)
+{
+    // Check the paper's closed-form for several configurations.
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        for (unsigned m : {8u, 16u, 32u}) {
+            for (unsigned p : {32u, 64u, 128u}) {
+                StorageParams params;
+                params.numStreams = n;
+                params.wpbEntries = m;
+                params.squashLogEntries = p;
+                const StorageBreakdown b = computeStorage(params);
+                const std::uint64_t pointers =
+                    2 * mssr::log2ceil(n) + mssr::log2ceil(m) +
+                    2 * mssr::log2ceil(n) + mssr::log2ceil(p);
+                const std::uint64_t closedForm =
+                    std::uint64_t(23 * m + 33 * p + 36) * n + pointers;
+                EXPECT_EQ(b.variableBits(), closedForm)
+                    << "N=" << n << " M=" << m << " P=" << p;
+            }
+        }
+    }
+}
+
+TEST(StorageModel, ScalesLinearlyInStreams)
+{
+    StorageParams params;
+    params.numStreams = 2;
+    const auto two = computeStorage(params);
+    params.numStreams = 4;
+    const auto four = computeStorage(params);
+    // Entry storage doubles; only pointer widths deviate slightly.
+    EXPECT_NEAR(static_cast<double>(four.wpbBits),
+                2.0 * static_cast<double>(two.wpbBits), 1.0);
+    EXPECT_NEAR(static_cast<double>(four.squashLogBits),
+                2.0 * static_cast<double>(two.squashLogBits), 1.0);
+    // The constant part does not change with N/M/P.
+    EXPECT_EQ(two.constantBits(), four.constantBits());
+}
+
+TEST(StorageModel, RgidWidthAffectsEverything)
+{
+    StorageParams params;
+    params.rgidBits = 8;
+    const auto wide = computeStorage(params);
+    const auto narrow = computeStorage(StorageParams{});
+    EXPECT_GT(wide.constantBits(), narrow.constantBits());
+    EXPECT_GT(wide.squashLogBits, narrow.squashLogBits);
+}

@@ -1,0 +1,177 @@
+/**
+ * mssr_run: command-line front end for the simulator. Runs a named
+ * workload (or an assembly file) under a chosen squash-reuse scheme
+ * and prints statistics.
+ *
+ * Usage:
+ *   mssr_run [options] <workload>
+ *   mssr_run [options] --asm <file.s>
+ *
+ * Options:
+ *   --reuse none|rgid|regint     scheme (default rgid)
+ *   --streams N                  RGID streams (default 4)
+ *   --entries P                  squash-log entries/stream (default 64)
+ *   --sets S --ways W            RI geometry (default 64x4)
+ *   --predictor tage|gshare|bimodal
+ *   --max-insts N                stop after N commits
+ *   --scale G --iters I          workload sizing
+ *   --bloom                      Bloom hazard check instead of verify
+ *   --all-stats                  dump every counter
+ *   --compare                    also run the no-reuse baseline
+ *   --trace                      pipeline trace to stderr (small runs!)
+ *   --list                       list available workloads
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/report.hh"
+#include "driver/sim_runner.hh"
+#include "isa/assembler.hh"
+#include "workloads/registry.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--reuse none|rgid|regint] [--streams N] [--entries P]"
+                 "\n        [--sets S] [--ways W] [--predictor tage|"
+                 "gshare|bimodal]\n        [--max-insts N] [--scale G] "
+                 "[--iters I] [--bloom]\n        [--trace] [--all-stats] "
+                 "[--compare] (<workload> | --asm <file.s> | --list)\n";
+    std::exit(2);
+}
+
+void
+printSummary(const std::string &label, const RunResult &r)
+{
+    std::cout << label << ": " << r.cycles << " cycles, " << r.insts
+              << " insts, IPC " << analysis::fixed(r.ipc, 4);
+    if (r.stats.has("reuse.success"))
+        std::cout << ", reuses " << r.stats.get("reuse.success");
+    if (r.stats.has("ri.integrations"))
+        std::cout << ", integrations " << r.stats.get("ri.integrations");
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg;
+    cfg.reuseKind = ReuseKind::Rgid;
+    workloads::WorkloadScale scale = workloads::WorkloadScale::fromEnv();
+    std::string workload;
+    std::string asmFile;
+    bool allStats = false;
+    bool compare = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--reuse") {
+            const std::string v = next();
+            if (v == "none")
+                cfg.reuseKind = ReuseKind::None;
+            else if (v == "rgid")
+                cfg.reuseKind = ReuseKind::Rgid;
+            else if (v == "regint")
+                cfg.reuseKind = ReuseKind::RegInt;
+            else
+                usage(argv[0]);
+        } else if (arg == "--streams") {
+            cfg.reuse.numStreams = std::stoul(next());
+        } else if (arg == "--entries") {
+            cfg.reuse.squashLogEntriesPerStream = std::stoul(next());
+            cfg.reuse.wpbEntriesPerStream = std::max(
+                1u, cfg.reuse.squashLogEntriesPerStream / 4);
+        } else if (arg == "--sets") {
+            cfg.regint.sets = std::stoul(next());
+        } else if (arg == "--ways") {
+            cfg.regint.ways = std::stoul(next());
+        } else if (arg == "--predictor") {
+            const std::string v = next();
+            if (v == "tage")
+                cfg.core.predictor = BranchPredictorKind::TageScL;
+            else if (v == "gshare")
+                cfg.core.predictor = BranchPredictorKind::Gshare;
+            else if (v == "bimodal")
+                cfg.core.predictor = BranchPredictorKind::Bimodal;
+            else
+                usage(argv[0]);
+        } else if (arg == "--max-insts") {
+            cfg.maxInsts = std::stoull(next());
+        } else if (arg == "--scale") {
+            scale.graphScale = std::stoul(next());
+        } else if (arg == "--iters") {
+            scale.iterations = std::stoul(next());
+        } else if (arg == "--bloom") {
+            cfg.reuse.useBloomFilter = true;
+        } else if (arg == "--trace") {
+            cfg.trace = &std::cerr;
+        } else if (arg == "--all-stats") {
+            allStats = true;
+        } else if (arg == "--compare") {
+            compare = true;
+        } else if (arg == "--asm") {
+            asmFile = next();
+        } else if (arg == "--list") {
+            for (const std::string suite : {"spec2006", "spec2017", "gap",
+                                            "micro"}) {
+                std::cout << suite << ":";
+                for (const auto &w : workloads::suiteWorkloads(suite))
+                    std::cout << " " << w.name;
+                std::cout << "\n";
+            }
+            return 0;
+        } else if (arg == "--help" || arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            workload = arg;
+        }
+    }
+    if (workload.empty() && asmFile.empty())
+        usage(argv[0]);
+
+    try {
+        isa::Program prog;
+        if (!asmFile.empty()) {
+            std::ifstream in(asmFile);
+            if (!in)
+                fatal("cannot open '", asmFile, "'");
+            std::ostringstream text;
+            text << in.rdbuf();
+            prog = isa::assembleProgram(text.str());
+        } else {
+            prog = workloads::buildWorkload(workload, scale);
+        }
+
+        const RunResult r = runSim(prog, cfg);
+        printSummary(toString(cfg.reuseKind), r);
+        if (compare) {
+            const RunResult base = runSim(prog, baselineConfig());
+            printSummary("none", base);
+            std::cout << "IPC improvement: "
+                      << analysis::percent(r.ipcImprovementOver(base))
+                      << "\n";
+        }
+        if (allStats)
+            r.stats.dump(std::cout);
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
