@@ -17,30 +17,37 @@ using namespace mssr;
 using namespace mssr::analysis;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
-    banner(std::cout, "Ablation: Multi-Stream Squash Reuse design choices");
-    printScale(set);
-
     const std::vector<std::string> names = {"nested-mispred", "astar",
                                             "gobmk", "bfs", "cc", "xz"};
+    bench::Harness h(argc, argv, "ablation_design", names,
+                     bench::Baselines::Build);
+    banner(std::cout, "Ablation: Multi-Stream Squash Reuse design choices");
+    printScale(h.set());
 
+    // Every (benchmark x variant) point of a block is one batch.
     auto report = [&](const std::string &title,
                       const std::vector<std::pair<std::string, SimConfig>>
                           &variants) {
+        std::vector<BatchJob> jobs;
+        for (const auto &name : names)
+            for (const auto &[label, cfg] : variants)
+                jobs.push_back(h.job(name + "/" + label, name, cfg));
+        const std::vector<RunResult> results = h.runBatch(jobs);
+
         std::cout << "\n" << title << "\n";
         std::vector<std::string> headers = {"Benchmark"};
         for (const auto &[label, cfg] : variants)
             headers.push_back(label);
         Table table(headers);
+        std::size_t point = 0;
         for (const auto &name : names) {
-            const RunResult &base = set.baseline(name);
+            const RunResult &base = h.set().baseline(name);
             std::vector<std::string> row = {name};
-            for (const auto &[label, cfg] : variants) {
-                const RunResult r = set.run(name, cfg);
-                row.push_back(percent(r.ipcImprovementOver(base)));
-            }
+            for (std::size_t v = 0; v < variants.size(); ++v)
+                row.push_back(
+                    percent(results[point++].ipcImprovementOver(base)));
             table.addRow(row);
         }
         table.print(std::cout);
@@ -96,22 +103,36 @@ main()
     }
 
     // Predictor sensitivity: the worse the baseline predictor, the
-    // more squashed work exists to reuse.
+    // more squashed work exists to reuse. Uses per-predictor baselines,
+    // so both the base and the reuse run of every cell are batch jobs.
     {
-        std::cout << "\nPredictor sensitivity (reuse gain over the "
-                     "matching baseline)\n";
-        Table table({"Benchmark", "tage-sc-l", "gshare", "bimodal"});
+        const BranchPredictorKind kinds[] = {BranchPredictorKind::TageScL,
+                                             BranchPredictorKind::Gshare,
+                                             BranchPredictorKind::Bimodal};
+        std::vector<BatchJob> jobs;
         for (const auto &name : names) {
-            std::vector<std::string> row = {name};
-            for (BranchPredictorKind kind :
-                 {BranchPredictorKind::TageScL, BranchPredictorKind::Gshare,
-                  BranchPredictorKind::Bimodal}) {
+            for (BranchPredictorKind kind : kinds) {
                 SimConfig base = baselineConfig();
                 base.core.predictor = kind;
                 SimConfig withReuse = rgidConfig(4, 64);
                 withReuse.core.predictor = kind;
-                const RunResult b = set.run(name, base);
-                const RunResult r = set.run(name, withReuse);
+                const std::string label =
+                    name + "/" + toString(kind);
+                jobs.push_back(h.job(label + "/base", name, base));
+                jobs.push_back(h.job(label + "/rgid", name, withReuse));
+            }
+        }
+        const std::vector<RunResult> results = h.runBatch(jobs);
+
+        std::cout << "\nPredictor sensitivity (reuse gain over the "
+                     "matching baseline)\n";
+        Table table({"Benchmark", "tage-sc-l", "gshare", "bimodal"});
+        std::size_t point = 0;
+        for (const auto &name : names) {
+            std::vector<std::string> row = {name};
+            for (std::size_t k = 0; k < std::size(kinds); ++k) {
+                const RunResult &b = results[point++];
+                const RunResult &r = results[point++];
                 row.push_back(percent(r.ipcImprovementOver(b)));
             }
             table.addRow(row);

@@ -1,0 +1,185 @@
+#include "bench_common.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hh"
+#include "common/thread_pool.hh"
+
+namespace mssr::bench
+{
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    return suiteWorkloadNames({"spec2006", "spec2017", "gap", "micro"});
+}
+
+std::vector<std::string>
+suiteWorkloadNames(const std::vector<std::string> &suites)
+{
+    std::vector<std::string> names;
+    for (const auto &suite : suites)
+        for (const auto &w : workloads::suiteWorkloads(suite))
+            names.push_back(w.name);
+    return names;
+}
+
+WorkloadSet::WorkloadSet(const std::vector<std::string> &names)
+    : scale_(workloads::WorkloadScale::fromEnv())
+{
+    for (const auto &name : names)
+        if (programs_.emplace(name, isa::Program{}).second)
+            names_.push_back(name);
+
+    // Fill the pre-inserted slots in parallel: the map is not mutated
+    // after this point, and each task writes a distinct value.
+    ThreadPool pool(BatchRunner::defaultThreads());
+    for (const auto &name : names_) {
+        pool.submit([this, &name] {
+            programs_.at(name) = workloads::buildWorkload(name, scale_);
+        });
+    }
+    pool.wait();
+}
+
+const isa::Program &
+WorkloadSet::program(const std::string &name) const
+{
+    auto it = programs_.find(name);
+    if (it == programs_.end())
+        fatal("workload '", name, "' not in this WorkloadSet");
+    return it->second;
+}
+
+const RunResult &
+WorkloadSet::baseline(const std::string &name) const
+{
+    auto it = baselines_.find(name);
+    if (it == baselines_.end())
+        fatal("no pre-built baseline for '", name,
+              "' (Harness constructed with Baselines::None?)");
+    return it->second;
+}
+
+bool
+WorkloadSet::hasBaseline(const std::string &name) const
+{
+    return baselines_.find(name) != baselines_.end();
+}
+
+void
+WorkloadSet::storeBaseline(const std::string &name, RunResult result)
+{
+    baselines_[name] = std::move(result);
+}
+
+RunResult
+WorkloadSet::run(const std::string &name, const SimConfig &cfg) const
+{
+    return runSim(program(name), cfg);
+}
+
+Harness::Harness(int argc, char **argv, std::string benchName,
+                 const std::vector<std::string> &names,
+                 Baselines baselines)
+    : benchName_(std::move(benchName)), set_(names)
+{
+    json_ = std::getenv("MSSR_JSON") != nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json")
+            json_ = true;
+    }
+
+    if (baselines == Baselines::Build) {
+        std::vector<BatchJob> jobs;
+        for (const auto &name : set_.names())
+            jobs.push_back(job("baseline/" + name, name, baselineConfig()));
+        std::vector<RunResult> results = runBatch(jobs);
+        for (std::size_t i = 0; i < results.size(); ++i)
+            set_.storeBaseline(set_.names()[i], std::move(results[i]));
+    }
+}
+
+Harness::~Harness()
+{
+    std::cerr << "[batch: " << records_.size() << " jobs on " << threads()
+              << " threads, " << wallSeconds_ << " s wall]\n";
+    if (json_)
+        writeJson();
+}
+
+BatchJob
+Harness::job(const std::string &label, const std::string &workload,
+             const SimConfig &cfg) const
+{
+    BatchJob j;
+    j.name = label;
+    j.program = &set_.program(workload);
+    j.config = cfg;
+    return j;
+}
+
+std::vector<RunResult>
+Harness::runBatch(const std::vector<BatchJob> &jobs)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<RunResult> results = runner_.run(jobs);
+    wallSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        records_.push_back({jobs[i].name, results[i].cycles,
+                            results[i].ipc, results[i].hostSeconds,
+                            results[i].kips});
+    }
+    return results;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Harness::writeJson() const
+{
+    const char *path = "BENCH_batch.json";
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "warn: cannot write " << path << "\n";
+        return;
+    }
+    os << "{\n";
+    os << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n";
+    os << "  \"threads\": " << threads() << ",\n";
+    os << "  \"jobs\": " << records_.size() << ",\n";
+    os << "  \"wall_sec\": " << wallSeconds_ << ",\n";
+    os << "  \"results\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const Record &r = records_[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"name\": \"" << jsonEscape(r.name)
+           << "\", \"cycles\": " << r.cycles << ", \"ipc\": " << r.ipc
+           << ", \"host_sec\": " << r.hostSec << ", \"kips\": " << r.kips
+           << "}";
+    }
+    os << "\n  ]\n}\n";
+    std::cerr << "[wrote " << path << "]\n";
+}
+
+} // namespace mssr::bench

@@ -1,72 +1,131 @@
 /**
  * @file
- * Shared helpers for the table/figure reproduction binaries: workload
- * scaling from the environment, cached baseline runs, and uniform row
- * formatting.
+ * Shared harness for the table/figure reproduction binaries: workload
+ * scaling from the environment, eager program/baseline construction,
+ * parallel batch submission through BatchRunner, and the machine-
+ * readable JSON perf log.
  *
  * Knobs (environment variables):
  *   MSSR_SCALE  log2 graph vertices for GAP (default 10; paper: 12)
  *   MSSR_ITERS  synthetic-kernel iterations (default 4000)
  *   MSSR_SEED   workload RNG seed
+ *   MSSR_JOBS   batch worker threads (default: hardware concurrency)
+ *   MSSR_JSON   when set (or --json passed), write BENCH_batch.json
+ *
+ * Design points are executed by BatchRunner in submission order, so
+ * every table printed to stdout is byte-identical to a sequential run
+ * (MSSR_JOBS=1); only wall-clock time changes. Timing/telemetry goes
+ * to stderr and BENCH_batch.json, never stdout.
  */
 
 #ifndef MSSR_BENCH_COMMON_HH
 #define MSSR_BENCH_COMMON_HH
 
 #include <iostream>
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "analysis/report.hh"
+#include "driver/batch_runner.hh"
 #include "driver/sim_runner.hh"
 #include "workloads/registry.hh"
 
 namespace mssr::bench
 {
 
-/** Builds and caches programs per benchmark name. */
+/** Every workload name of every suite, in presentation order. */
+std::vector<std::string> allWorkloadNames();
+
+/** Workload names of the given suites, in presentation order. */
+std::vector<std::string>
+suiteWorkloadNames(const std::vector<std::string> &suites);
+
+/**
+ * Pre-built, thread-safe workload container.
+ *
+ * The seed version of this class built programs and baselines lazily
+ * behind non-const accessors (std::map + fill-on-miss), which was
+ * unsafe to share across batch worker threads: two workers missing on
+ * the same name would race on the map insert. All programs are now
+ * built eagerly (in parallel) at construction and every accessor is
+ * const, so a WorkloadSet can be captured freely by concurrent jobs.
+ */
 class WorkloadSet
 {
   public:
-    WorkloadSet() : scale_(workloads::WorkloadScale::fromEnv()) {}
+    /** Builds programs for @p names up front, in parallel. */
+    explicit WorkloadSet(
+        const std::vector<std::string> &names = allWorkloadNames());
 
-    const isa::Program &
-    program(const std::string &name)
-    {
-        auto it = programs_.find(name);
-        if (it == programs_.end()) {
-            it = programs_
-                     .emplace(name, workloads::buildWorkload(name, scale_))
-                     .first;
-        }
-        return it->second;
-    }
+    const isa::Program &program(const std::string &name) const;
 
-    /** Runs (and caches) the no-reuse baseline for @p name. */
-    const RunResult &
-    baseline(const std::string &name)
-    {
-        auto it = baselines_.find(name);
-        if (it == baselines_.end()) {
-            it = baselines_
-                     .emplace(name, runSim(program(name), baselineConfig()))
-                     .first;
-        }
-        return it->second;
-    }
+    /** Pre-computed no-reuse baseline (fatal if not built). */
+    const RunResult &baseline(const std::string &name) const;
+    bool hasBaseline(const std::string &name) const;
+    void storeBaseline(const std::string &name, RunResult result);
 
-    RunResult
-    run(const std::string &name, const SimConfig &cfg)
-    {
-        return runSim(program(name), cfg);
-    }
+    /** Runs one off-batch design point in the calling thread. */
+    RunResult run(const std::string &name, const SimConfig &cfg) const;
 
+    const std::vector<std::string> &names() const { return names_; }
     const workloads::WorkloadScale &scale() const { return scale_; }
 
   private:
     workloads::WorkloadScale scale_;
-    std::map<std::string, isa::Program> programs_;
-    std::map<std::string, RunResult> baselines_;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, isa::Program> programs_;
+    std::unordered_map<std::string, RunResult> baselines_;
+};
+
+/** Whether a Harness should pre-run no-reuse baselines. */
+enum class Baselines { None, Build };
+
+/**
+ * Per-binary harness: owns the WorkloadSet and the BatchRunner,
+ * records every executed job, and writes BENCH_batch.json on request
+ * (--json flag or MSSR_JSON environment variable).
+ */
+class Harness
+{
+  public:
+    Harness(int argc, char **argv, std::string benchName,
+            const std::vector<std::string> &names, Baselines baselines);
+    ~Harness();
+
+    WorkloadSet &set() { return set_; }
+    const WorkloadSet &set() const { return set_; }
+    const workloads::WorkloadScale &scale() const { return set_.scale(); }
+    unsigned threads() const { return runner_.threads(); }
+
+    /** Builds a job for a named workload of this set. */
+    BatchJob job(const std::string &label, const std::string &workload,
+                 const SimConfig &cfg) const;
+
+    /**
+     * Runs @p jobs through the worker pool; results come back in
+     * submission order and are appended to the JSON log.
+     */
+    std::vector<RunResult> runBatch(const std::vector<BatchJob> &jobs);
+
+  private:
+    void writeJson() const;
+
+    struct Record
+    {
+        std::string name;
+        Cycle cycles;
+        double ipc;
+        double hostSec;
+        double kips;
+    };
+
+    std::string benchName_;
+    bool json_ = false;
+    BatchRunner runner_;
+    WorkloadSet set_;
+    std::vector<Record> records_;
+    double wallSeconds_ = 0.0;
 };
 
 /** Prints the workload-scale banner so outputs are self-describing. */

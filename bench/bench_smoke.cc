@@ -1,0 +1,296 @@
+/**
+ * Smoke test for the batch-simulation harness, run as a ctest (see
+ * bench/CMakeLists.txt: MSSR_SCALE=6 MSSR_ITERS=200 MSSR_JOBS=2).
+ * Executes a tiny design-point batch through the Harness, then
+ * re-reads the emitted BENCH_batch.json with a minimal JSON parser
+ * and checks the schema: bench/threads/jobs/wall_sec plus per-result
+ * name/cycles/ipc/host_sec/kips. Exits non-zero on any mismatch so
+ * CI notices a broken perf log before any downstream tooling does.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+// --- minimal JSON reader: just enough to validate our own output ----
+
+struct JsonValue
+{
+    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    value()
+    {
+        const char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        return number();
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JsonValue key = string();
+            expect(':');
+            v.object[key.string] = value();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::String;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    fail("bad escape");
+            }
+            v.string += text_[pos_++];
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.number = 1.0;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Number;
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '-' || text_[end] == '+' ||
+                text_[end] == '.' || text_[end] == 'e' ||
+                text_[end] == 'E'))
+            ++end;
+        if (end == pos_)
+            fail("expected number");
+        v.number = std::stod(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+int failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::cerr << "bench_smoke: FAIL: " << what << "\n";
+        ++failures;
+    }
+}
+
+const JsonValue *
+field(const JsonValue &obj, const std::string &key, JsonValue::Kind kind,
+      const std::string &where)
+{
+    auto it = obj.object.find(key);
+    if (it == obj.object.end()) {
+        check(false, where + " missing key '" + key + "'");
+        return nullptr;
+    }
+    check(it->second.kind == kind,
+          where + " key '" + key + "' has wrong type");
+    return &it->second;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Force the JSON sink on regardless of the harness environment.
+    setenv("MSSR_JSON", "1", 1);
+
+    const std::vector<std::string> names = {"nested-mispred", "bfs"};
+    std::size_t expectedJobs = 0;
+    {
+        bench::Harness h(argc, argv, "bench_smoke", names,
+                         bench::Baselines::Build);
+        std::vector<BatchJob> jobs;
+        for (const auto &name : names)
+            for (unsigned streams : {1u, 4u})
+                jobs.push_back(h.job(name + "/rgid" +
+                                         std::to_string(streams),
+                                     name, rgidConfig(streams, 64)));
+        const std::vector<RunResult> results = h.runBatch(jobs);
+        check(results.size() == jobs.size(), "batch result count");
+        for (const auto &r : results)
+            check(r.halted && r.cycles > 0, "batch job ran to halt");
+        expectedJobs = names.size() + jobs.size(); // baselines + points
+    } // ~Harness writes BENCH_batch.json
+
+    std::ifstream in("BENCH_batch.json");
+    check(static_cast<bool>(in), "BENCH_batch.json exists");
+    if (failures)
+        return 1;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    try {
+        const JsonValue root = JsonParser(text.str()).parse();
+        check(root.kind == JsonValue::Object, "root is an object");
+        if (const auto *b = field(root, "bench", JsonValue::String, "root"))
+            check(b->string == "bench_smoke", "bench name matches");
+        if (const auto *t =
+                field(root, "threads", JsonValue::Number, "root"))
+            check(t->number >= 1, "threads >= 1");
+        const auto *jobs = field(root, "jobs", JsonValue::Number, "root");
+        field(root, "wall_sec", JsonValue::Number, "root");
+        const auto *results =
+            field(root, "results", JsonValue::Array, "root");
+        if (jobs && results) {
+            check(static_cast<std::size_t>(jobs->number) == expectedJobs,
+                  "job count matches submissions");
+            check(results->array.size() == expectedJobs,
+                  "results array length matches job count");
+            for (const auto &r : results->array) {
+                check(r.kind == JsonValue::Object, "result is an object");
+                field(r, "name", JsonValue::String, "result");
+                if (const auto *c =
+                        field(r, "cycles", JsonValue::Number, "result"))
+                    check(c->number > 0, "result cycles > 0");
+                field(r, "ipc", JsonValue::Number, "result");
+                field(r, "host_sec", JsonValue::Number, "result");
+                field(r, "kips", JsonValue::Number, "result");
+            }
+        }
+    } catch (const std::exception &e) {
+        check(false, e.what());
+    }
+
+    if (failures == 0)
+        std::cout << "bench_smoke: OK\n";
+    return failures == 0 ? 0 : 1;
+}

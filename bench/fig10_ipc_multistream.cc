@@ -8,6 +8,10 @@
  * (SPECint2017) and 2.4% (GAP); astar peaks at 8.9%, bc at 6.1%,
  * cc at 4.0%; mcf/omnetpp stay flat (memory bound); xz can degrade
  * (reused-load memory-order violations).
+ *
+ * All design points are submitted through the BatchRunner, so the
+ * sweep parallelizes across MSSR_JOBS workers; the printed tables are
+ * byte-identical to a sequential (MSSR_JOBS=1) run.
  */
 
 #include "bench_common.hh"
@@ -32,12 +36,16 @@ config(unsigned streams, unsigned wpb_entries, unsigned log_entries)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
+    const std::vector<std::string> suites = {"spec2006", "spec2017",
+                                             "gap"};
+    bench::Harness h(argc, argv, "fig10_ipc_multistream",
+                     bench::suiteWorkloadNames(suites),
+                     bench::Baselines::Build);
     banner(std::cout,
            "Figure 10: IPC improvement per multi-stream configuration");
-    printScale(set);
+    printScale(h.set());
 
     struct Config
     {
@@ -52,7 +60,18 @@ main()
         {"4x1024", 4, 1024, 4096},
     };
 
-    for (const std::string suite : {"spec2006", "spec2017", "gap"}) {
+    // Submit the whole (workload x config) point grid as one batch.
+    std::vector<BatchJob> jobs;
+    for (const auto &suite : suites)
+        for (const auto &w : workloads::suiteWorkloads(suite))
+            for (const auto &c : configs)
+                jobs.push_back(h.job(suite + "/" + w.name + "/" + c.label,
+                                     w.name,
+                                     config(c.streams, c.wpb, c.log)));
+    const std::vector<RunResult> results = h.runBatch(jobs);
+
+    std::size_t point = 0;
+    for (const auto &suite : suites) {
         std::cout << "\n[" << suite << "]\n";
         std::vector<std::string> headers = {"Benchmark", "base IPC"};
         for (const auto &c : configs)
@@ -61,14 +80,12 @@ main()
         std::vector<double> sums(std::size(configs), 0.0);
         unsigned count = 0;
         for (const auto &w : workloads::suiteWorkloads(suite)) {
-            const RunResult &base = set.baseline(w.name);
+            const RunResult &base = h.set().baseline(w.name);
             std::vector<std::string> row = {w.name, fixed(base.ipc, 3)};
-            unsigned idx = 0;
-            for (const auto &c : configs) {
-                const RunResult r =
-                    set.run(w.name, config(c.streams, c.wpb, c.log));
-                const double gain = r.ipcImprovementOver(base);
-                sums[idx++] += gain;
+            for (std::size_t idx = 0; idx < std::size(configs); ++idx) {
+                const double gain =
+                    results[point++].ipcImprovementOver(base);
+                sums[idx] += gain;
                 row.push_back(percent(gain));
             }
             ++count;

@@ -12,11 +12,15 @@ using namespace mssr;
 using namespace mssr::analysis;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
+    const std::vector<std::string> suites = {"spec2006", "spec2017",
+                                             "gap", "micro"};
+    bench::Harness h(argc, argv, "fig11_stream_distance",
+                     bench::suiteWorkloadNames(suites),
+                     bench::Baselines::None);
     banner(std::cout, "Figure 11: reconvergence stream distance");
-    printScale(set);
+    printScale(h.set());
 
     SimConfig cfg;
     cfg.reuseKind = ReuseKind::Rgid;
@@ -24,32 +28,34 @@ main()
     cfg.reuse.wpbEntriesPerStream = 16;
     cfg.reuse.squashLogEntriesPerStream = 64;
 
+    std::vector<BatchJob> jobs;
+    for (const auto &name : h.set().names())
+        jobs.push_back(h.job(name, name, cfg));
+    const std::vector<RunResult> results = h.runBatch(jobs);
+
     Table table({"Benchmark", "d=1", "d=2", "d=3", "d>=4", "cum<=3"});
     double allD[5] = {0, 0, 0, 0, 0};
-    for (const std::string suite : {"spec2006", "spec2017", "gap",
-                                    "micro"}) {
-        for (const auto &w : workloads::suiteWorkloads(suite)) {
-            const RunResult r = set.run(w.name, cfg);
-            double d[4] = {r.stats.get("reuse.distance1"),
-                           r.stats.get("reuse.distance2"),
-                           r.stats.get("reuse.distance3"), 0.0};
-            for (unsigned k = 4; k <= 7; ++k)
-                d[3] += r.stats.get("reuse.distance" +
-                                    std::to_string(k));
-            const double total = d[0] + d[1] + d[2] + d[3];
-            if (total == 0) {
-                table.addRow({w.name, "-", "-", "-", "-", "-"});
-                continue;
-            }
-            for (int i = 0; i < 4; ++i)
-                allD[i] += d[i];
-            allD[4] += total;
-            table.addRow({w.name, percent(d[0] / total, 0),
-                          percent(d[1] / total, 0),
-                          percent(d[2] / total, 0),
-                          percent(d[3] / total, 0),
-                          percent((d[0] + d[1] + d[2]) / total, 0)});
+    std::size_t point = 0;
+    for (const auto &name : h.set().names()) {
+        const RunResult &r = results[point++];
+        double d[4] = {r.stats.get("reuse.distance1"),
+                       r.stats.get("reuse.distance2"),
+                       r.stats.get("reuse.distance3"), 0.0};
+        for (unsigned k = 4; k <= 7; ++k)
+            d[3] += r.stats.get("reuse.distance" + std::to_string(k));
+        const double total = d[0] + d[1] + d[2] + d[3];
+        if (total == 0) {
+            table.addRow({name, "-", "-", "-", "-", "-"});
+            continue;
         }
+        for (int i = 0; i < 4; ++i)
+            allD[i] += d[i];
+        allD[4] += total;
+        table.addRow({name, percent(d[0] / total, 0),
+                      percent(d[1] / total, 0),
+                      percent(d[2] / total, 0),
+                      percent(d[3] / total, 0),
+                      percent((d[0] + d[1] + d[2]) / total, 0)});
     }
     if (allD[4] > 0) {
         table.addRow({"ALL", percent(allD[0] / allD[4], 0),

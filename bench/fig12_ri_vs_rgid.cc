@@ -13,37 +13,48 @@ using namespace mssr;
 using namespace mssr::analysis;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
+    bench::Harness h(argc, argv, "fig12_ri_vs_rgid",
+                     bench::suiteWorkloadNames({"gap"}),
+                     bench::Baselines::Build);
     banner(std::cout, "Figure 12: Register Integration vs RGID on GAP");
-    printScale(set);
+    printScale(h.set());
 
     const unsigned kList[] = {1, 2, 4};
     const unsigned sizeList[] = {64, 128};
 
+    std::vector<BatchJob> jobs;
+    for (unsigned size : sizeList) {
+        for (const auto &name : h.set().names()) {
+            for (unsigned ways : kList)
+                jobs.push_back(h.job(name + "/ri" +
+                                         std::to_string(ways) + "w" +
+                                         std::to_string(size),
+                                     name, regIntConfig(size, ways)));
+            for (unsigned streams : kList)
+                jobs.push_back(h.job(name + "/rgid" +
+                                         std::to_string(streams) + "s" +
+                                         std::to_string(size),
+                                     name, rgidConfig(streams, size)));
+        }
+    }
+    const std::vector<RunResult> results = h.runBatch(jobs);
+
+    std::size_t point = 0;
     for (unsigned size : sizeList) {
         std::cout << "\n[stream size / set count = " << size << "]\n";
         Table table({"Benchmark", "RI 1w", "RI 2w", "RI 4w", "RGID 1s",
                      "RGID 2s", "RGID 4s"});
         std::vector<double> sums(6, 0.0);
         unsigned count = 0;
-        for (const auto &w : workloads::suiteWorkloads("gap")) {
-            const RunResult &base = set.baseline(w.name);
-            std::vector<std::string> row = {w.name};
-            unsigned idx = 0;
-            for (unsigned ways : kList) {
-                const RunResult r = set.run(w.name,
-                                            regIntConfig(size, ways));
-                const double gain = r.ipcImprovementOver(base);
-                sums[idx++] += gain;
-                row.push_back(percent(gain));
-            }
-            for (unsigned streams : kList) {
-                const RunResult r = set.run(w.name,
-                                            rgidConfig(streams, size));
-                const double gain = r.ipcImprovementOver(base);
-                sums[idx++] += gain;
+        for (const auto &name : h.set().names()) {
+            const RunResult &base = h.set().baseline(name);
+            std::vector<std::string> row = {name};
+            for (unsigned idx = 0; idx < 6; ++idx) {
+                const double gain =
+                    results[point++].ipcImprovementOver(base);
+                sums[idx] += gain;
                 row.push_back(percent(gain));
             }
             ++count;

@@ -30,28 +30,50 @@ shade(double norm)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
+    const std::vector<std::string> names = {"nested-mispred",
+                                            "linear-mispred"};
+    bench::Harness h(argc, argv, "fig3_ri_replacement", names,
+                     bench::Baselines::None);
     banner(std::cout,
            "Figure 3: replacement frequency in the RI reuse table");
-    printScale(set);
+    printScale(h.set());
 
-    for (const std::string name : {"nested-mispred", "linear-mispred"}) {
-        for (unsigned ways : {1u, 2u, 4u}) {
-            std::vector<std::uint64_t> counts;
-            unsigned sets = 0;
-            std::uint64_t total = 0;
-            set.run(name, regIntConfig(64, ways)); // warm result ignored
-            runSim(set.program(name), regIntConfig(64, ways), nullptr,
-                   [&](const O3Cpu &cpu) {
-                       const IntegrationTable *table =
-                           cpu.integrationTable();
-                       counts = table->replacementCounts();
-                       sets = table->sets();
-                   });
+    const unsigned waysList[] = {1, 2, 4};
+
+    // Each job's inspect closure writes its own Probe slot, so the
+    // batch can run the six points concurrently without locking.
+    struct Probe
+    {
+        std::vector<std::uint64_t> counts;
+        unsigned sets = 0;
+    };
+    std::vector<Probe> probes(names.size() * std::size(waysList));
+    std::vector<BatchJob> jobs;
+    std::size_t slot = 0;
+    for (const auto &name : names) {
+        for (unsigned ways : waysList) {
+            BatchJob j = h.job(name + "/ri" + std::to_string(ways) + "w",
+                               name, regIntConfig(64, ways));
+            Probe *probe = &probes[slot++];
+            j.inspect = [probe](const O3Cpu &cpu) {
+                const IntegrationTable *table = cpu.integrationTable();
+                probe->counts = table->replacementCounts();
+                probe->sets = table->sets();
+            };
+            jobs.push_back(std::move(j));
+        }
+    }
+    h.runBatch(jobs);
+
+    slot = 0;
+    for (const auto &name : names) {
+        for (unsigned ways : waysList) {
+            const Probe &probe = probes[slot++];
             std::uint64_t peak = 1;
-            for (auto c : counts) {
+            std::uint64_t total = 0;
+            for (auto c : probe.counts) {
                 total += c;
                 peak = std::max<std::uint64_t>(peak, c);
             }
@@ -63,9 +85,9 @@ main()
             // right, darker = more replacements.
             for (unsigned w = 0; w < ways; ++w) {
                 std::cout << "  way " << w << " |";
-                for (unsigned s = 0; s < sets; ++s) {
+                for (unsigned s = 0; s < probe.sets; ++s) {
                     const double norm =
-                        static_cast<double>(counts[s * ways + w]) /
+                        static_cast<double>(probe.counts[s * ways + w]) /
                         static_cast<double>(peak);
                     std::cout << shade(norm);
                 }

@@ -13,17 +13,29 @@ using namespace mssr;
 using namespace mssr::analysis;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
+    const std::vector<std::string> suites = {"spec2006", "spec2017",
+                                             "gap"};
+    bench::Harness h(argc, argv, "fig4_reconv_breakdown",
+                     bench::suiteWorkloadNames(suites),
+                     bench::Baselines::None);
     banner(std::cout, "Figure 4: breakdown of reconvergence types");
-    printScale(set);
+    printScale(h.set());
+
+    std::vector<BatchJob> jobs;
+    for (const auto &suite : suites)
+        for (const auto &w : workloads::suiteWorkloads(suite))
+            jobs.push_back(h.job(suite + "/" + w.name, w.name,
+                                 rgidConfig(4, 64)));
+    const std::vector<RunResult> results = h.runBatch(jobs);
 
     Table table({"Suite", "Benchmark", "Simple", "SW-induced",
                  "HW-induced", "Multi-stream total"});
-    for (const std::string suite : {"spec2006", "spec2017", "gap"}) {
+    std::size_t point = 0;
+    for (const auto &suite : suites) {
         for (const auto &w : workloads::suiteWorkloads(suite)) {
-            const RunResult r = set.run(w.name, rgidConfig(4, 64));
+            const RunResult &r = results[point++];
             const double simple = r.stats.get("reuse.reconvSimple");
             const double sw = r.stats.get("reuse.reconvSoftware");
             const double hw = r.stats.get("reuse.reconvHardware");

@@ -18,21 +18,37 @@ using namespace mssr;
 using namespace mssr::analysis;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::WorkloadSet set;
+    const std::vector<std::string> names = {"nested-mispred",
+                                            "linear-mispred"};
+    bench::Harness h(argc, argv, "table1_micro", names,
+                     bench::Baselines::Build);
     banner(std::cout, "Table 1: microbenchmark runtime improvements");
-    printScale(set);
+    printScale(h.set());
 
-    for (const std::string name : {"nested-mispred", "linear-mispred"}) {
-        const RunResult &base = set.baseline(name);
+    const unsigned ks[] = {1, 2, 4};
+    std::vector<BatchJob> jobs;
+    for (const auto &name : names) {
+        for (unsigned k : ks) {
+            jobs.push_back(h.job(name + "/mssr" + std::to_string(k),
+                                 name, rgidConfig(k, 64)));
+            jobs.push_back(h.job(name + "/ri" + std::to_string(k), name,
+                                 regIntConfig(64, k)));
+        }
+    }
+    const std::vector<RunResult> results = h.runBatch(jobs);
+
+    std::size_t point = 0;
+    for (const auto &name : names) {
+        const RunResult &base = h.set().baseline(name);
         std::cout << "\n" << name << " (baseline: " << base.cycles
                   << " cycles, IPC " << fixed(base.ipc, 3) << ")\n";
         Table table({"Streams/Ways", "MSSR dRuntime", "MSSR reuses",
                      "RI dRuntime", "RI integrations"});
-        for (unsigned k : {1u, 2u, 4u}) {
-            const RunResult mssr = set.run(name, rgidConfig(k, 64));
-            const RunResult ri = set.run(name, regIntConfig(64, k));
+        for (unsigned k : ks) {
+            const RunResult &mssr = results[point++];
+            const RunResult &ri = results[point++];
             table.addRow(
                 {std::to_string(k),
                  percent(mssr.speedupOver(base) - 1.0),

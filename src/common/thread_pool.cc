@@ -1,0 +1,74 @@
+#include "common/thread_pool.hh"
+
+#include <utility>
+
+namespace mssr
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++submitted_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::uint64_t
+ThreadPool::tasksSubmitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workAvailable_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) // stopping_ and nothing left to drain
+            return;
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+} // namespace mssr

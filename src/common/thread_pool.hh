@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-size worker thread pool for the batch-simulation engine.
+ * Tasks are plain std::function<void()> callbacks; submission is
+ * thread-safe and wait() blocks until every submitted task has
+ * finished. The pool is intentionally minimal: no futures, no task
+ * priorities -- the BatchRunner layers result ordering on top.
+ */
+
+#ifndef MSSR_COMMON_THREAD_POOL_HH
+#define MSSR_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mssr
+{
+
+/** Fixed-size pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawns @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueues @p task; runs on some worker in FIFO order. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until the queue is empty and all workers are idle. */
+    void wait();
+
+    unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Tasks submitted over the pool's lifetime (for tests/telemetry). */
+    std::uint64_t tasksSubmitted() const;
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allIdle_;
+    unsigned running_ = 0; //!< tasks currently executing
+    std::uint64_t submitted_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_THREAD_POOL_HH

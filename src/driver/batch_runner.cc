@@ -1,0 +1,71 @@
+#include "driver/batch_runner.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hh"
+
+namespace mssr
+{
+
+BatchRunner::BatchRunner(unsigned threads)
+    : threads_(threads ? threads : defaultThreads())
+{
+}
+
+unsigned
+BatchRunner::defaultThreads()
+{
+    if (const char *s = std::getenv("MSSR_JOBS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<RunResult>
+BatchRunner::run(const std::vector<BatchJob> &jobs) const
+{
+    std::vector<RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    // Sequential fast path: no pool, no synchronization. Results are
+    // identical either way; this is the timing baseline.
+    if (threads_ == 1 || jobs.size() == 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] =
+                runSim(*jobs[i].program, jobs[i].config, nullptr,
+                       jobs[i].inspect);
+        return results;
+    }
+
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    {
+        ThreadPool pool(std::min<std::size_t>(threads_, jobs.size()));
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&, i] {
+                try {
+                    results[i] =
+                        runSim(*jobs[i].program, jobs[i].config, nullptr,
+                               jobs[i].inspect);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                }
+            });
+        }
+        pool.wait();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return results;
+}
+
+} // namespace mssr

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * BatchRunner: parallel execution of independent simulation points.
+ *
+ * Every figure/table reproduction is a cross-product of (workload,
+ * SimConfig) design points, each a fully independent, deterministic
+ * runSim() call. BatchRunner fans a vector of such BatchJobs out over
+ * a fixed-size ThreadPool and returns the results in submission
+ * order, so every printed table is bit-identical to the sequential
+ * run of the same jobs -- only wall-clock time changes.
+ *
+ * The worker count defaults to std::thread::hardware_concurrency()
+ * and can be overridden with the MSSR_JOBS environment variable
+ * (MSSR_JOBS=1 forces sequential execution in-thread, useful for
+ * debugging and timing baselines).
+ */
+
+#ifndef MSSR_DRIVER_BATCH_RUNNER_HH
+#define MSSR_DRIVER_BATCH_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/sim_runner.hh"
+
+namespace mssr
+{
+
+/** One independent simulation point of a sweep. */
+struct BatchJob
+{
+    std::string name;                     //!< label for reports/JSON
+    const isa::Program *program = nullptr; //!< must outlive the batch
+    SimConfig config;
+    /**
+     * Optional per-job core inspection, invoked on the worker thread
+     * with the finished core (see runSim). Closures must only touch
+     * job-local state; the batch provides no cross-job locking.
+     */
+    std::function<void(const O3Cpu &)> inspect;
+};
+
+/** Executes batches of BatchJobs across a worker pool. */
+class BatchRunner
+{
+  public:
+    /** @p threads 0 means defaultThreads(). */
+    explicit BatchRunner(unsigned threads = 0);
+
+    /** MSSR_JOBS override, else hardware_concurrency(), at least 1. */
+    static unsigned defaultThreads();
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Runs all @p jobs and returns results in submission order.
+     * A job that throws (bad config/program) aborts the batch: the
+     * first exception is rethrown on the calling thread once all
+     * in-flight jobs have drained.
+     */
+    std::vector<RunResult> run(const std::vector<BatchJob> &jobs) const;
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_DRIVER_BATCH_RUNNER_HH

@@ -1,5 +1,7 @@
 #include "driver/sim_runner.hh"
 
+#include <chrono>
+
 namespace mssr
 {
 
@@ -7,17 +9,24 @@ RunResult
 runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
        const std::function<void(const O3Cpu &)> &inspect)
 {
+    const auto start = std::chrono::steady_clock::now();
     Memory local;
     Memory &mem = mem_out ? *mem_out : local;
     O3Cpu cpu(cfg, prog, mem);
     cpu.run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
 
     RunResult out;
+    out.hostSeconds = elapsed.count();
     out.cycles = cpu.cycles();
     out.insts = cpu.instsCommitted();
     out.ipc = cpu.ipc();
     out.halted = cpu.halted();
     out.stats = cpu.stats();
+    out.kips = out.hostSeconds > 0.0
+                   ? static_cast<double>(out.insts) / out.hostSeconds / 1e3
+                   : 0.0;
     for (unsigned r = 0; r < NumArchRegs; ++r)
         out.archRegs[r] = cpu.archReg(static_cast<ArchReg>(r));
     if (inspect)

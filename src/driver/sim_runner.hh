@@ -31,6 +31,12 @@ struct RunResult
     StatSet stats;
     std::array<RegVal, NumArchRegs> archRegs{};
 
+    // Host-side performance of the simulation itself. These are the
+    // only non-deterministic fields: everything above is bit-identical
+    // across repeated runs, these track the simulator's own speed.
+    double hostSeconds = 0.0; //!< wall-clock time of the runSim() call
+    double kips = 0.0;        //!< simulated kilo-instructions / host second
+
     /** Speedup of this run over @p baseline (by cycles). */
     double
     speedupOver(const RunResult &baseline) const

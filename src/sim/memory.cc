@@ -10,18 +10,30 @@ namespace mssr
 const Memory::Page *
 Memory::findPage(Addr addr) const
 {
-    auto it = pages_.find(addr / PageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
+    const Addr pageNum = addr / PageBytes;
+    if (cachedPage_ && cachedPageNum_ == pageNum)
+        return cachedPage_;
+    auto it = pages_.find(pageNum);
+    if (it == pages_.end())
+        return nullptr;
+    cachedPageNum_ = pageNum;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
 }
 
 Memory::Page &
 Memory::touchPage(Addr addr)
 {
-    auto &slot = pages_[addr / PageBytes];
+    const Addr pageNum = addr / PageBytes;
+    if (cachedPage_ && cachedPageNum_ == pageNum)
+        return *cachedPage_;
+    auto &slot = pages_[pageNum];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    cachedPageNum_ = pageNum;
+    cachedPage_ = slot.get();
     return *slot;
 }
 
@@ -29,6 +41,18 @@ std::uint64_t
 Memory::read(Addr addr, unsigned n) const
 {
     mssr_assert(n >= 1 && n <= 8);
+    const std::size_t offset = addr % PageBytes;
+    if (offset + n <= PageBytes) {
+        // Fast path: the whole access sits in one page, one lookup.
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        std::uint64_t out = 0;
+        for (unsigned i = 0; i < n; ++i)
+            out |= static_cast<std::uint64_t>((*page)[offset + i])
+                   << (8 * i);
+        return out;
+    }
     std::uint64_t out = 0;
     for (unsigned i = 0; i < n; ++i) {
         const Addr a = addr + i;
@@ -43,6 +67,13 @@ void
 Memory::write(Addr addr, std::uint64_t value, unsigned n)
 {
     mssr_assert(n >= 1 && n <= 8);
+    const std::size_t offset = addr % PageBytes;
+    if (offset + n <= PageBytes) {
+        Page &page = touchPage(addr);
+        for (unsigned i = 0; i < n; ++i)
+            page[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < n; ++i) {
         const Addr a = addr + i;
         touchPage(a)[a % PageBytes] =
@@ -53,22 +84,30 @@ Memory::write(Addr addr, std::uint64_t value, unsigned n)
 bool
 Memory::equals(const Memory &other) const
 {
-    // A page missing on one side must be all-zero on the other.
-    auto coveredBy = [](const Memory &a, const Memory &b) {
-        for (const auto &[pageNum, page] : a.pages_) {
-            auto it = b.pages_.find(pageNum);
-            if (it == b.pages_.end()) {
-                for (auto byte : *page)
-                    if (byte != 0)
-                        return false;
-            } else if (std::memcmp(page->data(), it->second->data(),
-                                   PageBytes) != 0) {
+    const auto isZero = [](const Page &p) {
+        for (auto byte : p)
+            if (byte != 0)
                 return false;
-            }
-        }
         return true;
     };
-    return coveredBy(*this, other) && coveredBy(other, *this);
+    // Pages present here: match the peer byte-for-byte, or be all-zero
+    // when the peer never allocated that page.
+    for (const auto &[pageNum, page] : pages_) {
+        auto it = other.pages_.find(pageNum);
+        if (it == other.pages_.end()) {
+            if (!isZero(*page))
+                return false;
+        } else if (std::memcmp(page->data(), it->second->data(),
+                               PageBytes) != 0) {
+            return false;
+        }
+    }
+    // Pages only the peer allocated must be all-zero.
+    for (const auto &[pageNum, page] : other.pages_) {
+        if (pages_.find(pageNum) == pages_.end() && !isZero(*page))
+            return false;
+    }
+    return true;
 }
 
 } // namespace mssr

@@ -2,6 +2,12 @@
  * @file
  * Sparse byte-addressable backing memory for the simulated machine.
  * Pages are allocated on first touch and zero-initialised.
+ *
+ * A one-entry last-page cache in front of the page map serves the
+ * common sequential access pattern (loops marching through arrays,
+ * stack traffic) without an unordered_map probe per byte. Page
+ * storage is unique_ptr-owned, so the cached raw pointer stays valid
+ * across map rehashes.
  */
 
 #ifndef MSSR_SIM_MEMORY_HH
@@ -47,7 +53,12 @@ class Memory
     /** Number of pages currently allocated (for tests/inspection). */
     std::size_t numPages() const { return pages_.size(); }
 
-    /** Byte-for-byte comparison with another memory (both sparse). */
+    /**
+     * Byte-for-byte comparison with another memory. Iterates both
+     * sparse page maps directly; a page allocated on only one side
+     * counts as equal when it is entirely zero (pages are born
+     * zero-filled, so sparseness is not observable).
+     */
     bool equals(const Memory &other) const;
 
   private:
@@ -57,6 +68,12 @@ class Memory
     Page &touchPage(Addr addr);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    // Last-page cache: page number + raw pointer of the most recently
+    // accessed *allocated* page. Never caches absence (a read miss
+    // would otherwise go stale when a later write allocates the page).
+    mutable Addr cachedPageNum_ = 0;
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace mssr

@@ -1,0 +1,175 @@
+/**
+ * BatchRunner / ThreadPool: the parallel batch engine must be an
+ * exact drop-in for sequential runSim loops -- element-wise identical
+ * results in submission order at every worker count -- plus basic
+ * pool behavior (drain-on-wait, empty/single batches, MSSR_JOBS).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/thread_pool.hh"
+#include "driver/batch_runner.hh"
+#include "workloads/registry.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+void
+expectIdentical(const RunResult &a, const RunResult &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.insts, b.insts) << what;
+    EXPECT_EQ(a.ipc, b.ipc) << what;
+    EXPECT_EQ(a.halted, b.halted) << what;
+    EXPECT_EQ(a.archRegs, b.archRegs) << what;
+    EXPECT_EQ(a.stats.scalars(), b.stats.scalars()) << what;
+}
+
+/** A small cross-product of workloads and schemes. */
+std::vector<BatchJob>
+makeJobs(const std::vector<isa::Program> &programs)
+{
+    const std::vector<SimConfig> cfgs = {
+        baselineConfig(), rgidConfig(2, 64), regIntConfig(64, 2)};
+    std::vector<BatchJob> jobs;
+    for (std::size_t p = 0; p < programs.size(); ++p)
+        for (std::size_t c = 0; c < cfgs.size(); ++c)
+            jobs.push_back({"job" + std::to_string(p) + "." +
+                                std::to_string(c),
+                            &programs[p], cfgs[c],
+                            {}});
+    return jobs;
+}
+
+std::vector<isa::Program>
+makePrograms()
+{
+    workloads::WorkloadScale scale;
+    scale.iterations = 150;
+    scale.graphScale = 6;
+    std::vector<isa::Program> programs;
+    programs.push_back(workloads::buildWorkload("nested-mispred", scale));
+    programs.push_back(workloads::buildWorkload("bfs", scale));
+    return programs;
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsAllTasksAndWaits)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+    EXPECT_EQ(pool.tasksSubmitted(), 100u);
+    EXPECT_EQ(pool.numThreads(), 4u);
+
+    // The pool stays usable after a wait().
+    pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(BatchRunner, MatchesSequentialRunSim)
+{
+    const std::vector<isa::Program> programs = makePrograms();
+    const std::vector<BatchJob> jobs = makeJobs(programs);
+
+    std::vector<RunResult> expected;
+    for (const auto &job : jobs)
+        expected.push_back(runSim(*job.program, job.config));
+
+    const BatchRunner runner(4);
+    const std::vector<RunResult> got = runner.run(jobs);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        expectIdentical(got[i], expected[i], jobs[i].name);
+}
+
+TEST(BatchRunner, SubmissionOrderPreservedAtEveryWorkerCount)
+{
+    const std::vector<isa::Program> programs = makePrograms();
+    const std::vector<BatchJob> jobs = makeJobs(programs);
+    const std::vector<RunResult> reference = BatchRunner(1).run(jobs);
+
+    for (unsigned threads = 1; threads <= 8; ++threads) {
+        const std::vector<RunResult> got = BatchRunner(threads).run(jobs);
+        ASSERT_EQ(got.size(), reference.size()) << threads << " threads";
+        for (std::size_t i = 0; i < got.size(); ++i)
+            expectIdentical(got[i], reference[i],
+                            std::to_string(threads) + " threads, " +
+                                jobs[i].name);
+    }
+}
+
+TEST(BatchRunner, EmptyAndSingleJobBatches)
+{
+    const BatchRunner runner(4);
+    EXPECT_TRUE(runner.run({}).empty());
+
+    const std::vector<isa::Program> programs = makePrograms();
+    std::vector<BatchJob> one = {
+        {"solo", &programs[0], rgidConfig(4, 64), {}}};
+    const std::vector<RunResult> got = runner.run(one);
+    ASSERT_EQ(got.size(), 1u);
+    expectIdentical(got[0], runSim(programs[0], rgidConfig(4, 64)),
+                    "solo");
+    EXPECT_TRUE(got[0].halted);
+}
+
+TEST(BatchRunner, RecordsHostTiming)
+{
+    const std::vector<isa::Program> programs = makePrograms();
+    const std::vector<RunResult> got =
+        BatchRunner(2).run({{"timed", &programs[0], rgidConfig(2, 64), {}}});
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_GT(got[0].hostSeconds, 0.0);
+    EXPECT_GT(got[0].kips, 0.0);
+}
+
+TEST(BatchRunner, InspectRunsPerJob)
+{
+    const std::vector<isa::Program> programs = makePrograms();
+    std::vector<int> hits(3, 0);
+    std::vector<BatchJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        BatchJob j{"inspect" + std::to_string(i), &programs[0],
+                   rgidConfig(1, 64),
+                   {}};
+        j.inspect = [&hits, i](const O3Cpu &) { ++hits[i]; };
+        jobs.push_back(std::move(j));
+    }
+    BatchRunner(3).run(jobs);
+    EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(BatchRunner, MssrJobsEnvOverridesDefault)
+{
+    setenv("MSSR_JOBS", "3", 1);
+    EXPECT_EQ(BatchRunner::defaultThreads(), 3u);
+    EXPECT_EQ(BatchRunner().threads(), 3u);
+    setenv("MSSR_JOBS", "not-a-number", 1);
+    EXPECT_GE(BatchRunner::defaultThreads(), 1u);
+    unsetenv("MSSR_JOBS");
+    EXPECT_GE(BatchRunner::defaultThreads(), 1u);
+    EXPECT_EQ(BatchRunner(5).threads(), 5u);
+}

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "sim/memory.hh"
 
 using namespace mssr;
@@ -58,4 +60,120 @@ TEST(Memory, Equals)
     // Explicit zero page on one side still equals a missing page.
     a.write64(0x9000, 0);
     EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Memory, EqualsPageAllocatedOnOneSideOnly)
+{
+    // Regression for the sparse-map comparison: a page present on only
+    // one side is equal iff it is entirely zero, in both directions.
+    Memory a, b;
+    a.write8(0x20000, 0); // allocated but all-zero, only in a
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_TRUE(b.equals(a));
+    EXPECT_EQ(a.numPages(), 1u);
+    EXPECT_EQ(b.numPages(), 0u);
+
+    b.write8(0x30000, 7); // non-zero page only in b
+    EXPECT_FALSE(a.equals(b));
+    EXPECT_FALSE(b.equals(a));
+    b.write8(0x30000, 0); // zeroed again: page still allocated
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_TRUE(b.equals(a));
+}
+
+namespace
+{
+
+/** Cache-free reference model: one byte per address. */
+class ReferenceMemory
+{
+  public:
+    void
+    write(Addr addr, std::uint64_t value, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            bytes_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+
+    std::uint64_t
+    read(Addr addr, unsigned n) const
+    {
+        std::uint64_t out = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            auto it = bytes_.find(addr + i);
+            const std::uint8_t byte = it == bytes_.end() ? 0 : it->second;
+            out |= static_cast<std::uint64_t>(byte) << (8 * i);
+        }
+        return out;
+    }
+
+  private:
+    std::map<Addr, std::uint8_t> bytes_;
+};
+
+} // namespace
+
+TEST(Memory, LastPageCacheAccessPatterns)
+{
+    // Sequential, strided and page-crossing traffic, cross-checked
+    // against the cache-free reference model. The mix is designed to
+    // hit, thrash and bypass the one-entry last-page cache: long
+    // sequential runs (hits), alternating far pages (misses), and
+    // unaligned accesses straddling page boundaries (slow path).
+    Memory mem;
+    ReferenceMemory ref;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return lcg;
+    };
+
+    const Addr base = 3 * Memory::PageBytes;
+    // Sequential writes marching through four pages.
+    for (Addr a = base; a < base + 4 * Memory::PageBytes; a += 8) {
+        const std::uint64_t v = next();
+        mem.write(a, v, 8);
+        ref.write(a, v, 8);
+    }
+    // Strided read/write mix alternating between distant pages.
+    for (unsigned i = 0; i < 512; ++i) {
+        const Addr a = base + (i % 2 ? 0 : 64 * Memory::PageBytes) +
+                       (next() % (2 * Memory::PageBytes));
+        const unsigned n = 1 + next() % 8;
+        if (next() % 3 == 0) {
+            const std::uint64_t v = next();
+            mem.write(a, v, n);
+            ref.write(a, v, n);
+        }
+        ASSERT_EQ(mem.read(a, n), ref.read(a, n)) << std::hex << a;
+    }
+    // Page-crossing accesses at every offset near a boundary.
+    const Addr edge = base + 2 * Memory::PageBytes;
+    for (unsigned off = 1; off <= 7; ++off) {
+        const Addr a = edge - off;
+        const std::uint64_t v = next();
+        mem.write(a, v, 8);
+        ref.write(a, v, 8);
+        ASSERT_EQ(mem.read(a, 8), ref.read(a, 8)) << "offset " << off;
+    }
+    // Full sequential readback: the cache must never serve stale data.
+    for (Addr a = base; a < base + 4 * Memory::PageBytes; a += 8)
+        ASSERT_EQ(mem.read(a, 8), ref.read(a, 8)) << std::hex << a;
+}
+
+TEST(Memory, CacheDoesNotCacheAbsentPages)
+{
+    Memory mem;
+    // Miss on an unallocated page must not be cached: a later write
+    // has to be visible to the next read of the same page.
+    EXPECT_EQ(mem.read64(0x40000), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+    mem.write64(0x40000, 0xfeedface);
+    EXPECT_EQ(mem.read64(0x40000), 0xfeedfaceull);
+
+    // A read hit caching page A must not shadow page B.
+    mem.write64(0x40000 + Memory::PageBytes, 0xbeef);
+    EXPECT_EQ(mem.read64(0x40000), 0xfeedfaceull);
+    EXPECT_EQ(mem.read64(0x40000 + Memory::PageBytes), 0xbeefull);
+    EXPECT_EQ(mem.read64(0x40000), 0xfeedfaceull);
 }

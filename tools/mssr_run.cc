@@ -1,10 +1,12 @@
 /**
- * mssr_run: command-line front end for the simulator. Runs a named
- * workload (or an assembly file) under a chosen squash-reuse scheme
- * and prints statistics.
+ * mssr_run: command-line front end for the simulator. Runs one or
+ * more named workloads (or an assembly file) under a chosen
+ * squash-reuse scheme and prints statistics. Multiple workloads (and
+ * the --compare baselines) are executed in parallel through the
+ * BatchRunner; output order always follows the command line.
  *
  * Usage:
- *   mssr_run [options] <workload>
+ *   mssr_run [options] <workload> [<workload> ...]
  *   mssr_run [options] --asm <file.s>
  *
  * Options:
@@ -15,10 +17,13 @@
  *   --predictor tage|gshare|bimodal
  *   --max-insts N                stop after N commits
  *   --scale G --iters I          workload sizing
+ *   --jobs N                     worker threads (default: MSSR_JOBS or
+ *                                hardware concurrency)
  *   --bloom                      Bloom hazard check instead of verify
  *   --all-stats                  dump every counter
  *   --compare                    also run the no-reuse baseline
- *   --trace                      pipeline trace to stderr (small runs!)
+ *   --trace                      pipeline trace to stderr (small runs!
+ *                                forces sequential execution)
  *   --list                       list available workloads
  */
 
@@ -26,9 +31,10 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "analysis/report.hh"
-#include "driver/sim_runner.hh"
+#include "driver/batch_runner.hh"
 #include "isa/assembler.hh"
 #include "workloads/registry.hh"
 
@@ -44,8 +50,9 @@ usage(const char *argv0)
               << " [--reuse none|rgid|regint] [--streams N] [--entries P]"
                  "\n        [--sets S] [--ways W] [--predictor tage|"
                  "gshare|bimodal]\n        [--max-insts N] [--scale G] "
-                 "[--iters I] [--bloom]\n        [--trace] [--all-stats] "
-                 "[--compare] (<workload> | --asm <file.s> | --list)\n";
+                 "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
+                 "[--all-stats] [--compare]\n        "
+                 "(<workload>... | --asm <file.s> | --list)\n";
     std::exit(2);
 }
 
@@ -58,7 +65,8 @@ printSummary(const std::string &label, const RunResult &r)
         std::cout << ", reuses " << r.stats.get("reuse.success");
     if (r.stats.has("ri.integrations"))
         std::cout << ", integrations " << r.stats.get("ri.integrations");
-    std::cout << "\n";
+    std::cout << " [" << analysis::fixed(r.hostSeconds, 2) << "s host, "
+              << analysis::fixed(r.kips, 0) << " kips]\n";
 }
 
 } // namespace
@@ -69,8 +77,9 @@ main(int argc, char **argv)
     SimConfig cfg;
     cfg.reuseKind = ReuseKind::Rgid;
     workloads::WorkloadScale scale = workloads::WorkloadScale::fromEnv();
-    std::string workload;
+    std::vector<std::string> workloadNames;
     std::string asmFile;
+    unsigned jobsOverride = 0;
     bool allStats = false;
     bool compare = false;
 
@@ -117,6 +126,8 @@ main(int argc, char **argv)
             scale.graphScale = std::stoul(next());
         } else if (arg == "--iters") {
             scale.iterations = std::stoul(next());
+        } else if (arg == "--jobs") {
+            jobsOverride = std::stoul(next());
         } else if (arg == "--bloom") {
             cfg.reuse.useBloomFilter = true;
         } else if (arg == "--trace") {
@@ -139,36 +150,59 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg[0] == '-') {
             usage(argv[0]);
         } else {
-            workload = arg;
+            workloadNames.push_back(arg);
         }
     }
-    if (workload.empty() && asmFile.empty())
+    if (workloadNames.empty() && asmFile.empty())
         usage(argv[0]);
 
     try {
-        isa::Program prog;
+        // Build every program up front (programs must outlive the batch).
+        std::vector<std::string> labels;
+        std::vector<isa::Program> programs;
         if (!asmFile.empty()) {
             std::ifstream in(asmFile);
             if (!in)
                 fatal("cannot open '", asmFile, "'");
             std::ostringstream text;
             text << in.rdbuf();
-            prog = isa::assembleProgram(text.str());
-        } else {
-            prog = workloads::buildWorkload(workload, scale);
+            labels.push_back(asmFile);
+            programs.push_back(isa::assembleProgram(text.str()));
+        }
+        for (const auto &name : workloadNames) {
+            labels.push_back(name);
+            programs.push_back(workloads::buildWorkload(name, scale));
         }
 
-        const RunResult r = runSim(prog, cfg);
-        printSummary(toString(cfg.reuseKind), r);
-        if (compare) {
-            const RunResult base = runSim(prog, baselineConfig());
-            printSummary("none", base);
-            std::cout << "IPC improvement: "
-                      << analysis::percent(r.ipcImprovementOver(base))
-                      << "\n";
+        // One job per program, plus its baseline when comparing. A
+        // pipeline trace interleaves on stderr, so force sequential.
+        std::vector<BatchJob> jobs;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            jobs.push_back({labels[i], &programs[i], cfg, {}});
+            if (compare)
+                jobs.push_back({labels[i] + "/baseline", &programs[i],
+                                baselineConfig(cfg.maxInsts),
+                                {}});
         }
-        if (allStats)
-            r.stats.dump(std::cout);
+        const BatchRunner runner(cfg.trace ? 1 : jobsOverride);
+        const std::vector<RunResult> results = runner.run(jobs);
+
+        std::size_t point = 0;
+        for (std::size_t i = 0; i < programs.size(); ++i) {
+            if (programs.size() > 1)
+                std::cout << "== " << labels[i] << " ==\n";
+            const RunResult &r = results[point++];
+            printSummary(toString(cfg.reuseKind), r);
+            if (compare) {
+                const RunResult &base = results[point++];
+                printSummary("none", base);
+                std::cout << "IPC improvement: "
+                          << analysis::percent(r.ipcImprovementOver(base))
+                          << "\n";
+            }
+            if (allStats)
+                r.stats.dump(std::cout);
+        }
         return 0;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
