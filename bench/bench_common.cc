@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/argparse.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 
@@ -91,6 +92,12 @@ Harness::Harness(int argc, char **argv, std::string benchName,
         if (std::string(argv[i]) == "--json")
             json_ = true;
     }
+    if (const char *s = std::getenv("MSSR_INTERVAL")) {
+        if (const auto v = parseU64(s))
+            statsInterval_ = *v;
+        else
+            warn("ignoring invalid MSSR_INTERVAL='", s, "'");
+    }
 
     if (baselines == Baselines::Build) {
         std::vector<BatchJob> jobs;
@@ -118,6 +125,8 @@ Harness::job(const std::string &label, const std::string &workload,
     j.name = label;
     j.program = &set_.program(workload);
     j.config = cfg;
+    if (statsInterval_ != 0)
+        j.config.statsInterval = statsInterval_;
     return j;
 }
 
@@ -132,8 +141,9 @@ Harness::runBatch(const std::vector<BatchJob> &jobs)
             .count();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         records_.push_back({jobs[i].name, results[i].cycles,
-                            results[i].ipc, results[i].hostSeconds,
-                            results[i].kips});
+                            results[i].insts, results[i].ipc,
+                            results[i].hostSeconds, results[i].kips,
+                            results[i].intervals});
     }
     return results;
 }
@@ -174,9 +184,24 @@ Harness::writeJson() const
         const Record &r = records_[i];
         os << (i ? ",\n    " : "\n    ");
         os << "{\"name\": \"" << jsonEscape(r.name)
-           << "\", \"cycles\": " << r.cycles << ", \"ipc\": " << r.ipc
+           << "\", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
+           << ", \"ipc\": " << r.ipc
            << ", \"host_sec\": " << r.hostSec << ", \"kips\": " << r.kips
-           << "}";
+           << ", \"intervals\": [";
+        for (std::size_t k = 0; k < r.intervals.size(); ++k) {
+            const IntervalSample &s = r.intervals[k];
+            os << (k ? ", " : "")
+               << "{\"cycle_end\": " << s.cycleEnd
+               << ", \"cycles\": " << s.cycles
+               << ", \"commits\": " << s.commits
+               << ", \"squashed_insts\": " << s.squashedInsts
+               << ", \"squash_events\": " << s.squashEvents
+               << ", \"reuse_hits\": " << s.reuseHits
+               << ", \"ipc\": " << s.ipc
+               << ", \"wpb_occ\": " << s.wpbOccupancy
+               << ", \"slog_occ\": " << s.squashLogOccupancy << "}";
+        }
+        os << "]}";
     }
     os << "\n  ]\n}\n";
     std::cerr << "[wrote " << path << "]\n";

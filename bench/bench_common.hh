@@ -11,6 +11,8 @@
  *   MSSR_SEED   workload RNG seed
  *   MSSR_JOBS   batch worker threads (default: hardware concurrency)
  *   MSSR_JSON   when set (or --json passed), write BENCH_batch.json
+ *   MSSR_INTERVAL  sample interval stats every K cycles; the samples
+ *               are carried on every record of BENCH_batch.json
  *
  * Design points are executed by BatchRunner in submission order, so
  * every table printed to stdout is byte-identical to a sequential run
@@ -115,13 +117,16 @@ class Harness
     {
         std::string name;
         Cycle cycles;
+        std::uint64_t insts;
         double ipc;
         double hostSec;
         double kips;
+        std::vector<IntervalSample> intervals;
     };
 
     std::string benchName_;
     bool json_ = false;
+    Cycle statsInterval_ = 0; //!< MSSR_INTERVAL; 0 disables sampling
     BatchRunner runner_;
     WorkloadSet set_;
     std::vector<Record> records_;

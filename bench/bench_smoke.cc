@@ -1,204 +1,31 @@
 /**
  * Smoke test for the batch-simulation harness, run as a ctest (see
  * bench/CMakeLists.txt: MSSR_SCALE=6 MSSR_ITERS=200 MSSR_JOBS=2).
- * Executes a tiny design-point batch through the Harness, then
- * re-reads the emitted BENCH_batch.json with a minimal JSON parser
- * and checks the schema: bench/threads/jobs/wall_sec plus per-result
- * name/cycles/ipc/host_sec/kips. Exits non-zero on any mismatch so
- * CI notices a broken perf log before any downstream tooling does.
+ * Executes a tiny design-point batch through the Harness (with
+ * MSSR_INTERVAL sampling forced on), then re-reads the emitted
+ * BENCH_batch.json with the shared mini_json reader and checks the
+ * schema: bench/threads/jobs/wall_sec plus per-result
+ * name/cycles/insts/ipc/host_sec/kips/intervals, and that each
+ * result's interval deltas sum exactly to its scalar counters. Exits
+ * non-zero on any mismatch so CI notices a broken perf log before any
+ * downstream tooling does.
  */
 
-#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <sstream>
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/mini_json.hh"
 
 using namespace mssr;
+using minijson::JsonParser;
+using minijson::JsonValue;
 
 namespace
 {
-
-// --- minimal JSON reader: just enough to validate our own output ----
-
-struct JsonValue
-{
-    enum Kind { Null, Bool, Number, String, Array, Object } kind = Null;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::map<std::string, JsonValue> object;
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (pos_ != text_.size())
-            fail("trailing garbage");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what)
-    {
-        throw std::runtime_error("JSON error at offset " +
-                                 std::to_string(pos_) + ": " + what);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            fail("unexpected end");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    JsonValue
-    value()
-    {
-        const char c = peek();
-        if (c == '{')
-            return object();
-        if (c == '[')
-            return array();
-        if (c == '"')
-            return string();
-        if (c == 't' || c == 'f')
-            return boolean();
-        return number();
-    }
-
-    JsonValue
-    object()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Object;
-        expect('{');
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            JsonValue key = string();
-            expect(':');
-            v.object[key.string] = value();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue
-    array()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Array;
-        expect('[');
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            v.array.push_back(value());
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue
-    string()
-    {
-        JsonValue v;
-        v.kind = JsonValue::String;
-        expect('"');
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\') {
-                ++pos_;
-                if (pos_ >= text_.size())
-                    fail("bad escape");
-            }
-            v.string += text_[pos_++];
-        }
-        if (pos_ >= text_.size())
-            fail("unterminated string");
-        ++pos_; // closing quote
-        return v;
-    }
-
-    JsonValue
-    boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Bool;
-        if (text_.compare(pos_, 4, "true") == 0) {
-            v.number = 1.0;
-            pos_ += 4;
-        } else if (text_.compare(pos_, 5, "false") == 0) {
-            pos_ += 5;
-        } else {
-            fail("bad literal");
-        }
-        return v;
-    }
-
-    JsonValue
-    number()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Number;
-        std::size_t end = pos_;
-        while (end < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
-                text_[end] == '-' || text_[end] == '+' ||
-                text_[end] == '.' || text_[end] == 'e' ||
-                text_[end] == 'E'))
-            ++end;
-        if (end == pos_)
-            fail("expected number");
-        v.number = std::stod(text_.substr(pos_, end - pos_));
-        pos_ = end;
-        return v;
-    }
-
-    std::string text_;
-    std::size_t pos_ = 0;
-};
 
 int failures = 0;
 
@@ -230,8 +57,10 @@ field(const JsonValue &obj, const std::string &key, JsonValue::Kind kind,
 int
 main(int argc, char **argv)
 {
-    // Force the JSON sink on regardless of the harness environment.
+    // Force the JSON sink and interval sampling on regardless of the
+    // harness environment.
     setenv("MSSR_JSON", "1", 1);
+    setenv("MSSR_INTERVAL", "500", 1);
 
     const std::vector<std::string> names = {"nested-mispred", "bfs"};
     std::size_t expectedJobs = 0;
@@ -278,12 +107,45 @@ main(int argc, char **argv)
             for (const auto &r : results->array) {
                 check(r.kind == JsonValue::Object, "result is an object");
                 field(r, "name", JsonValue::String, "result");
-                if (const auto *c =
-                        field(r, "cycles", JsonValue::Number, "result"))
+                const auto *c =
+                    field(r, "cycles", JsonValue::Number, "result");
+                if (c)
                     check(c->number > 0, "result cycles > 0");
+                const auto *insts =
+                    field(r, "insts", JsonValue::Number, "result");
                 field(r, "ipc", JsonValue::Number, "result");
                 field(r, "host_sec", JsonValue::Number, "result");
                 field(r, "kips", JsonValue::Number, "result");
+                const auto *intervals =
+                    field(r, "intervals", JsonValue::Array, "result");
+                if (!c || !insts || !intervals)
+                    continue;
+                // Interval deltas must reconcile exactly with the
+                // scalar counters of the run (the core flushes a final
+                // partial interval at halt).
+                check(!intervals->array.empty(),
+                      "intervals sampled (MSSR_INTERVAL=500)");
+                double sumCycles = 0, sumCommits = 0;
+                for (const auto &s : intervals->array) {
+                    check(s.kind == JsonValue::Object,
+                          "interval is an object");
+                    for (const char *key :
+                         {"cycle_end", "cycles", "commits",
+                          "squashed_insts", "squash_events", "reuse_hits",
+                          "ipc", "wpb_occ", "slog_occ"})
+                        field(s, key, JsonValue::Number, "interval");
+                    auto num = [&](const char *key) {
+                        auto it = s.object.find(key);
+                        return it == s.object.end() ? 0.0
+                                                    : it->second.number;
+                    };
+                    sumCycles += num("cycles");
+                    sumCommits += num("commits");
+                }
+                check(sumCycles == c->number,
+                      "interval cycle deltas sum to total cycles");
+                check(sumCommits == insts->number,
+                      "interval commit deltas sum to total insts");
             }
         }
     } catch (const std::exception &e) {

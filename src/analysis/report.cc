@@ -1,5 +1,6 @@
 #include "analysis/report.hh"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -46,6 +47,8 @@ Table::print(std::ostream &os) const
 std::string
 percent(double fraction, int decimals)
 {
+    if (std::isnan(fraction))
+        return "n/a";
     std::ostringstream os;
     os << (fraction >= 0 ? "+" : "") << std::fixed
        << std::setprecision(decimals) << fraction * 100.0 << "%";
@@ -55,6 +58,8 @@ percent(double fraction, int decimals)
 std::string
 fixed(double value, int decimals)
 {
+    if (std::isnan(value))
+        return "n/a";
     std::ostringstream os;
     os << std::fixed << std::setprecision(decimals) << value;
     return os.str();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flags and environment
+ * variables. The seed CLI fed user text straight into std::stoul,
+ * which terminates the process with an uncaught std::invalid_argument
+ * on garbage; these helpers return std::nullopt instead so front ends
+ * can print the offending flag and exit cleanly.
+ */
+
+#ifndef MSSR_COMMON_ARGPARSE_HH
+#define MSSR_COMMON_ARGPARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace mssr
+{
+
+/**
+ * Parses the whole of @p s as a base-10 unsigned integer. Rejects
+ * empty strings, signs, leading whitespace, trailing junk ("4x") and
+ * values that overflow 64 bits.
+ */
+inline std::optional<std::uint64_t>
+parseU64(const std::string &s)
+{
+    if (s.empty() || s[0] < '0' || s[0] > '9')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE)
+        return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+}
+
+/** parseU64() restricted to the range of `unsigned`. */
+inline std::optional<unsigned>
+parseU32(const std::string &s)
+{
+    const auto v = parseU64(s);
+    if (!v || *v > std::numeric_limits<unsigned>::max())
+        return std::nullopt;
+    return static_cast<unsigned>(*v);
+}
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_ARGPARSE_HH

@@ -9,11 +9,14 @@
 #define MSSR_COMMON_CONFIG_HH
 
 #include <cstdint>
-#include <iosfwd>
 #include <string>
+
+#include "common/types.hh"
 
 namespace mssr
 {
+
+class Tracer;
 
 /** Which main conditional branch predictor the frontend uses. */
 enum class BranchPredictorKind
@@ -131,11 +134,23 @@ struct SimConfig
     std::uint64_t maxCycles = 0;  //!< 0 = unbounded
 
     /**
-     * Optional pipeline trace sink: when set, the core logs fetch/
-     * rename/issue/writeback/commit/squash events per instruction
-     * ("mssr_run --trace" uses this). Not owned.
+     * Optional structured event tracer (common/trace.hh): when set,
+     * the core and reuse unit record typed fetch/rename/issue/
+     * writeback/commit/squash/reuse-test/verify events into its ring
+     * buffer ("mssr_run --trace" uses this). Not owned; one tracer
+     * instruments exactly one core. Null disables all tracing at the
+     * cost of one pointer test per site.
      */
-    std::ostream *trace = nullptr;
+    Tracer *tracer = nullptr;
+
+    /**
+     * Interval statistics: when nonzero, sample IPC, reuse rate,
+     * squashes and WPB/Squash-Log occupancy every statsInterval
+     * cycles into RunResult::intervals (a final partial interval is
+     * flushed at end of run so the deltas sum to the scalar
+     * counters). 0 disables sampling.
+     */
+    Cycle statsInterval = 0;
 };
 
 /** Human-readable name for a ReuseKind. */

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Structured pipeline observability: a typed per-core event record
+ * captured into a bounded ring buffer, exporters for the Chrome
+ * trace_event JSON format (chrome://tracing / Perfetto) and JSONL,
+ * and the interval-statistics sample carried on RunResult.
+ *
+ * The tracer replaces the seed's printf-style text trace. Cores hold a
+ * `Tracer *` (SimConfig::tracer, not owned); a null pointer disables
+ * tracing entirely, so the disabled-mode cost is one pointer test per
+ * instrumentation site and no allocation anywhere. When enabled, the
+ * ring buffer is allocated once at construction and record() never
+ * allocates, so tracing is safe on the simulation hot path and in
+ * long runs (the oldest events are overwritten; dropped() reports how
+ * many).
+ *
+ * Event capture is deterministic: events depend only on simulated
+ * state, never on host time or worker scheduling, so the event stream
+ * of a job is bit-identical at any MSSR_JOBS worker count.
+ */
+
+#ifndef MSSR_COMMON_TRACE_HH
+#define MSSR_COMMON_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mssr
+{
+
+/** Pipeline stage (or unit) that recorded an event. */
+enum class TraceStage : std::uint8_t
+{
+    Fetch,      //!< instruction entered the frontend pipe
+    Rename,     //!< renamed (arg = dest preg; reuse = outcome)
+    Issue,      //!< selected for execution (arg = 1 when verify re-exec)
+    Writeback,  //!< result written back (arg = result value)
+    Commit,     //!< retired (arg = result value; reuse = Reused if so)
+    Squash,     //!< pipeline flush applied (squash = reason, arg = redirect)
+    ReuseTest,  //!< rename-side reuse test ran (reuse = verdict)
+    Reconv,     //!< fetch-side reconvergence detected (arg = stream distance)
+    Verify,     //!< reused-load verification resolved (arg = 1 ok, 0 fail)
+};
+
+/** Verdict of one rename-side reuse test (section 3.5). */
+enum class ReuseOutcome : std::uint8_t
+{
+    None,             //!< no reuse session covered this instruction
+    Reused,           //!< squashed result adopted
+    ReusedNeedVerify, //!< load adopted, re-executes as verification op
+    FailRgid,         //!< source RGID mismatch (inputs changed)
+    FailRgidCapacity, //!< finite rgidBits window wrapped
+    FailNotExecuted,  //!< squashed instruction never produced a value
+    FailKind,         //!< not a reusable kind (store/control/no dest/consumed)
+    FailBloom,        //!< Bloom filter reported a possible memory hazard
+    Divergence,       //!< corrected stream diverged; session ended
+};
+
+const char *toString(TraceStage stage);
+const char *toString(ReuseOutcome outcome);
+const char *toString(SquashReason reason);
+
+/** One structured pipeline event. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    SeqNum seq = 0;             //!< 0 for events with no instruction
+    Addr pc = 0;
+    std::uint64_t arg = 0;      //!< stage-specific payload (see TraceStage)
+    TraceStage stage = TraceStage::Fetch;
+    ReuseOutcome reuse = ReuseOutcome::None;
+    SquashReason squash = SquashReason::None;
+};
+
+/**
+ * One interval-statistics sample: deltas over the last `cycles`
+ * simulated cycles plus instantaneous structure occupancies. The
+ * deltas of all samples of a run sum exactly to the end-of-run scalar
+ * counters (the core flushes a final partial interval at halt).
+ */
+struct IntervalSample
+{
+    Cycle cycleEnd = 0;               //!< cycle at which the sample was taken
+    Cycle cycles = 0;                 //!< interval length (may be short at end)
+    std::uint64_t commits = 0;        //!< instructions committed in interval
+    std::uint64_t squashedInsts = 0;  //!< instructions squashed in interval
+    std::uint64_t squashEvents = 0;   //!< pipeline flushes in interval
+    std::uint64_t reuseHits = 0;      //!< successful reuses/integrations
+    double ipc = 0.0;                 //!< commits / cycles
+    double wpbOccupancy = 0.0;        //!< WPB valid entries / capacity [0,1]
+    double squashLogOccupancy = 0.0;  //!< Squash Log entries / capacity [0,1]
+};
+
+/**
+ * Bounded per-core event recorder. One Tracer instruments exactly one
+ * core (one BatchJob); it is not thread-safe and must not be shared
+ * across concurrent jobs.
+ */
+class Tracer
+{
+  public:
+    /** Allocates a ring of @p capacity events up front (>= 1). */
+    explicit Tracer(std::size_t capacity = 1 << 16);
+
+    /** Simulated cycle stamped on subsequent record() calls. */
+    void setCycle(Cycle c) { cycle_ = c; }
+    Cycle cycle() const { return cycle_; }
+
+    /** Records one event; overwrites the oldest when full. Never
+     *  allocates. */
+    void
+    record(TraceStage stage, SeqNum seq, Addr pc,
+           ReuseOutcome reuse = ReuseOutcome::None,
+           SquashReason squash = SquashReason::None, std::uint64_t arg = 0)
+    {
+        TraceEvent &e = ring_[next_];
+        e.cycle = cycle_;
+        e.seq = seq;
+        e.pc = pc;
+        e.arg = arg;
+        e.stage = stage;
+        e.reuse = reuse;
+        e.squash = squash;
+        next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+        ++recorded_;
+    }
+
+    /** Events currently retained (<= capacity). */
+    std::size_t size() const;
+    std::size_t capacity() const { return ring_.size(); }
+    /** Total record() calls over the tracer's lifetime. */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Events lost to ring wraparound. */
+    std::uint64_t dropped() const
+    {
+        return recorded_ <= ring_.size() ? 0 : recorded_ - ring_.size();
+    }
+
+    /** Retained event @p i, 0 = oldest retained. */
+    const TraceEvent &event(std::size_t i) const;
+
+    /** Ring storage address; stable for the tracer's lifetime (lets
+     *  tests assert record() never reallocates). */
+    const void *bufferAddress() const { return ring_.data(); }
+
+    /** Forgets all retained events (capacity is kept). */
+    void clear();
+
+    /** @name Exporters */
+    /// @{
+    /**
+     * Chrome trace_event JSON ("X" complete events, ts = cycle in us,
+     * one tid lane per pipeline stage). Load the file in
+     * chrome://tracing or https://ui.perfetto.dev.
+     */
+    void writeChromeJson(std::ostream &os,
+                         const std::string &label = "sim") const;
+
+    /** One JSON object per line, oldest first. */
+    void writeJsonl(std::ostream &os) const;
+
+    /**
+     * Human-readable lines, oldest first. @p last_n 0 writes all
+     * retained events, otherwise only the newest @p last_n.
+     */
+    void writeText(std::ostream &os, std::size_t last_n = 0) const;
+    /// @}
+
+  private:
+    std::vector<TraceEvent> ring_;
+    std::size_t next_ = 0;         //!< ring slot the next event goes to
+    std::uint64_t recorded_ = 0;
+    Cycle cycle_ = 0;
+};
+
+/**
+ * Merges several jobs' event streams into one Chrome trace: each job
+ * becomes a process (pid = job index, named via metadata events) so a
+ * multi-workload `mssr_run --trace-out` loads as parallel tracks.
+ */
+void writeChromeJson(
+    std::ostream &os,
+    const std::vector<std::pair<std::string, const Tracer *>> &jobs);
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_TRACE_HH

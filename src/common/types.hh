@@ -48,6 +48,19 @@ constexpr SeqNum InvalidSeqNum = ~SeqNum(0);
 /** Bytes per (fixed-width) instruction in the mini ISA. */
 constexpr unsigned InstBytes = 4;
 
+/**
+ * Why an instruction (and everything younger) was squashed. Lives with
+ * the fundamental types so the tracer (common/) and the core (core/)
+ * can share it without a layering cycle.
+ */
+enum class SquashReason
+{
+    None,
+    BranchMispredict,
+    MemOrderViolation,
+    ReuseVerifyFail,
+};
+
 } // namespace mssr
 
 #endif // MSSR_COMMON_TYPES_HH

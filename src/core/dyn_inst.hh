@@ -17,15 +17,6 @@
 namespace mssr
 {
 
-/** Why an instruction (and everything younger) was squashed. */
-enum class SquashReason
-{
-    None,
-    BranchMispredict,
-    MemOrderViolation,
-    ReuseVerifyFail,
-};
-
 struct DynInst
 {
     // Identity.

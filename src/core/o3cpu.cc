@@ -1,8 +1,6 @@
 #include "core/o3cpu.hh"
 
 #include <algorithm>
-#include <iomanip>
-#include <ostream>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
@@ -26,9 +24,11 @@ O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem)
 {
     mssr_assert(cfg.core.physRegs > NumArchRegs,
                 "need more physical than architectural registers");
+    tracer_ = cfg.tracer;
     switch (cfg.reuseKind) {
       case ReuseKind::Rgid:
         reuse_ = std::make_unique<ReuseUnit>(cfg.reuse, freeList_);
+        reuse_->setTracer(tracer_);
         break;
       case ReuseKind::RegInt:
         ri_ = std::make_unique<IntegrationTable>(cfg.regint, freeList_);
@@ -48,20 +48,31 @@ O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem)
 
 // ---------------------------------------------------------------- helpers
 
-void
-O3Cpu::trace(const char *stage, const DynInstPtr &inst, const char *note)
+namespace
 {
-    if (!cfg_.trace)
-        return;
-    std::ostream &os = *cfg_.trace;
-    os << std::setw(8) << cycle_ << " " << std::left << std::setw(9)
-       << stage << std::right << " [" << std::setw(6) << inst->seq
-       << "] 0x" << std::hex << inst->pc << std::dec << "  "
-       << isa::disasm(inst->si, inst->pc);
-    if (note[0] != 0)
-        os << "  ; " << note;
-    os << "\n";
+
+/**
+ * Squash urgency at equal cause sequence number: a mispredicted
+ * branch's redirect supersedes the re-fetch redirects of the
+ * same-instruction verification or ordering fixups.
+ */
+int
+squashPriority(SquashReason reason)
+{
+    switch (reason) {
+      case SquashReason::BranchMispredict:
+        return 3;
+      case SquashReason::ReuseVerifyFail:
+        return 2;
+      case SquashReason::MemOrderViolation:
+        return 1;
+      case SquashReason::None:
+        break;
+    }
+    return 0;
 }
+
+} // namespace
 
 RegVal
 O3Cpu::srcValue(const DynInstPtr &inst, unsigned idx) const
@@ -83,8 +94,26 @@ void
 O3Cpu::requestSquash(SeqNum after_seq, Addr redirect, DynInstPtr cause,
                      SquashReason reason)
 {
-    if (pendingSquash_.valid && pendingSquash_.afterSeq <= after_seq)
-        return; // an older squash subsumes this one
+    if (pendingSquash_.valid) {
+        // A strictly older squash point subsumes this one outright.
+        if (pendingSquash_.afterSeq < after_seq)
+            return;
+        if (pendingSquash_.afterSeq == after_seq) {
+            // Same squash point but possibly a different redirect: the
+            // older cause wins (its redirect re-fetches and re-resolves
+            // the younger cause); at equal cause, reason priority
+            // breaks the tie so the redirect is deterministic.
+            const SeqNum pendingCause =
+                pendingSquash_.cause ? pendingSquash_.cause->seq : 0;
+            const SeqNum newCause = cause ? cause->seq : 0;
+            if (pendingCause < newCause)
+                return;
+            if (pendingCause == newCause &&
+                squashPriority(pendingSquash_.reason) >=
+                    squashPriority(reason))
+                return;
+        }
+    }
     pendingSquash_ =
         PendingSquash{true, after_seq, redirect, std::move(cause), reason};
 }
@@ -101,6 +130,7 @@ O3Cpu::commitStage()
             break;
 
         if (inst->si.isHalt()) {
+            record(TraceStage::Commit, inst);
             ++commits_;
             halted_ = true;
             lastCommitCycle_ = cycle_;
@@ -128,7 +158,9 @@ O3Cpu::commitStage()
             freeList_.setArch(inst->dst);
             freeList_.release(inst->oldDst);
         }
-        trace("commit", inst, inst->reused ? "reused" : "");
+        record(TraceStage::Commit, inst,
+               inst->reused ? ReuseOutcome::Reused : ReuseOutcome::None,
+               SquashReason::None, inst->result);
         ftq_.retireUpTo(inst->ftqId);
         rob_.popHead();
         ++commits_;
@@ -169,10 +201,14 @@ O3Cpu::writebackStage()
             inst->verifyPending = false;
             if (inst->result == inst->reusedValue) {
                 ++verifyOk_;
+                record(TraceStage::Verify, inst, ReuseOutcome::None,
+                       SquashReason::None, 1);
             } else {
                 // Dependents consumed a stale value: flush younger
                 // instructions, fix this load's value in place.
                 ++verifyFailFlushes_;
+                record(TraceStage::Verify, inst, ReuseOutcome::None,
+                       SquashReason::ReuseVerifyFail, 0);
                 regs_.write(inst->dst, inst->result);
                 requestSquash(inst->seq, inst->pc + InstBytes, inst,
                               SquashReason::ReuseVerifyFail);
@@ -182,14 +218,14 @@ O3Cpu::writebackStage()
 
         inst->executed = true;
         inst->completed = true;
-        trace("wb", inst);
+        record(TraceStage::Writeback, inst, ReuseOutcome::None,
+               SquashReason::None, inst->result);
         if (inst->si.hasRd())
             regs_.write(inst->dst, inst->result);
         if (inst->isLoad())
             ++loadsExecuted_;
         if (inst->isControl() && inst->mispredicted) {
             ++branchMispredicts_;
-            trace("mispred", inst);
             requestSquash(inst->seq, inst->actualNext, inst,
                           SquashReason::BranchMispredict);
         }
@@ -283,7 +319,8 @@ void
 O3Cpu::executeInst(const DynInstPtr &inst)
 {
     inst->issued = true;
-    trace("issue", inst, inst->verifyPending ? "verify" : "");
+    record(TraceStage::Issue, inst, ReuseOutcome::None, SquashReason::None,
+           inst->verifyPending ? 1 : 0);
     if (inst->isControl()) {
         executeBranch(inst);
     } else if (inst->isLoad()) {
@@ -472,9 +509,12 @@ O3Cpu::renameOne(const DynInstPtr &inst)
     }
 
     inst->renamed = true;
-    trace("rename", inst,
-          inst->reused ? (inst->verifyPending ? "reused+verify" : "reused")
-                       : "");
+    record(TraceStage::Rename, inst,
+           inst->reused ? (inst->verifyPending
+                               ? ReuseOutcome::ReusedNeedVerify
+                               : ReuseOutcome::Reused)
+                        : ReuseOutcome::None,
+           SquashReason::None, inst->dst);
     rob_.push(inst);
     return true;
 }
@@ -523,7 +563,7 @@ O3Cpu::fetchStage()
             }
         }
         ftq_.advanceFetch(1);
-        trace("fetch", inst);
+        record(TraceStage::Fetch, inst);
         frontPipe_.push_back(inst);
         frontPipeReady_.push_back(cycle_ + cfg_.core.frontendStages);
         ++fetched_;
@@ -555,11 +595,9 @@ O3Cpu::applySquash()
     const PendingSquash squash = pendingSquash_;
     pendingSquash_ = PendingSquash{};
     mssr_assert(squash.valid);
-    trace("squash", squash.cause,
-          squash.reason == SquashReason::BranchMispredict ? "branch"
-          : squash.reason == SquashReason::MemOrderViolation
-              ? "mem-order"
-              : "verify-fail");
+    ++squashEvents_;
+    record(TraceStage::Squash, squash.cause, ReuseOutcome::None,
+           squash.reason, squash.redirectPC);
 
     // 1. ROB walk (youngest first): rename rollback.
     std::vector<DynInstPtr> squashed;
@@ -627,6 +665,8 @@ O3Cpu::applySquash()
 void
 O3Cpu::tick()
 {
+    if (tracer_)
+        tracer_->setCycle(cycle_);
     commitStage();
     if (halted_)
         return;
@@ -638,6 +678,8 @@ O3Cpu::tick()
     if (pendingSquash_.valid)
         applySquash();
     ++cycle_;
+    if (cfg_.statsInterval != 0 && cycle_ % cfg_.statsInterval == 0)
+        sampleInterval();
 
     if (cycle_ - lastCommitCycle_ > 200000)
         panic("no commit progress for 200000 cycles at cycle ", cycle_,
@@ -652,6 +694,46 @@ O3Cpu::run()
             break;
         tick();
     }
+    // Flush the final partial interval (the halting tick does not
+    // advance cycle_, so its commits land here) -- the interval sums
+    // then reconcile exactly with the scalar counters.
+    if (cfg_.statsInterval != 0)
+        sampleInterval();
+}
+
+std::uint64_t
+O3Cpu::reuseHitsNow() const
+{
+    if (reuse_)
+        return reuse_->successCount();
+    if (ri_)
+        return ri_->integrations();
+    return 0;
+}
+
+void
+O3Cpu::sampleInterval()
+{
+    IntervalSample s;
+    s.cycleEnd = cycle_;
+    s.cycles = cycle_ - intervalMark_.cycle;
+    s.commits = commits_ - intervalMark_.commits;
+    s.squashedInsts = squashedInsts_ - intervalMark_.squashedInsts;
+    s.squashEvents = squashEvents_ - intervalMark_.squashEvents;
+    s.reuseHits = reuseHitsNow() - intervalMark_.reuseHits;
+    if (s.cycles == 0 && s.commits == 0 && s.squashedInsts == 0 &&
+        s.squashEvents == 0 && s.reuseHits == 0)
+        return; // empty flush: nothing happened since the last boundary
+    s.ipc = s.cycles == 0 ? 0.0
+                          : static_cast<double>(s.commits) /
+                                static_cast<double>(s.cycles);
+    if (reuse_) {
+        s.wpbOccupancy = reuse_->wpb().occupancy();
+        s.squashLogOccupancy = reuse_->squashLog().occupancy();
+    }
+    intervals_.push_back(s);
+    intervalMark_ = IntervalMark{cycle_, commits_, squashedInsts_,
+                                 squashEvents_, reuseHitsNow()};
 }
 
 StatSet
@@ -663,6 +745,7 @@ O3Cpu::stats() const
     out.set("core.ipc", ipc());
     out.set("core.fetchedInsts", static_cast<double>(fetched_));
     out.set("core.squashedInsts", static_cast<double>(squashedInsts_));
+    out.set("core.squashEvents", static_cast<double>(squashEvents_));
     out.set("core.branchMispredicts",
             static_cast<double>(branchMispredicts_));
     out.set("core.condBranchesCommitted",

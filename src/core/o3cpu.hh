@@ -26,6 +26,7 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "core/dyn_inst.hh"
 #include "core/free_list.hh"
 #include "core/issue_queue.hh"
@@ -73,10 +74,22 @@ class O3Cpu
     /** Collects statistics from the core and all attached units. */
     StatSet stats() const;
 
+    /**
+     * Interval-statistics samples collected so far (every
+     * SimConfig::statsInterval cycles; empty when disabled). run()
+     * flushes a final partial interval so the deltas sum exactly to
+     * the end-of-run counters.
+     */
+    const std::vector<IntervalSample> &intervals() const
+    {
+        return intervals_;
+    }
+
     const ReuseUnit *reuseUnit() const { return reuse_.get(); }
     const IntegrationTable *integrationTable() const { return ri_.get(); }
 
   private:
+    friend struct O3CpuTestPeer; //!< white-box hook for regression tests
     struct PendingSquash
     {
         bool valid = false;
@@ -101,9 +114,19 @@ class O3Cpu
     void bpuStage();
 
     // Helpers.
-    /** Writes one pipeline-trace line when tracing is enabled. */
-    void trace(const char *stage, const DynInstPtr &inst,
-               const char *note = "");
+    /** Records one per-instruction pipeline event when tracing is on. */
+    void
+    record(TraceStage stage, const DynInstPtr &inst,
+           ReuseOutcome reuse = ReuseOutcome::None,
+           SquashReason squash = SquashReason::None, std::uint64_t arg = 0)
+    {
+        if (tracer_)
+            tracer_->record(stage, inst->seq, inst->pc, reuse, squash, arg);
+    }
+    /** Closes the current stats interval (also flushes the final one). */
+    void sampleInterval();
+    /** Reuse successes so far under whichever scheme is active. */
+    std::uint64_t reuseHitsNow() const;
     void executeInst(const DynInstPtr &inst);
     void executeLoad(const DynInstPtr &inst);
     void executeStore(const DynInstPtr &inst);
@@ -143,6 +166,19 @@ class O3Cpu
     std::vector<PhysReg> riBundleDsts_;  //!< pregs integrated this cycle
     unsigned riChainedThisCycle_ = 0;
 
+    // Observability.
+    Tracer *tracer_ = nullptr;             //!< from SimConfig (not owned)
+    std::vector<IntervalSample> intervals_;
+    struct IntervalMark
+    {
+        Cycle cycle = 0;
+        std::uint64_t commits = 0;
+        std::uint64_t squashedInsts = 0;
+        std::uint64_t squashEvents = 0;
+        std::uint64_t reuseHits = 0;
+    };
+    IntervalMark intervalMark_;            //!< counters at last boundary
+
     // Global state.
     Cycle cycle_ = 0;
     SeqNum nextSeq_ = 1;
@@ -155,6 +191,7 @@ class O3Cpu
     // Statistics.
     std::uint64_t fetched_ = 0;
     std::uint64_t squashedInsts_ = 0;
+    std::uint64_t squashEvents_ = 0;
     std::uint64_t branchMispredicts_ = 0;
     std::uint64_t condBranchesCommitted_ = 0;
     std::uint64_t condMispredictsCommitted_ = 0;

@@ -1,10 +1,13 @@
 #include "driver/batch_runner.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 
+#include "common/argparse.hh"
+#include "common/log.hh"
 #include "common/thread_pool.hh"
 
 namespace mssr
@@ -18,13 +21,19 @@ BatchRunner::BatchRunner(unsigned threads)
 unsigned
 BatchRunner::defaultThreads()
 {
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
     if (const char *s = std::getenv("MSSR_JOBS")) {
-        const long v = std::strtol(s, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
+        // Strict parse: the whole value must be a positive decimal
+        // ("4x", "0", "-2", " 3" or "" fall back loudly instead of
+        // running at a surprising width).
+        const std::optional<std::uint64_t> v = parseU64(s);
+        if (v && *v >= 1 && *v <= 1024)
+            return static_cast<unsigned>(*v);
+        warn("ignoring invalid MSSR_JOBS='", s, "' (want 1..1024); using ",
+             hw, " thread(s)");
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return hw;
 }
 
 std::vector<RunResult>

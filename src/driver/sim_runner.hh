@@ -8,12 +8,16 @@
 #ifndef MSSR_DRIVER_SIM_RUNNER_HH
 #define MSSR_DRIVER_SIM_RUNNER_HH
 
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "core/o3cpu.hh"
 #include "isa/program.hh"
 #include "sim/memory.hh"
@@ -31,26 +35,39 @@ struct RunResult
     StatSet stats;
     std::array<RegVal, NumArchRegs> archRegs{};
 
+    /** Interval samples (empty unless SimConfig::statsInterval set). */
+    std::vector<IntervalSample> intervals;
+
     // Host-side performance of the simulation itself. These are the
     // only non-deterministic fields: everything above is bit-identical
     // across repeated runs, these track the simulator's own speed.
     double hostSeconds = 0.0; //!< wall-clock time of the runSim() call
     double kips = 0.0;        //!< simulated kilo-instructions / host second
 
-    /** Speedup of this run over @p baseline (by cycles). */
+    /**
+     * Speedup of this run over @p baseline (by cycles). NaN when either
+     * run is degenerate (zero cycles): a 0-cycle run has no defined
+     * speedup, and 0.0 would silently read as "baseline infinitely
+     * faster" in downstream averages. Formatters render NaN as "n/a".
+     */
     double
     speedupOver(const RunResult &baseline) const
     {
-        return cycles == 0 ? 0.0
-                           : static_cast<double>(baseline.cycles) /
-                                 static_cast<double>(cycles);
+        if (cycles == 0 || baseline.cycles == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return static_cast<double>(baseline.cycles) /
+               static_cast<double>(cycles);
     }
 
-    /** IPC improvement over @p baseline, as a fraction (0.05 = +5%). */
+    /** IPC improvement over @p baseline, as a fraction (0.05 = +5%).
+     *  NaN when either IPC is non-finite or the baseline IPC is zero. */
     double
     ipcImprovementOver(const RunResult &baseline) const
     {
-        return baseline.ipc == 0.0 ? 0.0 : ipc / baseline.ipc - 1.0;
+        if (!std::isfinite(ipc) || !std::isfinite(baseline.ipc) ||
+            baseline.ipc == 0.0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return ipc / baseline.ipc - 1.0;
     }
 };
 

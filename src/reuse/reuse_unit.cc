@@ -203,6 +203,10 @@ ReuseUnit::detect(Addr start_pc, Addr end_pc)
             return; // WPB covers more insts than the Squash Log kept
         }
         ++reconvDetected_;
+        if (tracer_)
+            tracer_->record(TraceStage::Reconv, 0, hit.reconvPC,
+                            ReuseOutcome::None, SquashReason::None,
+                            squashEvents_ - stream.squashEventIndex + 1);
 
         // Classification (Figure 4): compare the hit stream's origin
         // branch with the branch whose squash created the current
@@ -309,6 +313,9 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // The corrected stream diverged from the squashed stream:
             // policy (4) releases the remaining reservations.
             ++divergences_;
+            if (tracer_)
+                tracer_->record(TraceStage::ReuseTest, inst->seq,
+                                inst->pc, ReuseOutcome::Divergence);
             endFrontSession();
             continue;
         }
@@ -317,22 +324,28 @@ ReuseUnit::processRename(const DynInstPtr &inst,
 
         // ---- Reuse test (section 3.5) ----
         ++reuseTests_;
+        ReuseOutcome outcome = ReuseOutcome::Reused;
         bool ok = true;
         if (entry.consumed || !entry.reserved) {
             // Covers: no destination, stores, control insts,
             // unexecuted squashed insts, already-consumed entries.
-            if (!entry.hasDest || entry.isStore || entry.isControl)
+            if (!entry.hasDest || entry.isStore || entry.isControl) {
                 ++reuseFailKind_;
-            else if (!entry.executed)
+                outcome = ReuseOutcome::FailKind;
+            } else if (!entry.executed) {
                 ++reuseFailNotExecuted_;
-            else
+                outcome = ReuseOutcome::FailNotExecuted;
+            } else {
                 ++reuseFailKind_;
+                outcome = ReuseOutcome::FailKind;
+            }
             ok = false;
         } else if (!rgids_.inWindow(inst->si.rd, entry.dstRgid)) {
             // Hardware's rgidBits-wide tag would have wrapped since
             // this mapping was created: not reusable (capacity cost
             // of the finite RGID width, see rgid.hh).
             ++reuseFailRgidCapacity_;
+            outcome = ReuseOutcome::FailRgidCapacity;
             ok = false;
         } else {
             mssr_assert(entry.op == inst->si.op,
@@ -353,8 +366,10 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             }
             if (!ok) {
                 ++reuseFailRgid_;
+                outcome = ReuseOutcome::FailRgid;
             } else if (stale) {
                 ++reuseFailRgidCapacity_;
+                outcome = ReuseOutcome::FailRgidCapacity;
                 ok = false;
             }
         }
@@ -365,6 +380,7 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // A store may have touched this address since the squash:
             // the load must re-execute rather than be reused.
             ++reuseFailBloom_;
+            outcome = ReuseOutcome::FailBloom;
             ok = false;
         }
 
@@ -384,6 +400,12 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // Policy (3): a failed reuse test releases the reservation.
             freeList_.release(entry.destPreg);
             entry.consumed = true;
+        }
+        if (tracer_) {
+            if (ok && advice.needVerify)
+                outcome = ReuseOutcome::ReusedNeedVerify;
+            tracer_->record(TraceStage::ReuseTest, inst->seq, inst->pc,
+                            outcome, SquashReason::None, entry.destPreg);
         }
 
         if (exhausted)

@@ -16,6 +16,7 @@
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "core/dyn_inst.hh"
 #include "core/free_list.hh"
 #include "frontend/pred_block.hh"
@@ -105,6 +106,16 @@ class ReuseUnit
     const SquashLog &squashLog() const { return log_; }
     const RgidAllocator &rgids() const { return rgids_; }
 
+    /**
+     * Attaches the owning core's event tracer (or null): reconvergence
+     * detections and per-instruction reuse-test verdicts are recorded
+     * with their failure reasons. The tracer carries the current cycle.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Successful reuses so far (interval stats). */
+    std::uint64_t successCount() const { return reuseSuccess_; }
+
     void reportStats(StatSet &stats) const;
 
   private:
@@ -148,6 +159,7 @@ class ReuseUnit
 
     ReuseConfig cfg_;
     FreeList &freeList_;
+    Tracer *tracer_ = nullptr; //!< owning core's event sink (not owned)
     Wpb wpb_;
     SquashLog log_;
     RgidAllocator rgids_;

@@ -80,6 +80,9 @@ class SquashLog
     /** True when no stream holds valid entries (RGID reset trigger). */
     bool allUnoccupied() const;
 
+    /** Logged entries / total entry slots, in [0, 1] (interval stats). */
+    double occupancy() const;
+
   private:
     std::vector<SquashLogStream> streams_;
     unsigned entriesPerStream_;

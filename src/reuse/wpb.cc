@@ -87,4 +87,16 @@ Wpb::anyValid() const
     return false;
 }
 
+double
+Wpb::occupancy() const
+{
+    std::size_t valid = 0;
+    for (const auto &s : streams_)
+        if (s.valid)
+            for (const auto &e : s.entries)
+                valid += e.valid ? 1 : 0;
+    return static_cast<double>(valid) /
+           static_cast<double>(streams_.size() * entriesPerStream_);
+}
+
 } // namespace mssr

@@ -81,6 +81,9 @@ class Wpb
     /** True when any stream holds valid entries. */
     bool anyValid() const;
 
+    /** Valid entries / total entry slots, in [0, 1] (interval stats). */
+    double occupancy() const;
+
     bool restrictVpn() const { return restrictVpn_; }
 
   private:

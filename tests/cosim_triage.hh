@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Divergence triage for the co-simulation property tests: attaches a
+ * bounded Tracer to the O3 run and, if the enclosing gtest assertion
+ * block failed, dumps the last N pipeline events to stderr on scope
+ * exit. A cosim mismatch report ("arch reg s3 differs") is otherwise
+ * the least debuggable failure in the suite -- the triage dump shows
+ * what the pipeline was doing (reuse verdicts, squashes, verify
+ * outcomes) right before the architectural state went wrong.
+ *
+ * Tracing must never change simulation results (asserted by
+ * test_trace.cc), so leaving it attached in every cosim run is free
+ * correctness-wise and keeps the instrumentation honest.
+ */
+
+#ifndef MSSR_TESTS_COSIM_TRIAGE_HH
+#define MSSR_TESTS_COSIM_TRIAGE_HH
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hh"
+#include "common/trace.hh"
+
+namespace mssr
+{
+
+class CosimTriage
+{
+  public:
+    /** Attaches an event tracer to @p cfg for the upcoming run. */
+    CosimTriage(const std::string &what, SimConfig &cfg)
+        : what_(what),
+          tracer_(1 << 14),
+          failedBefore_(::testing::Test::HasFatalFailure() ||
+                        ::testing::Test::HasNonfatalFailure())
+    {
+        cfg.tracer = &tracer_;
+    }
+
+    ~CosimTriage()
+    {
+        // Dump only for a failure that appeared during this run, not
+        // one carried over from an earlier iteration of the test.
+        const bool failedNow = ::testing::Test::HasFatalFailure() ||
+                               ::testing::Test::HasNonfatalFailure();
+        if (!failedNow || failedBefore_)
+            return;
+        std::cerr << "=== cosim divergence triage: " << what_
+                  << " (last " << kDumpEvents << " of "
+                  << tracer_.recorded() << " events) ===\n";
+        tracer_.writeText(std::cerr, kDumpEvents);
+        std::cerr << "=== end triage: " << what_ << " ===\n";
+    }
+
+    CosimTriage(const CosimTriage &) = delete;
+    CosimTriage &operator=(const CosimTriage &) = delete;
+
+  private:
+    static constexpr std::size_t kDumpEvents = 64;
+
+    std::string what_;
+    Tracer tracer_;
+    bool failedBefore_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_TESTS_COSIM_TRIAGE_HH

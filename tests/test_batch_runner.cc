@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 
 #include "common/thread_pool.hh"
 #include "driver/batch_runner.hh"
@@ -172,4 +173,23 @@ TEST(BatchRunner, MssrJobsEnvOverridesDefault)
     unsetenv("MSSR_JOBS");
     EXPECT_GE(BatchRunner::defaultThreads(), 1u);
     EXPECT_EQ(BatchRunner(5).threads(), 5u);
+}
+
+TEST(BatchRunner, MssrJobsRejectsGarbageLoudly)
+{
+    // The seed strtol'd the prefix and silently accepted "4x" as 4 and
+    // fell back on "0"/garbage without a word. Every malformed value
+    // must now fall back to hardware concurrency AND warn on stderr.
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    for (const char *bad : {"4x", "0", "-2", "", " 3", "99999999"}) {
+        setenv("MSSR_JOBS", bad, 1);
+        testing::internal::CaptureStderr();
+        EXPECT_EQ(BatchRunner::defaultThreads(), hw)
+            << "MSSR_JOBS='" << bad << "'";
+        const std::string err = testing::internal::GetCapturedStderr();
+        EXPECT_NE(err.find("MSSR_JOBS"), std::string::npos)
+            << "no warning for MSSR_JOBS='" << bad << "'";
+    }
+    unsetenv("MSSR_JOBS");
 }

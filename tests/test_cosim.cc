@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "cosim_triage.hh"
 #include "driver/sim_runner.hh"
 #include "isa/assembler.hh"
 #include "sim/func_emu.hh"
@@ -30,8 +31,10 @@ expectCosimMatch(const isa::Program &prog, const SimConfig &cfg,
     emu.run(5'000'000);
     ASSERT_TRUE(emu.halted()) << what << ": reference did not halt";
 
+    SimConfig traced = cfg;
+    CosimTriage triage(what, traced); // dumps last events on divergence
     Memory o3Mem;
-    const RunResult r = runSim(prog, cfg, &o3Mem);
+    const RunResult r = runSim(prog, traced, &o3Mem);
     ASSERT_TRUE(r.halted) << what << ": O3 did not halt";
     EXPECT_EQ(r.insts, emu.instret()) << what << ": instruction count";
     for (unsigned reg = 0; reg < NumArchRegs; ++reg) {

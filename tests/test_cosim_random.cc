@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/rng.hh"
+#include "cosim_triage.hh"
 #include "driver/sim_runner.hh"
 #include "isa/assembler.hh"
 #include "sim/func_emu.hh"
@@ -160,8 +161,10 @@ TEST_P(RandomCosim, ArchitecturallyInvisible)
     emu.run(10'000'000);
     ASSERT_TRUE(emu.halted());
 
+    SimConfig traced = cfg;
+    CosimTriage triage("seed " + std::to_string(seed), traced);
     Memory o3Mem;
-    const RunResult r = runSim(prog, cfg, &o3Mem);
+    const RunResult r = runSim(prog, traced, &o3Mem);
     ASSERT_TRUE(r.halted) << "seed " << seed;
     EXPECT_EQ(r.insts, emu.instret()) << "seed " << seed;
     for (unsigned reg = 0; reg < NumArchRegs; ++reg)

@@ -10,6 +10,7 @@
 
 #include <tuple>
 
+#include "cosim_triage.hh"
 #include "driver/sim_runner.hh"
 #include "sim/func_emu.hh"
 #include "workloads/registry.hh"
@@ -28,8 +29,10 @@ expectMatch(const isa::Program &prog, const SimConfig &cfg,
     emu.run(50'000'000);
     ASSERT_TRUE(emu.halted()) << what;
 
+    SimConfig traced = cfg;
+    CosimTriage triage(what, traced); // dumps last events on divergence
     Memory o3Mem;
-    const RunResult r = runSim(prog, cfg, &o3Mem);
+    const RunResult r = runSim(prog, traced, &o3Mem);
     ASSERT_TRUE(r.halted) << what;
     EXPECT_EQ(r.insts, emu.instret()) << what;
     for (unsigned reg = 0; reg < NumArchRegs; ++reg)

@@ -22,18 +22,28 @@
  *   --bloom                      Bloom hazard check instead of verify
  *   --all-stats                  dump every counter
  *   --compare                    also run the no-reuse baseline
- *   --trace                      pipeline trace to stderr (small runs!
- *                                forces sequential execution)
+ *   --trace                      record pipeline events (text to stderr)
+ *   --trace-out FILE             write events as Chrome trace_event JSON
+ *                                (implies --trace; open in chrome://tracing
+ *                                or ui.perfetto.dev)
+ *   --interval K                 sample interval stats every K cycles
  *   --list                       list available workloads
+ *
+ * Each job records into its own tracer, so tracing composes with
+ * parallel execution and the per-job event streams stay deterministic.
  */
 
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "analysis/report.hh"
+#include "common/argparse.hh"
+#include "common/trace.hh"
 #include "driver/batch_runner.hh"
 #include "isa/assembler.hh"
 #include "workloads/registry.hh"
@@ -51,9 +61,47 @@ usage(const char *argv0)
                  "\n        [--sets S] [--ways W] [--predictor tage|"
                  "gshare|bimodal]\n        [--max-insts N] [--scale G] "
                  "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
-                 "[--all-stats] [--compare]\n        "
+                 "[--trace-out FILE] [--interval K] [--all-stats] "
+                 "[--compare]\n        "
                  "(<workload>... | --asm <file.s> | --list)\n";
     std::exit(2);
+}
+
+/**
+ * Strictly parses a numeric flag value; on garbage prints the
+ * offending flag and value, then the usage text, and exits non-zero
+ * (the seed fed these straight into std::stoul and died with an
+ * uncaught std::invalid_argument).
+ */
+std::uint64_t
+numValue(const char *argv0, const std::string &flag, const std::string &v,
+         std::uint64_t min_value = 0)
+{
+    const std::optional<std::uint64_t> parsed = parseU64(v);
+    if (!parsed) {
+        std::cerr << "mssr_run: invalid value '" << v << "' for " << flag
+                  << " (expected an unsigned integer)\n";
+        usage(argv0);
+    }
+    if (*parsed < min_value) {
+        std::cerr << "mssr_run: invalid value '" << v << "' for " << flag
+                  << " (must be >= " << min_value << ")\n";
+        usage(argv0);
+    }
+    return *parsed;
+}
+
+unsigned
+u32Value(const char *argv0, const std::string &flag, const std::string &v,
+         unsigned min_value = 0)
+{
+    const std::uint64_t parsed = numValue(argv0, flag, v, min_value);
+    if (parsed > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "mssr_run: invalid value '" << v << "' for " << flag
+                  << " (out of range)\n";
+        usage(argv0);
+    }
+    return static_cast<unsigned>(parsed);
 }
 
 void
@@ -79,7 +127,9 @@ main(int argc, char **argv)
     workloads::WorkloadScale scale = workloads::WorkloadScale::fromEnv();
     std::vector<std::string> workloadNames;
     std::string asmFile;
+    std::string traceOutFile;
     unsigned jobsOverride = 0;
+    bool traceOn = false;
     bool allStats = false;
     bool compare = false;
 
@@ -101,15 +151,16 @@ main(int argc, char **argv)
             else
                 usage(argv[0]);
         } else if (arg == "--streams") {
-            cfg.reuse.numStreams = std::stoul(next());
+            cfg.reuse.numStreams = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--entries") {
-            cfg.reuse.squashLogEntriesPerStream = std::stoul(next());
+            cfg.reuse.squashLogEntriesPerStream =
+                u32Value(argv[0], arg, next(), 1);
             cfg.reuse.wpbEntriesPerStream = std::max(
                 1u, cfg.reuse.squashLogEntriesPerStream / 4);
         } else if (arg == "--sets") {
-            cfg.regint.sets = std::stoul(next());
+            cfg.regint.sets = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--ways") {
-            cfg.regint.ways = std::stoul(next());
+            cfg.regint.ways = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--predictor") {
             const std::string v = next();
             if (v == "tage")
@@ -121,17 +172,22 @@ main(int argc, char **argv)
             else
                 usage(argv[0]);
         } else if (arg == "--max-insts") {
-            cfg.maxInsts = std::stoull(next());
+            cfg.maxInsts = numValue(argv[0], arg, next());
         } else if (arg == "--scale") {
-            scale.graphScale = std::stoul(next());
+            scale.graphScale = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--iters") {
-            scale.iterations = std::stoul(next());
+            scale.iterations = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--jobs") {
-            jobsOverride = std::stoul(next());
+            jobsOverride = u32Value(argv[0], arg, next());
+        } else if (arg == "--interval") {
+            cfg.statsInterval = numValue(argv[0], arg, next());
         } else if (arg == "--bloom") {
             cfg.reuse.useBloomFilter = true;
         } else if (arg == "--trace") {
-            cfg.trace = &std::cerr;
+            traceOn = true;
+        } else if (arg == "--trace-out") {
+            traceOutFile = next();
+            traceOn = true;
         } else if (arg == "--all-stats") {
             allStats = true;
         } else if (arg == "--compare") {
@@ -174,18 +230,51 @@ main(int argc, char **argv)
             programs.push_back(workloads::buildWorkload(name, scale));
         }
 
-        // One job per program, plus its baseline when comparing. A
-        // pipeline trace interleaves on stderr, so force sequential.
+        // One job per program, plus its baseline when comparing. Each
+        // job records into its own tracer, so tracing no longer forces
+        // sequential execution.
+        std::deque<Tracer> tracers; // stable addresses across push_back
         std::vector<BatchJob> jobs;
+        auto addJob = [&](std::string label, const isa::Program *prog,
+                          SimConfig job_cfg) {
+            if (traceOn) {
+                tracers.emplace_back();
+                job_cfg.tracer = &tracers.back();
+            }
+            jobs.push_back({std::move(label), prog, job_cfg, {}});
+        };
         for (std::size_t i = 0; i < programs.size(); ++i) {
-            jobs.push_back({labels[i], &programs[i], cfg, {}});
-            if (compare)
-                jobs.push_back({labels[i] + "/baseline", &programs[i],
-                                baselineConfig(cfg.maxInsts),
-                                {}});
+            addJob(labels[i], &programs[i], cfg);
+            if (compare) {
+                SimConfig baseCfg = baselineConfig(cfg.maxInsts);
+                baseCfg.statsInterval = cfg.statsInterval;
+                addJob(labels[i] + "/baseline", &programs[i], baseCfg);
+            }
         }
-        const BatchRunner runner(cfg.trace ? 1 : jobsOverride);
+        const BatchRunner runner(jobsOverride);
         const std::vector<RunResult> results = runner.run(jobs);
+
+        if (traceOn) {
+            std::vector<std::pair<std::string, const Tracer *>> streams;
+            for (const BatchJob &job : jobs)
+                streams.emplace_back(job.name, job.config.tracer);
+            if (!traceOutFile.empty()) {
+                std::ofstream out(traceOutFile);
+                if (!out)
+                    fatal("cannot write trace file '", traceOutFile, "'");
+                writeChromeJson(out, streams);
+                std::uint64_t events = 0;
+                for (const Tracer &t : tracers)
+                    events += t.size();
+                std::cerr << "trace: wrote " << events << " events to "
+                          << traceOutFile << "\n";
+            } else {
+                for (const auto &[name, tracer] : streams) {
+                    std::cerr << "=== trace: " << name << " ===\n";
+                    tracer->writeText(std::cerr);
+                }
+            }
+        }
 
         std::size_t point = 0;
         for (std::size_t i = 0; i < programs.size(); ++i) {
