@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ipc_multistream.dir/fig10_ipc_multistream.cc.o"
+  "CMakeFiles/fig10_ipc_multistream.dir/fig10_ipc_multistream.cc.o.d"
+  "fig10_ipc_multistream"
+  "fig10_ipc_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ipc_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

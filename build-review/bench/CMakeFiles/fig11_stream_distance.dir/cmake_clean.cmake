@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_stream_distance.dir/fig11_stream_distance.cc.o"
+  "CMakeFiles/fig11_stream_distance.dir/fig11_stream_distance.cc.o.d"
+  "fig11_stream_distance"
+  "fig11_stream_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_stream_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

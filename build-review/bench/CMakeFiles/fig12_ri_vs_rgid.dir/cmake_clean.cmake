@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ri_vs_rgid.dir/fig12_ri_vs_rgid.cc.o"
+  "CMakeFiles/fig12_ri_vs_rgid.dir/fig12_ri_vs_rgid.cc.o.d"
+  "fig12_ri_vs_rgid"
+  "fig12_ri_vs_rgid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ri_vs_rgid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

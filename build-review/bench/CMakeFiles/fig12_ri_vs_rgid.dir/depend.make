@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_ri_vs_rgid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ri_replacement.dir/fig3_ri_replacement.cc.o"
+  "CMakeFiles/fig3_ri_replacement.dir/fig3_ri_replacement.cc.o.d"
+  "fig3_ri_replacement"
+  "fig3_ri_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ri_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssr_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/mssr_bench_common.dir/bench_common.cc.o.d"
+  "libmssr_bench_common.a"
+  "libmssr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

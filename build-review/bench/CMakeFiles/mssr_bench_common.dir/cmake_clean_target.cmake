@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmssr_bench_common.a"
+)

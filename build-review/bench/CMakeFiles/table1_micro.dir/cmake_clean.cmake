@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_micro.dir/table1_micro.cc.o"
+  "CMakeFiles/table1_micro.dir/table1_micro.cc.o.d"
+  "table1_micro"
+  "table1_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

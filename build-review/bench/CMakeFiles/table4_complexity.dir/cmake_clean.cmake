@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_complexity.dir/table4_complexity.cc.o"
+  "CMakeFiles/table4_complexity.dir/table4_complexity.cc.o.d"
+  "table4_complexity"
+  "table4_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke "/root/repo/build-review/bench/bench_smoke")
+set_tests_properties(bench_smoke PROPERTIES  ENVIRONMENT "MSSR_SCALE=6;MSSR_ITERS=200;MSSR_JOBS=2" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_branches.dir/nested_branches.cpp.o"
+  "CMakeFiles/nested_branches.dir/nested_branches.cpp.o.d"
+  "nested_branches"
+  "nested_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_explorer.dir/reuse_explorer.cpp.o"
+  "CMakeFiles/reuse_explorer.dir/reuse_explorer.cpp.o.d"
+  "reuse_explorer"
+  "reuse_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

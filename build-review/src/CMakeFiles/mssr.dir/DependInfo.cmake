@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/complexity_model.cc" "src/CMakeFiles/mssr.dir/analysis/complexity_model.cc.o" "gcc" "src/CMakeFiles/mssr.dir/analysis/complexity_model.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/mssr.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/mssr.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/storage_model.cc" "src/CMakeFiles/mssr.dir/analysis/storage_model.cc.o" "gcc" "src/CMakeFiles/mssr.dir/analysis/storage_model.cc.o.d"
+  "/root/repo/src/bpu/bimodal.cc" "src/CMakeFiles/mssr.dir/bpu/bimodal.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/bimodal.cc.o.d"
+  "/root/repo/src/bpu/btb.cc" "src/CMakeFiles/mssr.dir/bpu/btb.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/btb.cc.o.d"
+  "/root/repo/src/bpu/gshare.cc" "src/CMakeFiles/mssr.dir/bpu/gshare.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/gshare.cc.o.d"
+  "/root/repo/src/bpu/loop_predictor.cc" "src/CMakeFiles/mssr.dir/bpu/loop_predictor.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/loop_predictor.cc.o.d"
+  "/root/repo/src/bpu/ras.cc" "src/CMakeFiles/mssr.dir/bpu/ras.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/ras.cc.o.d"
+  "/root/repo/src/bpu/statistical_corrector.cc" "src/CMakeFiles/mssr.dir/bpu/statistical_corrector.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/statistical_corrector.cc.o.d"
+  "/root/repo/src/bpu/tage.cc" "src/CMakeFiles/mssr.dir/bpu/tage.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/tage.cc.o.d"
+  "/root/repo/src/bpu/tage_sc_l.cc" "src/CMakeFiles/mssr.dir/bpu/tage_sc_l.cc.o" "gcc" "src/CMakeFiles/mssr.dir/bpu/tage_sc_l.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/mssr.dir/common/config.cc.o" "gcc" "src/CMakeFiles/mssr.dir/common/config.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/mssr.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/mssr.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/mssr.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/mssr.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/mssr.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/mssr.dir/common/trace.cc.o.d"
+  "/root/repo/src/core/dyn_inst.cc" "src/CMakeFiles/mssr.dir/core/dyn_inst.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/dyn_inst.cc.o.d"
+  "/root/repo/src/core/free_list.cc" "src/CMakeFiles/mssr.dir/core/free_list.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/free_list.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/mssr.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/mssr.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/o3cpu.cc" "src/CMakeFiles/mssr.dir/core/o3cpu.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/o3cpu.cc.o.d"
+  "/root/repo/src/core/regfile.cc" "src/CMakeFiles/mssr.dir/core/regfile.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/regfile.cc.o.d"
+  "/root/repo/src/core/rename_map.cc" "src/CMakeFiles/mssr.dir/core/rename_map.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/rename_map.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/mssr.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/mssr.dir/core/rob.cc.o.d"
+  "/root/repo/src/driver/batch_runner.cc" "src/CMakeFiles/mssr.dir/driver/batch_runner.cc.o" "gcc" "src/CMakeFiles/mssr.dir/driver/batch_runner.cc.o.d"
+  "/root/repo/src/driver/sim_runner.cc" "src/CMakeFiles/mssr.dir/driver/sim_runner.cc.o" "gcc" "src/CMakeFiles/mssr.dir/driver/sim_runner.cc.o.d"
+  "/root/repo/src/frontend/bpu_pipeline.cc" "src/CMakeFiles/mssr.dir/frontend/bpu_pipeline.cc.o" "gcc" "src/CMakeFiles/mssr.dir/frontend/bpu_pipeline.cc.o.d"
+  "/root/repo/src/frontend/ftq.cc" "src/CMakeFiles/mssr.dir/frontend/ftq.cc.o" "gcc" "src/CMakeFiles/mssr.dir/frontend/ftq.cc.o.d"
+  "/root/repo/src/frontend/pred_block.cc" "src/CMakeFiles/mssr.dir/frontend/pred_block.cc.o" "gcc" "src/CMakeFiles/mssr.dir/frontend/pred_block.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/mssr.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/mssr.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/mssr.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/mssr.dir/isa/inst.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/mssr.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/mssr.dir/isa/program.cc.o.d"
+  "/root/repo/src/memsys/cache.cc" "src/CMakeFiles/mssr.dir/memsys/cache.cc.o" "gcc" "src/CMakeFiles/mssr.dir/memsys/cache.cc.o.d"
+  "/root/repo/src/memsys/hierarchy.cc" "src/CMakeFiles/mssr.dir/memsys/hierarchy.cc.o" "gcc" "src/CMakeFiles/mssr.dir/memsys/hierarchy.cc.o.d"
+  "/root/repo/src/reuse/bloom.cc" "src/CMakeFiles/mssr.dir/reuse/bloom.cc.o" "gcc" "src/CMakeFiles/mssr.dir/reuse/bloom.cc.o.d"
+  "/root/repo/src/reuse/reconv_detector.cc" "src/CMakeFiles/mssr.dir/reuse/reconv_detector.cc.o" "gcc" "src/CMakeFiles/mssr.dir/reuse/reconv_detector.cc.o.d"
+  "/root/repo/src/reuse/reuse_unit.cc" "src/CMakeFiles/mssr.dir/reuse/reuse_unit.cc.o" "gcc" "src/CMakeFiles/mssr.dir/reuse/reuse_unit.cc.o.d"
+  "/root/repo/src/reuse/rgid.cc" "src/CMakeFiles/mssr.dir/reuse/rgid.cc.o" "gcc" "src/CMakeFiles/mssr.dir/reuse/rgid.cc.o.d"
+  "/root/repo/src/reuse/squash_log.cc" "src/CMakeFiles/mssr.dir/reuse/squash_log.cc.o" "gcc" "src/CMakeFiles/mssr.dir/reuse/squash_log.cc.o.d"
+  "/root/repo/src/reuse/wpb.cc" "src/CMakeFiles/mssr.dir/reuse/wpb.cc.o" "gcc" "src/CMakeFiles/mssr.dir/reuse/wpb.cc.o.d"
+  "/root/repo/src/ri/integration_table.cc" "src/CMakeFiles/mssr.dir/ri/integration_table.cc.o" "gcc" "src/CMakeFiles/mssr.dir/ri/integration_table.cc.o.d"
+  "/root/repo/src/sim/func_emu.cc" "src/CMakeFiles/mssr.dir/sim/func_emu.cc.o" "gcc" "src/CMakeFiles/mssr.dir/sim/func_emu.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/mssr.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/mssr.dir/sim/memory.cc.o.d"
+  "/root/repo/src/workloads/builder.cc" "src/CMakeFiles/mssr.dir/workloads/builder.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/builder.cc.o.d"
+  "/root/repo/src/workloads/gap_kernels.cc" "src/CMakeFiles/mssr.dir/workloads/gap_kernels.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/gap_kernels.cc.o.d"
+  "/root/repo/src/workloads/gap_reference.cc" "src/CMakeFiles/mssr.dir/workloads/gap_reference.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/gap_reference.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/mssr.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/mssr.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/mssr.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/speclike.cc" "src/CMakeFiles/mssr.dir/workloads/speclike.cc.o" "gcc" "src/CMakeFiles/mssr.dir/workloads/speclike.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

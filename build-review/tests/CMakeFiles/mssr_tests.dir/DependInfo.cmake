@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/mssr_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_batch_runner.cc" "tests/CMakeFiles/mssr_tests.dir/test_batch_runner.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_batch_runner.cc.o.d"
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/mssr_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_bloom.cc" "tests/CMakeFiles/mssr_tests.dir/test_bloom.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_bloom.cc.o.d"
+  "/root/repo/tests/test_bpu_pipeline.cc" "tests/CMakeFiles/mssr_tests.dir/test_bpu_pipeline.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_bpu_pipeline.cc.o.d"
+  "/root/repo/tests/test_btb_ras.cc" "tests/CMakeFiles/mssr_tests.dir/test_btb_ras.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_btb_ras.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/mssr_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_complexity_model.cc" "tests/CMakeFiles/mssr_tests.dir/test_complexity_model.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_complexity_model.cc.o.d"
+  "/root/repo/tests/test_cosim.cc" "tests/CMakeFiles/mssr_tests.dir/test_cosim.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_cosim.cc.o.d"
+  "/root/repo/tests/test_cosim_random.cc" "tests/CMakeFiles/mssr_tests.dir/test_cosim_random.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_cosim_random.cc.o.d"
+  "/root/repo/tests/test_cosim_sweeps.cc" "tests/CMakeFiles/mssr_tests.dir/test_cosim_sweeps.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_cosim_sweeps.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/mssr_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_determinism.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/mssr_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_free_list.cc" "tests/CMakeFiles/mssr_tests.dir/test_free_list.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_free_list.cc.o.d"
+  "/root/repo/tests/test_ftq.cc" "tests/CMakeFiles/mssr_tests.dir/test_ftq.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_ftq.cc.o.d"
+  "/root/repo/tests/test_func_emu.cc" "tests/CMakeFiles/mssr_tests.dir/test_func_emu.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_func_emu.cc.o.d"
+  "/root/repo/tests/test_gap_kernels.cc" "tests/CMakeFiles/mssr_tests.dir/test_gap_kernels.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_gap_kernels.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/mssr_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_integration_table.cc" "tests/CMakeFiles/mssr_tests.dir/test_integration_table.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_integration_table.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/mssr_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_issue_queue.cc" "tests/CMakeFiles/mssr_tests.dir/test_issue_queue.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_issue_queue.cc.o.d"
+  "/root/repo/tests/test_lsq.cc" "tests/CMakeFiles/mssr_tests.dir/test_lsq.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_lsq.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/mssr_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_o3_basic.cc" "tests/CMakeFiles/mssr_tests.dir/test_o3_basic.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_o3_basic.cc.o.d"
+  "/root/repo/tests/test_o3_reuse.cc" "tests/CMakeFiles/mssr_tests.dir/test_o3_reuse.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_o3_reuse.cc.o.d"
+  "/root/repo/tests/test_predictors.cc" "tests/CMakeFiles/mssr_tests.dir/test_predictors.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_predictors.cc.o.d"
+  "/root/repo/tests/test_reconv_detector.cc" "tests/CMakeFiles/mssr_tests.dir/test_reconv_detector.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_reconv_detector.cc.o.d"
+  "/root/repo/tests/test_rename_map.cc" "tests/CMakeFiles/mssr_tests.dir/test_rename_map.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_rename_map.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/mssr_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_reuse_unit.cc" "tests/CMakeFiles/mssr_tests.dir/test_reuse_unit.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_reuse_unit.cc.o.d"
+  "/root/repo/tests/test_rgid.cc" "tests/CMakeFiles/mssr_tests.dir/test_rgid.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_rgid.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/mssr_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_rob.cc" "tests/CMakeFiles/mssr_tests.dir/test_rob.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_rob.cc.o.d"
+  "/root/repo/tests/test_squash_arbitration.cc" "tests/CMakeFiles/mssr_tests.dir/test_squash_arbitration.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_squash_arbitration.cc.o.d"
+  "/root/repo/tests/test_squash_log.cc" "tests/CMakeFiles/mssr_tests.dir/test_squash_log.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_squash_log.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/mssr_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_storage_model.cc" "tests/CMakeFiles/mssr_tests.dir/test_storage_model.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_storage_model.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/mssr_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/mssr_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_wpb.cc" "tests/CMakeFiles/mssr_tests.dir/test_wpb.cc.o" "gcc" "tests/CMakeFiles/mssr_tests.dir/test_wpb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/mssr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

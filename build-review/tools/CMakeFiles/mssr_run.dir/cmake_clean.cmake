@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssr_run.dir/mssr_run.cc.o"
+  "CMakeFiles/mssr_run.dir/mssr_run.cc.o.d"
+  "mssr_run"
+  "mssr_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssr_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

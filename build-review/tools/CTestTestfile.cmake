@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mssr_run_rejects_bad_streams "/root/repo/build-review/tools/mssr_run" "--streams" "4x" "--iters" "50" "nested-mispred")
+set_tests_properties(mssr_run_rejects_bad_streams PROPERTIES  PASS_REGULAR_EXPRESSION "invalid value '4x' for --streams" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mssr_run_rejects_zero_streams "/root/repo/build-review/tools/mssr_run" "--streams" "0" "--iters" "50" "nested-mispred")
+set_tests_properties(mssr_run_rejects_zero_streams PROPERTIES  PASS_REGULAR_EXPRESSION "invalid value '0' for --streams" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mssr_run_rejects_bad_max_insts "/root/repo/build-review/tools/mssr_run" "--max-insts" "10q" "--iters" "50" "nested-mispred")
+set_tests_properties(mssr_run_rejects_bad_max_insts PROPERTIES  PASS_REGULAR_EXPRESSION "invalid value '10q' for --max-insts" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(mssr_run_trace_out "/root/repo/build-review/tools/mssr_run" "--trace" "--trace-out" "mssr_run_trace.json" "--interval" "200" "--iters" "100" "--scale" "6" "nested-mispred")
+set_tests_properties(mssr_run_trace_out PROPERTIES  PASS_REGULAR_EXPRESSION "trace: wrote [1-9][0-9]* events" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
