@@ -143,7 +143,8 @@ Harness::runBatch(const std::vector<BatchJob> &jobs)
         records_.push_back({jobs[i].name, results[i].cycles,
                             results[i].insts, results[i].ipc,
                             results[i].hostSeconds, results[i].kips,
-                            results[i].intervals});
+                            results[i].dispatchWidth, results[i].cpi,
+                            results[i].funnel, results[i].intervals});
     }
     return results;
 }
@@ -187,7 +188,12 @@ Harness::writeJson() const
            << "\", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
            << ", \"ipc\": " << r.ipc
            << ", \"host_sec\": " << r.hostSec << ", \"kips\": " << r.kips
-           << ", \"intervals\": [";
+           << ", \"dispatch_width\": " << r.dispatchWidth
+           << ", \"cpi\": ";
+        mssr::writeJson(os, r.cpi);
+        os << ", \"funnel\": ";
+        mssr::writeJson(os, r.funnel);
+        os << ", \"intervals\": [";
         for (std::size_t k = 0; k < r.intervals.size(); ++k) {
             const IntervalSample &s = r.intervals[k];
             os << (k ? ", " : "")
@@ -199,7 +205,10 @@ Harness::writeJson() const
                << ", \"reuse_hits\": " << s.reuseHits
                << ", \"ipc\": " << s.ipc
                << ", \"wpb_occ\": " << s.wpbOccupancy
-               << ", \"slog_occ\": " << s.squashLogOccupancy << "}";
+               << ", \"slog_occ\": " << s.squashLogOccupancy
+               << ", \"cpi\": ";
+            mssr::writeJson(os, CpiStack{s.cpiSlots});
+            os << "}";
         }
         os << "]}";
     }

@@ -121,6 +121,9 @@ class Harness
         double ipc;
         double hostSec;
         double kips;
+        unsigned dispatchWidth;
+        CpiStack cpi;
+        ReuseFunnel funnel;
         std::vector<IntervalSample> intervals;
     };
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/cpi_stack.hh"
 #include "common/mini_json.hh"
 
 using namespace mssr;
@@ -50,6 +51,19 @@ field(const JsonValue &obj, const std::string &key, JsonValue::Kind kind,
     check(it->second.kind == kind,
           where + " key '" + key + "' has wrong type");
     return &it->second;
+}
+
+/** Checks a "cpi" object has every category key; returns the slot sum. */
+double
+checkCpiObject(const JsonValue &obj, const std::string &where)
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        if (const auto *slot = field(obj, cpiCatKey(static_cast<CpiCat>(i)),
+                                     JsonValue::Number, where))
+            sum += slot->number;
+    }
+    return sum;
 }
 
 } // namespace
@@ -116,6 +130,42 @@ main(int argc, char **argv)
                 field(r, "ipc", JsonValue::Number, "result");
                 field(r, "host_sec", JsonValue::Number, "result");
                 field(r, "kips", JsonValue::Number, "result");
+                const auto *width =
+                    field(r, "dispatch_width", JsonValue::Number, "result");
+                const auto *cpi =
+                    field(r, "cpi", JsonValue::Object, "result");
+                double cpiSum = 0;
+                if (cpi)
+                    cpiSum = checkCpiObject(*cpi, "result cpi");
+                if (cpi && width && c)
+                    check(cpiSum == c->number * width->number,
+                          "CPI slots sum to cycles x dispatch width");
+                if (const auto *funnel =
+                        field(r, "funnel", JsonValue::Object, "result")) {
+                    const auto *stages = field(*funnel, "stages",
+                                               JsonValue::Object, "funnel");
+                    field(*funnel, "kills", JsonValue::Object, "funnel");
+                    field(*funnel, "verify_ok", JsonValue::Number,
+                          "funnel");
+                    field(*funnel, "verify_fail", JsonValue::Number,
+                          "funnel");
+                    if (stages) {
+                        double prev = -1;
+                        for (std::size_t i = 0; i < ReuseFunnel::NumStages;
+                             ++i) {
+                            const auto *stage =
+                                field(*stages, ReuseFunnel::stageKey(i),
+                                      JsonValue::Number, "funnel stages");
+                            if (!stage)
+                                continue;
+                            check(prev < 0 || stage->number <= prev,
+                                  std::string("funnel stage '") +
+                                      ReuseFunnel::stageKey(i) +
+                                      "' exceeds its predecessor");
+                            prev = stage->number;
+                        }
+                    }
+                }
                 const auto *intervals =
                     field(r, "intervals", JsonValue::Array, "result");
                 if (!c || !insts || !intervals)
@@ -125,7 +175,7 @@ main(int argc, char **argv)
                 // partial interval at halt).
                 check(!intervals->array.empty(),
                       "intervals sampled (MSSR_INTERVAL=500)");
-                double sumCycles = 0, sumCommits = 0;
+                double sumCycles = 0, sumCommits = 0, sumCpiSlots = 0;
                 for (const auto &s : intervals->array) {
                     check(s.kind == JsonValue::Object,
                           "interval is an object");
@@ -134,6 +184,10 @@ main(int argc, char **argv)
                           "squashed_insts", "squash_events", "reuse_hits",
                           "ipc", "wpb_occ", "slog_occ"})
                         field(s, key, JsonValue::Number, "interval");
+                    if (const auto *icpi =
+                            field(s, "cpi", JsonValue::Object, "interval"))
+                        sumCpiSlots +=
+                            checkCpiObject(*icpi, "interval cpi");
                     auto num = [&](const char *key) {
                         auto it = s.object.find(key);
                         return it == s.object.end() ? 0.0
@@ -146,6 +200,9 @@ main(int argc, char **argv)
                       "interval cycle deltas sum to total cycles");
                 check(sumCommits == insts->number,
                       "interval commit deltas sum to total insts");
+                check(sumCpiSlots == cpiSum,
+                      "interval CPI sub-stacks telescope to the run "
+                      "stack");
             }
         }
     } catch (const std::exception &e) {

@@ -1,0 +1,226 @@
+#include "common/cpi_stack.hh"
+
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+const char *
+cpiCatKey(CpiCat cat)
+{
+    switch (cat) {
+      case CpiCat::Base:
+        return "base";
+      case CpiCat::ReuseSalvaged:
+        return "reuse_salvaged";
+      case CpiCat::FrontendStarved:
+        return "frontend_starved";
+      case CpiCat::BranchRecovery:
+        return "branch_recovery";
+      case CpiCat::FlushRecovery:
+        return "flush_recovery";
+      case CpiCat::FreeListStall:
+        return "freelist_stall";
+      case CpiCat::Backpressure:
+        return "backpressure";
+    }
+    return "?";
+}
+
+const char *
+toString(CpiCat cat)
+{
+    switch (cat) {
+      case CpiCat::Base:
+        return "base (useful dispatch)";
+      case CpiCat::ReuseSalvaged:
+        return "reuse-salvaged dispatch";
+      case CpiCat::FrontendStarved:
+        return "frontend starved";
+      case CpiCat::BranchRecovery:
+        return "branch-mispredict recovery";
+      case CpiCat::FlushRecovery:
+        return "mem-order/verify flush recovery";
+      case CpiCat::FreeListStall:
+        return "free-list / rename stall";
+      case CpiCat::Backpressure:
+        return "IQ/ROB/LSQ backpressure";
+    }
+    return "?";
+}
+
+std::uint64_t
+CpiStack::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t s : slots)
+        sum += s;
+    return sum;
+}
+
+double
+CpiStack::cpiContribution(CpiCat cat, std::uint64_t insts,
+                          unsigned width) const
+{
+    if (insts == 0 || width == 0)
+        return 0.0;
+    return static_cast<double>((*this)[cat]) /
+           (static_cast<double>(insts) * static_cast<double>(width));
+}
+
+double
+CpiStack::fraction(CpiCat cat) const
+{
+    const std::uint64_t sum = total();
+    return sum == 0 ? 0.0
+                    : static_cast<double>((*this)[cat]) /
+                          static_cast<double>(sum);
+}
+
+CpiStack
+CpiStack::operator-(const CpiStack &other) const
+{
+    CpiStack out;
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        mssr_assert(slots[i] >= other.slots[i],
+                    "CpiStack difference would underflow");
+        out.slots[i] = slots[i] - other.slots[i];
+    }
+    return out;
+}
+
+std::uint64_t
+ReuseFunnel::stage(std::size_t i) const
+{
+    switch (i) {
+      case 0:
+        return squashed;
+      case 1:
+        return logged;
+      case 2:
+        return covered;
+      case 3:
+        return tested;
+      case 4:
+        return rgidPass;
+      case 5:
+        return hazardPass;
+      case 6:
+        return reused;
+    }
+    mssr_assert(false, "funnel stage index out of range");
+    return 0;
+}
+
+const char *
+ReuseFunnel::stageKey(std::size_t i)
+{
+    static const char *const keys[NumStages] = {
+        "squashed",  "logged",      "covered", "tested",
+        "rgid_pass", "hazard_pass", "reused",
+    };
+    mssr_assert(i < NumStages);
+    return keys[i];
+}
+
+bool
+ReuseFunnel::monotonic() const
+{
+    for (std::size_t i = 1; i < NumStages; ++i)
+        if (stage(i) > stage(i - 1))
+            return false;
+    return true;
+}
+
+ReuseFunnel
+ReuseFunnel::operator-(const ReuseFunnel &other) const
+{
+    ReuseFunnel out;
+    out.squashed = squashed - other.squashed;
+    out.logged = logged - other.logged;
+    out.covered = covered - other.covered;
+    out.tested = tested - other.tested;
+    out.rgidPass = rgidPass - other.rgidPass;
+    out.hazardPass = hazardPass - other.hazardPass;
+    out.reused = reused - other.reused;
+    out.killKind = killKind - other.killKind;
+    out.killNotExecuted = killNotExecuted - other.killNotExecuted;
+    out.killRgid = killRgid - other.killRgid;
+    out.killRgidCapacity = killRgidCapacity - other.killRgidCapacity;
+    out.killBloom = killBloom - other.killBloom;
+    out.verifyOk = verifyOk - other.verifyOk;
+    out.verifyFail = verifyFail - other.verifyFail;
+    return out;
+}
+
+void
+writeJson(std::ostream &os, const CpiStack &stack)
+{
+    os << "{";
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        os << (i ? ", " : "") << "\"" << cpiCatKey(static_cast<CpiCat>(i))
+           << "\": " << stack.slots[i];
+    }
+    os << "}";
+}
+
+void
+writeJson(std::ostream &os, const ReuseFunnel &funnel)
+{
+    os << "{\"stages\": {";
+    for (std::size_t i = 0; i < ReuseFunnel::NumStages; ++i) {
+        os << (i ? ", " : "") << "\"" << ReuseFunnel::stageKey(i)
+           << "\": " << funnel.stage(i);
+    }
+    os << "}, \"kills\": {\"kind\": " << funnel.killKind
+       << ", \"not_executed\": " << funnel.killNotExecuted
+       << ", \"rgid\": " << funnel.killRgid
+       << ", \"rgid_capacity\": " << funnel.killRgidCapacity
+       << ", \"bloom\": " << funnel.killBloom
+       << "}, \"verify_ok\": " << funnel.verifyOk
+       << ", \"verify_fail\": " << funnel.verifyFail << "}";
+}
+
+void
+writePrometheus(std::ostream &os, const std::string &run,
+                const CpiStack &stack)
+{
+    os << "# TYPE mssr_cpi_slots gauge\n";
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        os << "mssr_cpi_slots{run=\"" << run << "\",category=\""
+           << cpiCatKey(static_cast<CpiCat>(i)) << "\"} " << stack.slots[i]
+           << "\n";
+    }
+}
+
+void
+writePrometheus(std::ostream &os, const std::string &run,
+                const ReuseFunnel &funnel)
+{
+    os << "# TYPE mssr_funnel_stage gauge\n";
+    for (std::size_t i = 0; i < ReuseFunnel::NumStages; ++i) {
+        os << "mssr_funnel_stage{run=\"" << run << "\",stage=\""
+           << ReuseFunnel::stageKey(i) << "\"} " << funnel.stage(i) << "\n";
+    }
+    os << "# TYPE mssr_funnel_kills gauge\n";
+    const struct
+    {
+        const char *key;
+        std::uint64_t value;
+    } kills[] = {
+        {"kind", funnel.killKind},
+        {"not_executed", funnel.killNotExecuted},
+        {"rgid", funnel.killRgid},
+        {"rgid_capacity", funnel.killRgidCapacity},
+        {"bloom", funnel.killBloom},
+        {"verify_fail", funnel.verifyFail},
+    };
+    for (const auto &k : kills) {
+        os << "mssr_funnel_kills{run=\"" << run << "\",reason=\"" << k.key
+           << "\"} " << k.value << "\n";
+    }
+}
+
+} // namespace mssr

@@ -15,27 +15,39 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
+
 namespace mssr
 {
 
-/** Fixed-bucket histogram (last bucket is an overflow bucket). */
+/**
+ * Fixed-bucket histogram (last bucket is an overflow bucket). The
+ * bucket count is fixed at construction: a default-constructed
+ * histogram has no buckets and sample() panics on it. (The seed
+ * version silently lazy-resized a default-constructed histogram to
+ * 1 bucket + overflow, which turned every distribution into "0 or
+ * more" without any diagnostic.)
+ */
 class Histogram
 {
   public:
+    /** No buckets; sample() panics until a sized histogram is assigned. */
     Histogram() = default;
 
     /** Creates @p nbuckets buckets covering [0, nbuckets-1] plus overflow. */
     explicit Histogram(std::size_t nbuckets)
         : buckets_(nbuckets + 1, 0)
     {
+        mssr_assert(nbuckets >= 1, "histogram needs at least one bucket");
     }
 
-    /** Records one sample of value @p v. */
+    /** Records one sample of value @p v (clamped into the overflow
+     *  bucket when v >= numBuckets()-1). */
     void
     sample(std::uint64_t v)
     {
-        if (buckets_.empty())
-            buckets_.resize(2, 0);
+        mssr_assert(!buckets_.empty(),
+                    "sample() on a default-constructed Histogram");
         if (v + 1 >= buckets_.size())
             ++buckets_.back();
         else
@@ -66,6 +78,43 @@ class Histogram
         return count_ == 0 ? 0.0
                            : static_cast<double>(acc) /
                                  static_cast<double>(count_);
+    }
+
+    /**
+     * Mean of the recorded (clamped) values: overflow samples count
+     * as the overflow bucket's index, so the mean is a lower bound
+     * when anything overflowed. 0 when empty.
+     */
+    double
+    mean() const
+    {
+        if (count_ == 0)
+            return 0.0;
+        double sum = 0.0;
+        for (std::size_t b = 0; b < buckets_.size(); ++b)
+            sum += static_cast<double>(b) * static_cast<double>(buckets_[b]);
+        return sum / static_cast<double>(count_);
+    }
+
+    /**
+     * Value at percentile @p p (a fraction in [0, 1]): the smallest
+     * bucket index whose cumulative count reaches p x count. Overflow
+     * samples report the overflow bucket's index. 0 when empty.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        mssr_assert(p >= 0.0 && p <= 1.0, "percentile fraction ", p);
+        if (count_ == 0)
+            return 0;
+        const double target = p * static_cast<double>(count_);
+        std::uint64_t acc = 0;
+        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+            acc += buckets_[b];
+            if (static_cast<double>(acc) >= target && acc > 0)
+                return b;
+        }
+        return buckets_.size() - 1;
     }
 
     void

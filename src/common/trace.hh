@@ -22,6 +22,7 @@
 #ifndef MSSR_COMMON_TRACE_HH
 #define MSSR_COMMON_TRACE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -29,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpi_stack.hh"
 #include "common/types.hh"
 
 namespace mssr
@@ -95,6 +97,9 @@ struct IntervalSample
     double ipc = 0.0;                 //!< commits / cycles
     double wpbOccupancy = 0.0;        //!< WPB valid entries / capacity [0,1]
     double squashLogOccupancy = 0.0;  //!< Squash Log entries / capacity [0,1]
+    /** Per-category dispatch slots charged within this interval (same
+     *  order as CpiCat); sums to `cycles x dispatchWidth`. */
+    std::array<std::uint64_t, NumCpiCats> cpiSlots{};
 };
 
 /**

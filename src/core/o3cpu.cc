@@ -361,26 +361,28 @@ O3Cpu::issueStage()
         executeInst(inst);
 }
 
-bool
+O3Cpu::RenameOutcome
 O3Cpu::renameOne(const DynInstPtr &inst)
 {
     const isa::Inst &si = inst->si;
 
     // Structural-hazard checks first: nothing below may be partial,
     // because the reuse unit's lockstep state advances exactly once
-    // per renamed instruction.
+    // per renamed instruction. The outcome names the blocking
+    // structure so renameStage can charge the lost dispatch slots to
+    // the right CPI-stack category.
     if (rob_.full())
-        return false;
+        return RenameOutcome::RobFull;
     const isa::FuClass fu = si.fuClass();
     const bool isMem = fu == isa::FuClass::Load || fu == isa::FuClass::Store;
     if (isMem && iqMem_.full())
-        return false;
+        return RenameOutcome::IqFull;
     if (!isMem && fu != isa::FuClass::None && iqInt_.full())
-        return false;
+        return RenameOutcome::IqFull;
     if (si.isLoad() && lsq_.loadQueueFull())
-        return false;
+        return RenameOutcome::LsqFull;
     if (si.isStore() && lsq_.storeQueueFull())
-        return false;
+        return RenameOutcome::LsqFull;
     if (si.hasRd()) {
         // Policy (5): under free-list pressure reclaim the least
         // recent squashed stream before stalling.
@@ -390,7 +392,7 @@ O3Cpu::renameOne(const DynInstPtr &inst)
                 continue;
             if (ri_ && ri_->reclaimOne())
                 continue;
-            return false;
+            return RenameOutcome::FreeListEmpty;
         }
     }
 
@@ -418,7 +420,7 @@ O3Cpu::renameOne(const DynInstPtr &inst)
             cur[n++] = inst->srcRgid[0];
         if (si.hasRs2())
             cur[n++] = inst->srcRgid[1];
-        const ReuseAdvice advice = reuse_->processRename(inst, cur);
+        const ReuseAdvice advice = reuse_->processRename(inst, cur, cycle_);
         reused = advice.reuse;
         needVerify = advice.needVerify;
         reusedPreg = advice.destPreg;
@@ -516,7 +518,7 @@ O3Cpu::renameOne(const DynInstPtr &inst)
                         : ReuseOutcome::None,
            SquashReason::None, inst->dst);
     rob_.push(inst);
-    return true;
+    return RenameOutcome::Renamed;
 }
 
 void
@@ -525,14 +527,50 @@ O3Cpu::renameStage()
     riBundleDsts_.clear();
     riChainedThisCycle_ = 0;
     unsigned n = 0;
+    RenameOutcome stall = RenameOutcome::Renamed;
     while (n < cfg_.core.decodeWidth && !frontPipe_.empty() &&
            frontPipeReady_.front() <= cycle_) {
-        if (!renameOne(frontPipe_.front()))
+        const DynInstPtr &inst = frontPipe_.front();
+        stall = renameOne(inst);
+        if (stall != RenameOutcome::Renamed)
             break;
+        // Slot accounting: a dispatched slot is either normal work or
+        // work salvaged from a squashed stream.
+        cpi_.charge(inst->reused ? CpiCat::ReuseSalvaged : CpiCat::Base);
         frontPipe_.pop_front();
         frontPipeReady_.pop_front();
         ++n;
     }
+
+    // Charge this cycle's unused dispatch slots to their blocking
+    // cause so the stack always sums to cycles x decodeWidth: a
+    // structural stall names the structure; an empty frontend within
+    // a squash's refill shadow is that squash's penalty; anything
+    // else is plain frontend starvation.
+    if (n < cfg_.core.decodeWidth) {
+        CpiCat cat = CpiCat::FrontendStarved;
+        switch (stall) {
+          case RenameOutcome::FreeListEmpty:
+            cat = CpiCat::FreeListStall;
+            break;
+          case RenameOutcome::RobFull:
+          case RenameOutcome::IqFull:
+          case RenameOutcome::LsqFull:
+            cat = CpiCat::Backpressure;
+            break;
+          case RenameOutcome::Renamed:
+            if (n == 0 && recoveryReason_ != SquashReason::None) {
+                cat = recoveryReason_ == SquashReason::BranchMispredict
+                          ? CpiCat::BranchRecovery
+                          : CpiCat::FlushRecovery;
+            }
+            break;
+        }
+        cpi_.charge(cat, cfg_.core.decodeWidth - n);
+    }
+    // The corrected path reached rename: the refill shadow is over.
+    if (n > 0)
+        recoveryReason_ = SquashReason::None;
 }
 
 void
@@ -625,7 +663,7 @@ O3Cpu::applySquash()
     // 5. Physical-register disposition and wrong-path capture.
     if (reuse_) {
         if (squash.reason == SquashReason::BranchMispredict) {
-            reuse_->onBranchSquash(squash.cause->seq, squashed);
+            reuse_->onBranchSquash(squash.cause->seq, squashed, cycle_);
         } else {
             reuse_->onOtherSquash(
                 squashed, squash.reason == SquashReason::ReuseVerifyFail);
@@ -660,6 +698,9 @@ O3Cpu::applySquash()
         bpu_.redirectSimple(squash.redirectPC);
     }
     bpuStalled_ = false;
+    // Dispatch slots lost while the frontend refills from the
+    // redirect are this squash's recovery penalty (CPI stack).
+    recoveryReason_ = squash.reason;
 }
 
 void
@@ -731,9 +772,22 @@ O3Cpu::sampleInterval()
         s.wpbOccupancy = reuse_->wpb().occupancy();
         s.squashLogOccupancy = reuse_->squashLog().occupancy();
     }
+    s.cpiSlots = (cpi_ - intervalMark_.cpi).slots;
     intervals_.push_back(s);
     intervalMark_ = IntervalMark{cycle_, commits_, squashedInsts_,
-                                 squashEvents_, reuseHitsNow()};
+                                 squashEvents_, reuseHitsNow(), cpi_};
+}
+
+ReuseFunnel
+O3Cpu::funnel() const
+{
+    ReuseFunnel f;
+    f.squashed = squashedInsts_;
+    if (reuse_)
+        reuse_->fillFunnel(f);
+    f.verifyOk = verifyOk_;
+    f.verifyFail = verifyFailFlushes_;
+    return f;
 }
 
 StatSet
@@ -766,6 +820,27 @@ O3Cpu::stats() const
     out.set("core.loadsExecuted", static_cast<double>(loadsExecuted_));
     out.set("core.storesCommitted", static_cast<double>(storesCommitted_));
     out.set("core.riChainBlocked", static_cast<double>(riChainBlocked_));
+    // CPI stack: per-category dispatch slots; they sum exactly to
+    // core.cycles x decodeWidth (ctest-enforced).
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        out.set(std::string("cpi.") + cpiCatKey(static_cast<CpiCat>(i)),
+                static_cast<double>(cpi_.slots[i]));
+    }
+    // Reuse funnel: stage counts and kill reasons.
+    const ReuseFunnel f = funnel();
+    for (std::size_t i = 0; i < ReuseFunnel::NumStages; ++i) {
+        out.set(std::string("funnel.") + ReuseFunnel::stageKey(i),
+                static_cast<double>(f.stage(i)));
+    }
+    out.set("funnel.killKind", static_cast<double>(f.killKind));
+    out.set("funnel.killNotExecuted",
+            static_cast<double>(f.killNotExecuted));
+    out.set("funnel.killRgid", static_cast<double>(f.killRgid));
+    out.set("funnel.killRgidCapacity",
+            static_cast<double>(f.killRgidCapacity));
+    out.set("funnel.killBloom", static_cast<double>(f.killBloom));
+    out.set("funnel.verifyOk", static_cast<double>(f.verifyOk));
+    out.set("funnel.verifyFail", static_cast<double>(f.verifyFail));
     hierarchy_.reportStats(out);
     bpu_.reportStats(out);
     if (reuse_)

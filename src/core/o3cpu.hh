@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/cpi_stack.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "core/dyn_inst.hh"
@@ -85,6 +86,22 @@ class O3Cpu
         return intervals_;
     }
 
+    /**
+     * Dispatch-slot cycle accounting: every cycle charges exactly
+     * decodeWidth slots to exactly one category each, so
+     * cpiStack().total() == cycles() x decodeWidth at all times.
+     */
+    const CpiStack &cpiStack() const { return cpi_; }
+
+    /**
+     * Squash-reuse funnel snapshot (squashed -> ... -> reused, with
+     * kill reasons). The reuse-pipeline stages past `squashed` are
+     * populated by the RGID ReuseUnit; under RegInt or baseline they
+     * stay zero (RI's salvage still shows up in the CPI stack's
+     * reuse-salvaged category and in ri.* stats).
+     */
+    ReuseFunnel funnel() const;
+
     const ReuseUnit *reuseUnit() const { return reuse_.get(); }
     const IntegrationTable *integrationTable() const { return ri_.get(); }
 
@@ -113,6 +130,16 @@ class O3Cpu
     void fetchStage();
     void bpuStage();
 
+    /** Why renameOne() could not rename an instruction this cycle. */
+    enum class RenameOutcome : std::uint8_t
+    {
+        Renamed,       //!< instruction dispatched
+        RobFull,       //!< reorder buffer has no slot
+        IqFull,        //!< reservation stations full
+        LsqFull,       //!< load or store queue full
+        FreeListEmpty, //!< no physical register available
+    };
+
     // Helpers.
     /** Records one per-instruction pipeline event when tracing is on. */
     void
@@ -136,7 +163,7 @@ class O3Cpu
     void requestSquash(SeqNum after_seq, Addr redirect, DynInstPtr cause,
                        SquashReason reason);
     void applySquash();
-    bool renameOne(const DynInstPtr &inst);
+    RenameOutcome renameOne(const DynInstPtr &inst);
 
     SimConfig cfg_;
     const isa::Program &prog_;
@@ -176,8 +203,15 @@ class O3Cpu
         std::uint64_t squashedInsts = 0;
         std::uint64_t squashEvents = 0;
         std::uint64_t reuseHits = 0;
+        CpiStack cpi;
     };
     IntervalMark intervalMark_;            //!< counters at last boundary
+
+    // Cycle accounting (see cpiStack()). recoveryReason_ tracks the
+    // reason of the last squash until the corrected path reaches
+    // rename again, attributing the refill bubble to that squash.
+    CpiStack cpi_;
+    SquashReason recoveryReason_ = SquashReason::None;
 
     // Global state.
     Cycle cycle_ = 0;

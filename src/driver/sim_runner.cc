@@ -24,6 +24,9 @@ runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
     out.ipc = cpu.ipc();
     out.halted = cpu.halted();
     out.stats = cpu.stats();
+    out.cpi = cpu.cpiStack();
+    out.funnel = cpu.funnel();
+    out.dispatchWidth = cfg.core.decodeWidth;
     out.intervals = cpu.intervals();
     out.kips = out.hostSeconds > 0.0
                    ? static_cast<double>(out.insts) / out.hostSeconds / 1e3

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/cpi_stack.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "core/o3cpu.hh"
@@ -34,6 +35,16 @@ struct RunResult
     bool halted = false;
     StatSet stats;
     std::array<RegVal, NumArchRegs> archRegs{};
+
+    /**
+     * Cycle accounting: per-category dispatch slots; cpi.total() ==
+     * cycles x dispatchWidth exactly (see common/cpi_stack.hh).
+     */
+    CpiStack cpi;
+    /** Squash-reuse funnel (stages monotonically non-increasing). */
+    ReuseFunnel funnel;
+    /** Rename/dispatch width the slots were charged against. */
+    unsigned dispatchWidth = 0;
 
     /** Interval samples (empty unless SimConfig::statsInterval set). */
     std::vector<IntervalSample> intervals;

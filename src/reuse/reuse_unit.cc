@@ -13,7 +13,8 @@ ReuseUnit::ReuseUnit(const ReuseConfig &cfg, FreeList &free_list)
       wpb_(cfg.numStreams, cfg.wpbEntriesPerStream, cfg.restrictVpn),
       log_(cfg.numStreams, cfg.squashLogEntriesPerStream),
       rgids_(cfg.rgidBits),
-      bloom_(cfg.bloomBits, cfg.bloomHashes)
+      bloom_(cfg.bloomBits, cfg.bloomHashes),
+      streamCaptureCycle_(cfg.numStreams, 0)
 {
 }
 
@@ -81,7 +82,8 @@ ReuseUnit::clearSessions()
 
 void
 ReuseUnit::onBranchSquash(SeqNum branch_seq,
-                          const std::vector<DynInstPtr> &squashed)
+                          const std::vector<DynInstPtr> &squashed,
+                          Cycle now)
 {
     ++squashEvents_;
     lastRedirectBranchSeq_ = branch_seq;
@@ -117,6 +119,7 @@ ReuseUnit::onBranchSquash(SeqNum branch_seq,
     const unsigned s = wpb_.writeStream(ranges, branch_seq, squashEvents_);
     mssr_assert(s == victim);
     ++streamsCaptured_;
+    streamCaptureCycle_[s] = now;
 
     // Populate the Squash Log and apply reservation policy (1): only
     // executed instructions keep their physical registers.
@@ -140,6 +143,8 @@ ReuseUnit::onBranchSquash(SeqNum branch_seq,
         entry.memSize = static_cast<std::uint8_t>(inst->si.memBytes());
 
         const bool logged = log_.append(s, entry);
+        if (logged)
+            ++funnelLogged_;
         const bool reusable = logged && entry.hasDest && entry.executed &&
                               !entry.isStore && !entry.isControl &&
                               (!entry.isLoad || cfg_.reuseLoads);
@@ -223,6 +228,17 @@ ReuseUnit::detect(Addr start_pc, Addr end_pc)
             squashEvents_ - stream.squashEventIndex + 1;
         distance_.sample(std::min<std::uint64_t>(distance, 7));
 
+        // Funnel: the entries this session can reach are now covered
+        // by a detected reconvergence. The flag makes each entry count
+        // once even when a stream is re-detected by a later session.
+        SquashLogStream &logStream = log_.stream(s);
+        for (unsigned i = hit.instOffset; i < logStream.numEntries; ++i) {
+            if (!logStream.entries[i].covered) {
+                logStream.entries[i].covered = true;
+                ++funnelCovered_;
+            }
+        }
+
         Session session;
         session.stream = s;
         session.startCursor = hit.instOffset;
@@ -274,7 +290,7 @@ ReuseUnit::onBlockFormed(const PredBlock &block)
 
 ReuseAdvice
 ReuseUnit::processRename(const DynInstPtr &inst,
-                         const Rgid current_src_rgids[2])
+                         const Rgid current_src_rgids[2], Cycle now)
 {
     // Stream aging and the 1024-instruction reconvergence timeout.
     for (unsigned s = 0; s < wpb_.numStreams(); ++s) {
@@ -324,6 +340,14 @@ ReuseUnit::processRename(const DynInstPtr &inst,
 
         // ---- Reuse test (section 3.5) ----
         ++reuseTests_;
+        // Funnel: only an entry's first test advances the stage and
+        // kill counters (a stream can be re-covered after a squash
+        // cuts its session; re-tests would otherwise double count).
+        const bool firstTest = !entry.tested;
+        if (firstTest) {
+            entry.tested = true;
+            ++funnelTested_;
+        }
         ReuseOutcome outcome = ReuseOutcome::Reused;
         bool ok = true;
         if (entry.consumed || !entry.reserved) {
@@ -332,12 +356,18 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             if (!entry.hasDest || entry.isStore || entry.isControl) {
                 ++reuseFailKind_;
                 outcome = ReuseOutcome::FailKind;
+                if (firstTest)
+                    ++funnelKillKind_;
             } else if (!entry.executed) {
                 ++reuseFailNotExecuted_;
                 outcome = ReuseOutcome::FailNotExecuted;
+                if (firstTest)
+                    ++funnelKillNotExecuted_;
             } else {
                 ++reuseFailKind_;
                 outcome = ReuseOutcome::FailKind;
+                if (firstTest)
+                    ++funnelKillKind_;
             }
             ok = false;
         } else if (!rgids_.inWindow(inst->si.rd, entry.dstRgid)) {
@@ -346,6 +376,8 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // of the finite RGID width, see rgid.hh).
             ++reuseFailRgidCapacity_;
             outcome = ReuseOutcome::FailRgidCapacity;
+            if (firstTest)
+                ++funnelKillRgidCapacity_;
             ok = false;
         } else {
             mssr_assert(entry.op == inst->si.op,
@@ -367,9 +399,13 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             if (!ok) {
                 ++reuseFailRgid_;
                 outcome = ReuseOutcome::FailRgid;
+                if (firstTest)
+                    ++funnelKillRgid_;
             } else if (stale) {
                 ++reuseFailRgidCapacity_;
                 outcome = ReuseOutcome::FailRgidCapacity;
+                if (firstTest)
+                    ++funnelKillRgidCapacity_;
                 ok = false;
             }
         }
@@ -381,13 +417,20 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // the load must re-execute rather than be reused.
             ++reuseFailBloom_;
             outcome = ReuseOutcome::FailBloom;
+            if (firstTest)
+                ++funnelKillBloom_;
             ok = false;
         }
 
         if (ok) {
+            // A reuse is always a first test: the first test of a
+            // reserved entry either consumes it (reuse or release)
+            // and any non-reserved entry fails on kind above.
+            mssr_assert(firstTest, "reuse of a re-tested entry");
             freeList_.adopt(entry.destPreg);
             entry.consumed = true;
             ++reuseSuccess_;
+            reuseLag_.sample(now - streamCaptureCycle_[front.stream]);
             if (entry.isLoad)
                 ++reuseLoads_;
             advice.reuse = true;
@@ -459,6 +502,31 @@ ReuseUnit::reclaimLeastRecentStream()
 }
 
 void
+ReuseUnit::fillFunnel(ReuseFunnel &funnel) const
+{
+    funnel.logged = funnelLogged_;
+    funnel.covered = funnelCovered_;
+    funnel.tested = funnelTested_;
+    funnel.killKind = funnelKillKind_;
+    funnel.killNotExecuted = funnelKillNotExecuted_;
+    funnel.killRgid = funnelKillRgid_;
+    funnel.killRgidCapacity = funnelKillRgidCapacity_;
+    funnel.killBloom = funnelKillBloom_;
+    // Derived stages: exact algebra over the first-time-test kills.
+    const std::uint64_t rgidKills = funnelKillKind_ +
+                                    funnelKillNotExecuted_ +
+                                    funnelKillRgid_ +
+                                    funnelKillRgidCapacity_;
+    mssr_assert(funnelTested_ >= rgidKills);
+    funnel.rgidPass = funnelTested_ - rgidKills;
+    mssr_assert(funnel.rgidPass >= funnelKillBloom_);
+    funnel.hazardPass = funnel.rgidPass - funnelKillBloom_;
+    funnel.reused = reuseSuccess_;
+    mssr_assert(funnel.hazardPass == funnel.reused,
+                "hazard-pass / reuse mismatch");
+}
+
+void
 ReuseUnit::reportStats(StatSet &stats) const
 {
     stats.set("reuse.squashEvents", static_cast<double>(squashEvents_));
@@ -490,6 +558,13 @@ ReuseUnit::reportStats(StatSet &stats) const
               static_cast<double>(pressureReclaims_));
     stats.set("reuse.bloomInsertions",
               static_cast<double>(bloom_.insertions()));
+    // Capture-to-reuse latency (cycles; clamped at 255 by the
+    // histogram's overflow bucket).
+    stats.set("reuse.lagMeanCycles", reuseLag_.mean());
+    stats.set("reuse.lagP50Cycles",
+              static_cast<double>(reuseLag_.percentile(0.5)));
+    stats.set("reuse.lagP90Cycles",
+              static_cast<double>(reuseLag_.percentile(0.9)));
 }
 
 } // namespace mssr

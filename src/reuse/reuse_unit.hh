@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/cpi_stack.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "core/dyn_inst.hh"
@@ -55,9 +56,12 @@ class ReuseUnit
      * @param branch_seq sequence number of the mispredicted branch.
      * @param squashed squashed instructions, oldest first (renamed
      *        instructions only; all still own their dst pregs).
+     * @param now current cycle (stamps the stream's capture time for
+     *        the capture-to-reuse latency histogram).
      */
     void onBranchSquash(SeqNum branch_seq,
-                        const std::vector<DynInstPtr> &squashed);
+                        const std::vector<DynInstPtr> &squashed,
+                        Cycle now = 0);
 
     /**
      * Non-branch squash (memory-order violation or reuse-verification
@@ -82,9 +86,11 @@ class ReuseUnit
      * instruction and performs the reuse test against the current
      * source RGIDs. Must be called for every renamed instruction.
      * On advice.reuse the caller must adopt the returned mapping.
+     * @param now current cycle (capture-to-reuse latency histogram).
      */
     ReuseAdvice processRename(const DynInstPtr &inst,
-                              const Rgid current_src_rgids[2]);
+                              const Rgid current_src_rgids[2],
+                              Cycle now = 0);
 
     /** Allocates a fresh destination RGID (non-reused rename). */
     Rgid allocDstRgid(ArchReg rd) { return rgids_.alloc(rd); }
@@ -115,6 +121,15 @@ class ReuseUnit
 
     /** Successful reuses so far (interval stats). */
     std::uint64_t successCount() const { return reuseSuccess_; }
+
+    /**
+     * Fills the reuse-pipeline stages and kill reasons of @p funnel
+     * (logged .. reused; the caller owns the squashed and verify
+     * fields). The stage algebra is exact: rgidPass and hazardPass
+     * are derived from the first-time-test kill counters, and every
+     * hazard pass is a reuse.
+     */
+    void fillFunnel(ReuseFunnel &funnel) const;
 
     void reportStats(StatSet &stats) const;
 
@@ -192,6 +207,21 @@ class ReuseUnit
     std::uint64_t timeouts_ = 0;
     std::uint64_t pressureReclaims_ = 0;
     std::uint64_t streamsCaptured_ = 0;
+
+    // Funnel accounting (common/cpi_stack.hh). Each counter advances
+    // at most once per squash-log entry (via the entry's covered/
+    // tested flags), which is what keeps the funnel stages
+    // monotonically non-increasing by construction.
+    std::uint64_t funnelLogged_ = 0;
+    std::uint64_t funnelCovered_ = 0;
+    std::uint64_t funnelTested_ = 0;
+    std::uint64_t funnelKillKind_ = 0;
+    std::uint64_t funnelKillNotExecuted_ = 0;
+    std::uint64_t funnelKillRgid_ = 0;
+    std::uint64_t funnelKillRgidCapacity_ = 0;
+    std::uint64_t funnelKillBloom_ = 0;
+    std::vector<Cycle> streamCaptureCycle_; //!< per-stream capture stamp
+    Histogram reuseLag_{256};  //!< capture-to-reuse latency (cycles)
 };
 
 } // namespace mssr

@@ -31,6 +31,11 @@ struct SquashLogEntry
     bool executed = false;      //!< result value available in destPreg
     bool reserved = false;      //!< destPreg parked in Reserved state
     bool consumed = false;      //!< reused or reservation released
+    // Funnel lifecycle flags (common/cpi_stack.hh): set at most once
+    // per entry so the funnel stage counts stay monotonic even when a
+    // stream is covered by more than one session over its lifetime.
+    bool covered = false;       //!< a detected reconvergence covered this
+    bool tested = false;        //!< the rename-side reuse test reached this
     Addr pc = 0;
     isa::Op op = isa::Op::NOP;
     std::uint8_t numSrcs = 0;

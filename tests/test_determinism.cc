@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "driver/batch_runner.hh"
 #include "driver/sim_runner.hh"
 #include "workloads/registry.hh"
 
@@ -22,6 +23,8 @@ expectIdentical(const RunResult &a, const RunResult &b,
     EXPECT_EQ(a.cycles, b.cycles) << what;
     EXPECT_EQ(a.insts, b.insts) << what;
     EXPECT_EQ(a.archRegs, b.archRegs) << what;
+    EXPECT_TRUE(a.cpi == b.cpi) << what << " CPI stack";
+    EXPECT_TRUE(a.funnel == b.funnel) << what << " reuse funnel";
     for (const auto &[key, value] : a.stats.scalars())
         EXPECT_EQ(value, b.stats.get(key)) << what << " stat " << key;
 }
@@ -56,4 +59,43 @@ TEST(Determinism, RebuiltWorkloadIsIdentical)
         ASSERT_EQ(a.instAt(pc), b.instAt(pc)) << std::hex << pc;
     expectIdentical(runSim(a, rgidConfig(2, 64)),
                     runSim(b, rgidConfig(2, 64)), "rebuilt astar");
+}
+
+TEST(Determinism, AccountingIdenticalAcrossWorkerCounts)
+{
+    // The CPI stack, funnel and per-interval sub-stacks are part of
+    // the deterministic result surface: a 4-worker batch must produce
+    // byte-identical accounting to a sequential one, including with
+    // interval sampling enabled.
+    workloads::WorkloadScale scale;
+    scale.iterations = 300;
+    scale.graphScale = 7;
+    const isa::Program mispred =
+        workloads::buildWorkload("nested-mispred", scale);
+    const isa::Program bfs = workloads::buildWorkload("bfs", scale);
+
+    std::vector<BatchJob> jobs;
+    for (const isa::Program *prog : {&mispred, &bfs}) {
+        for (SimConfig cfg :
+             {baselineConfig(), rgidConfig(4, 64), regIntConfig(64, 4)}) {
+            cfg.statsInterval = 400;
+            jobs.push_back({"job", prog, cfg, {}});
+        }
+    }
+
+    const std::vector<RunResult> serial = BatchRunner(1).run(jobs);
+    const std::vector<RunResult> parallel = BatchRunner(4).run(jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        const RunResult &a = serial[i];
+        const RunResult &b = parallel[i];
+        expectIdentical(a, b, "job " + std::to_string(i));
+        ASSERT_EQ(a.intervals.size(), b.intervals.size()) << i;
+        ASSERT_GT(a.intervals.size(), 0u) << i;
+        for (std::size_t k = 0; k < a.intervals.size(); ++k) {
+            EXPECT_EQ(a.intervals[k].cycleEnd, b.intervals[k].cycleEnd);
+            EXPECT_EQ(a.intervals[k].cpiSlots, b.intervals[k].cpiSlots)
+                << "job " << i << " interval " << k;
+        }
+    }
 }

@@ -71,3 +71,45 @@ TEST(Histogram, Reset)
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.bucket(1), 0u);
 }
+
+TEST(Histogram, DefaultConstructedPanicsOnSample)
+{
+    // The seed silently lazy-resized to one bucket + overflow here,
+    // collapsing every distribution into "0 or more" with no warning.
+    Histogram h;
+    EXPECT_EQ(h.numBuckets(), 0u);
+    EXPECT_THROW(h.sample(0), SimPanic);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(8);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0); // empty
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    // Overflow samples are clamped into the overflow bucket (index
+    // 8), so the mean becomes a lower bound: (2 + 4 + 8) / 3.
+    h.sample(100);
+    EXPECT_DOUBLE_EQ(h.mean(), 14.0 / 3.0);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(10);
+    for (std::uint64_t v : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 9u})
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(0.9), 9u);
+    EXPECT_EQ(h.percentile(1.0), 9u);
+    EXPECT_EQ(h.percentile(0.0), 1u); // smallest non-empty bucket
+    EXPECT_THROW(h.percentile(1.5), SimPanic);
+
+    Histogram empty(4);
+    EXPECT_EQ(empty.percentile(0.5), 0u);
+
+    // Overflow samples report the overflow bucket's index.
+    Histogram o(4);
+    o.sample(99);
+    EXPECT_EQ(o.percentile(1.0), 4u);
+}

@@ -27,6 +27,12 @@
  *                                (implies --trace; open in chrome://tracing
  *                                or ui.perfetto.dev)
  *   --interval K                 sample interval stats every K cycles
+ *   --stats-out FILE             write per-run CPI stack, reuse funnel
+ *                                and all scalar counters to FILE
+ *                                (mssr-stats-v1 JSON; a .prom suffix
+ *                                selects Prometheus text exposition).
+ *                                Feed the JSON to tools/mssr_stats for
+ *                                tables and A-vs-B diffs.
  *   --list                       list available workloads
  *
  * Each job records into its own tracer, so tracing composes with
@@ -43,6 +49,7 @@
 
 #include "analysis/report.hh"
 #include "common/argparse.hh"
+#include "common/cpi_stack.hh"
 #include "common/trace.hh"
 #include "driver/batch_runner.hh"
 #include "isa/assembler.hh"
@@ -61,8 +68,8 @@ usage(const char *argv0)
                  "\n        [--sets S] [--ways W] [--predictor tage|"
                  "gshare|bimodal]\n        [--max-insts N] [--scale G] "
                  "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
-                 "[--trace-out FILE] [--interval K] [--all-stats] "
-                 "[--compare]\n        "
+                 "[--trace-out FILE] [--interval K] [--stats-out FILE] "
+                 "[--all-stats]\n        [--compare] "
                  "(<workload>... | --asm <file.s> | --list)\n";
     std::exit(2);
 }
@@ -104,6 +111,74 @@ u32Value(const char *argv0, const std::string &flag, const std::string &v,
     return static_cast<unsigned>(parsed);
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * mssr-stats-v1: one object per executed run carrying the identity
+ * (name/scheme/width), the headline numbers, the full CPI stack and
+ * reuse funnel, and every scalar counter. tools/mssr_stats consumes
+ * this format for tables and baseline-vs-MSSR diffs.
+ */
+void
+writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
+               const std::vector<RunResult> &results)
+{
+    os.precision(17); // counters round-trip exactly through stod
+    os << "{\n  \"schema\": \"mssr-stats-v1\",\n  \"runs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        os << (i ? ",\n    " : "\n    ")
+           << "{\"name\": \"" << jsonEscape(jobs[i].name)
+           << "\", \"scheme\": \"" << toString(jobs[i].config.reuseKind)
+           << "\", \"dispatch_width\": " << r.dispatchWidth
+           << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
+           << ", \"ipc\": " << r.ipc << ", \"cpi_slots\": ";
+        writeJson(os, r.cpi);
+        os << ", \"funnel\": ";
+        writeJson(os, r.funnel);
+        os << ", \"stats\": {";
+        bool first = true;
+        for (const auto &[key, value] : r.stats.scalars()) {
+            os << (first ? "" : ", ") << "\"" << jsonEscape(key)
+               << "\": " << value;
+            first = false;
+        }
+        os << "}}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+/** Prometheus text exposition of the same numbers (one-shot scrape). */
+void
+writeStatsProm(std::ostream &os, const std::vector<BatchJob> &jobs,
+               const std::vector<RunResult> &results)
+{
+    os << "# TYPE mssr_cycles gauge\n"
+          "# TYPE mssr_insts gauge\n"
+          "# TYPE mssr_ipc gauge\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::string &run = jobs[i].name;
+        os << "mssr_cycles{run=\"" << run << "\"} " << results[i].cycles
+           << "\nmssr_insts{run=\"" << run << "\"} " << results[i].insts
+           << "\nmssr_ipc{run=\"" << run << "\"} " << results[i].ipc
+           << "\n";
+    }
+    for (std::size_t i = 0; i < results.size(); ++i)
+        writePrometheus(os, jobs[i].name, results[i].cpi);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        writePrometheus(os, jobs[i].name, results[i].funnel);
+}
+
 void
 printSummary(const std::string &label, const RunResult &r)
 {
@@ -128,6 +203,7 @@ main(int argc, char **argv)
     std::vector<std::string> workloadNames;
     std::string asmFile;
     std::string traceOutFile;
+    std::string statsOutFile;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
@@ -181,6 +257,8 @@ main(int argc, char **argv)
             jobsOverride = u32Value(argv[0], arg, next());
         } else if (arg == "--interval") {
             cfg.statsInterval = numValue(argv[0], arg, next());
+        } else if (arg == "--stats-out") {
+            statsOutFile = next();
         } else if (arg == "--bloom") {
             cfg.reuse.useBloomFilter = true;
         } else if (arg == "--trace") {
@@ -253,6 +331,24 @@ main(int argc, char **argv)
         }
         const BatchRunner runner(jobsOverride);
         const std::vector<RunResult> results = runner.run(jobs);
+
+        if (!statsOutFile.empty()) {
+            std::ofstream out(statsOutFile);
+            if (!out)
+                fatal("cannot write stats file '", statsOutFile, "'");
+            const bool prom =
+                statsOutFile.size() >= 5 &&
+                statsOutFile.compare(statsOutFile.size() - 5, 5, ".prom") ==
+                    0;
+            if (prom)
+                writeStatsProm(out, jobs, results);
+            else
+                writeStatsJson(out, jobs, results);
+            std::cerr << "stats: wrote " << results.size() << " run"
+                      << (results.size() == 1 ? "" : "s") << " to "
+                      << statsOutFile << (prom ? " (prometheus)" : " (json)")
+                      << "\n";
+        }
 
         if (traceOn) {
             std::vector<std::pair<std::string, const Tracer *>> streams;

@@ -1,0 +1,324 @@
+/**
+ * mssr_stats: offline reporter for the mssr-stats-v1 JSON files that
+ * `mssr_run --stats-out FILE` writes.
+ *
+ *   mssr_stats FILE
+ *       For every run in FILE: the normalized CPI stack (slots,
+ *       fraction, additive CPI contribution per category) and the
+ *       squash-reuse funnel as a percentage waterfall with per-stage
+ *       kill reasons.
+ *
+ *   mssr_stats --diff BASELINE MSSR
+ *       Pairs runs between the two files (by name, falling back to
+ *       position) and reports the headline "cycles recovered by
+ *       reuse", the IPC delta it corresponds to, and the per-category
+ *       dispatch-slot shifts that explain where the recovered cycles
+ *       came from.
+ *
+ * Both modes re-verify the accounting invariants on load (slots sum
+ * to cycles x width, funnel stages monotone) and exit non-zero when a
+ * file violates them, so the CLI doubles as a schema/consistency
+ * checker for CI.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "common/cpi_stack.hh"
+#include "common/mini_json.hh"
+
+using namespace mssr;
+using minijson::JsonValue;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: mssr_stats FILE\n"
+                 "       mssr_stats --diff BASELINE MSSR\n"
+                 "FILEs are mssr-stats-v1 JSON from mssr_run "
+                 "--stats-out.\n";
+    std::exit(2);
+}
+
+/** One run parsed back out of an mssr-stats-v1 file. */
+struct StatsRun
+{
+    std::string name;
+    std::string scheme;
+    unsigned width = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+    CpiStack cpi;
+    ReuseFunnel funnel;
+    std::map<std::string, double> stats;
+};
+
+[[noreturn]] void
+malformed(const std::string &file, const std::string &what)
+{
+    throw std::runtime_error(file + ": " + what);
+}
+
+const JsonValue &
+field(const std::string &file, const JsonValue &obj, const std::string &key,
+      JsonValue::Kind kind)
+{
+    const auto it = obj.object.find(key);
+    if (it == obj.object.end())
+        malformed(file, "missing field '" + key + "'");
+    if (it->second.kind != kind)
+        malformed(file, "field '" + key + "' has the wrong type");
+    return it->second;
+}
+
+std::uint64_t
+u64Field(const std::string &file, const JsonValue &obj,
+         const std::string &key)
+{
+    return static_cast<std::uint64_t>(
+        field(file, obj, key, JsonValue::Number).number);
+}
+
+StatsRun
+parseRun(const std::string &file, const JsonValue &run)
+{
+    if (run.kind != JsonValue::Object)
+        malformed(file, "run entry is not an object");
+    StatsRun out;
+    out.name = field(file, run, "name", JsonValue::String).string;
+    out.scheme = field(file, run, "scheme", JsonValue::String).string;
+    out.width =
+        static_cast<unsigned>(u64Field(file, run, "dispatch_width"));
+    out.cycles = u64Field(file, run, "cycles");
+    out.insts = u64Field(file, run, "insts");
+    out.ipc = field(file, run, "ipc", JsonValue::Number).number;
+
+    const JsonValue &cpi = field(file, run, "cpi_slots", JsonValue::Object);
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        const CpiCat cat = static_cast<CpiCat>(i);
+        out.cpi.charge(cat, u64Field(file, cpi, cpiCatKey(cat)));
+    }
+
+    const JsonValue &funnel = field(file, run, "funnel", JsonValue::Object);
+    const JsonValue &stages =
+        field(file, funnel, "stages", JsonValue::Object);
+    out.funnel.squashed = u64Field(file, stages, "squashed");
+    out.funnel.logged = u64Field(file, stages, "logged");
+    out.funnel.covered = u64Field(file, stages, "covered");
+    out.funnel.tested = u64Field(file, stages, "tested");
+    out.funnel.rgidPass = u64Field(file, stages, "rgid_pass");
+    out.funnel.hazardPass = u64Field(file, stages, "hazard_pass");
+    out.funnel.reused = u64Field(file, stages, "reused");
+    const JsonValue &kills = field(file, funnel, "kills", JsonValue::Object);
+    out.funnel.killKind = u64Field(file, kills, "kind");
+    out.funnel.killNotExecuted = u64Field(file, kills, "not_executed");
+    out.funnel.killRgid = u64Field(file, kills, "rgid");
+    out.funnel.killRgidCapacity = u64Field(file, kills, "rgid_capacity");
+    out.funnel.killBloom = u64Field(file, kills, "bloom");
+    out.funnel.verifyOk = u64Field(file, funnel, "verify_ok");
+    out.funnel.verifyFail = u64Field(file, funnel, "verify_fail");
+
+    const JsonValue &stats = field(file, run, "stats", JsonValue::Object);
+    for (const auto &[key, value] : stats.object) {
+        if (value.kind != JsonValue::Number)
+            malformed(file, "stats scalar '" + key + "' is not a number");
+        out.stats[key] = value.number;
+    }
+
+    // Re-verify the accounting invariants: a file that fails them was
+    // not produced by a correct simulator build.
+    if (out.cpi.total() !=
+        out.cycles * static_cast<std::uint64_t>(out.width))
+        malformed(file, "run '" + out.name +
+                            "': CPI slots do not sum to cycles x width");
+    if (!out.funnel.monotonic())
+        malformed(file,
+                  "run '" + out.name + "': funnel stages not monotonic");
+    return out;
+}
+
+std::vector<StatsRun>
+loadStatsFile(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in)
+        malformed(file, "cannot open");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const JsonValue root = minijson::JsonParser(text.str()).parse();
+    if (root.kind != JsonValue::Object)
+        malformed(file, "top level is not an object");
+    if (field(file, root, "schema", JsonValue::String).string !=
+        "mssr-stats-v1")
+        malformed(file, "not an mssr-stats-v1 file");
+    std::vector<StatsRun> runs;
+    for (const JsonValue &run :
+         field(file, root, "runs", JsonValue::Array).array)
+        runs.push_back(parseRun(file, run));
+    if (runs.empty())
+        malformed(file, "no runs");
+    return runs;
+}
+
+std::string
+count(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** Fraction formatted as an unsigned percentage ("41.2%"). */
+std::string
+share(double fraction)
+{
+    return analysis::fixed(fraction * 100.0, 1) + "%";
+}
+
+void
+printRun(const StatsRun &r)
+{
+    analysis::banner(std::cout, r.name + " (" + r.scheme + ")");
+    std::cout << "cycles " << r.cycles << ", insts " << r.insts << ", IPC "
+              << analysis::fixed(r.ipc, 4) << ", dispatch width " << r.width
+              << "\n\n";
+
+    analysis::Table cpi({"category", "slots", "share", "CPI"});
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        const CpiCat cat = static_cast<CpiCat>(i);
+        cpi.addRow({toString(cat), count(r.cpi[cat]),
+                    share(r.cpi.fraction(cat)),
+                    analysis::fixed(
+                        r.cpi.cpiContribution(cat, r.insts, r.width), 4)});
+    }
+    cpi.addRow({"total", count(r.cpi.total()), share(1.0),
+                analysis::fixed(r.insts ? static_cast<double>(r.cycles) /
+                                              static_cast<double>(r.insts)
+                                        : 0.0,
+                                4)});
+    cpi.print(std::cout);
+
+    std::cout << "\nsquash-reuse funnel (% of squashed):\n";
+    analysis::Table fun({"stage", "insts", "share", "lost here"});
+    const double squashed =
+        r.funnel.squashed ? static_cast<double>(r.funnel.squashed) : 1.0;
+    for (std::size_t i = 0; i < ReuseFunnel::NumStages; ++i) {
+        const std::uint64_t lost =
+            i ? r.funnel.stage(i - 1) - r.funnel.stage(i) : 0;
+        fun.addRow({ReuseFunnel::stageKey(i), count(r.funnel.stage(i)),
+                    share(static_cast<double>(r.funnel.stage(i)) / squashed),
+                    i ? count(lost) : std::string("-")});
+    }
+    fun.print(std::cout);
+    std::cout << "kills at reuse test: kind " << r.funnel.killKind
+              << ", not-executed " << r.funnel.killNotExecuted << ", rgid "
+              << r.funnel.killRgid << ", rgid-capacity "
+              << r.funnel.killRgidCapacity << ", bloom "
+              << r.funnel.killBloom << "\n";
+    std::cout << "reused-load verification: " << r.funnel.verifyOk
+              << " ok, " << r.funnel.verifyFail << " fail\n";
+}
+
+const StatsRun *
+matchRun(const std::vector<StatsRun> &base, const StatsRun &mssr,
+         std::size_t index)
+{
+    for (const StatsRun &b : base)
+        if (b.name == mssr.name)
+            return &b;
+    // Different labels on each side (e.g. "bfs" vs "bfs/baseline"):
+    // fall back to pairing by position.
+    return index < base.size() ? &base[index] : nullptr;
+}
+
+void
+printDiff(const StatsRun &base, const StatsRun &mssr)
+{
+    analysis::banner(std::cout, mssr.name + ": " + base.scheme + " vs " +
+                                    mssr.scheme);
+    const std::int64_t recovered = static_cast<std::int64_t>(base.cycles) -
+                                   static_cast<std::int64_t>(mssr.cycles);
+    std::cout << "cycles " << base.cycles << " -> " << mssr.cycles
+              << "; cycles recovered by reuse: " << recovered;
+    if (base.cycles)
+        std::cout << " ("
+                  << share(static_cast<double>(recovered) /
+                           static_cast<double>(base.cycles))
+                  << " of baseline)";
+    std::cout << "\nIPC " << analysis::fixed(base.ipc, 4) << " -> "
+              << analysis::fixed(mssr.ipc, 4);
+    if (base.ipc > 0.0)
+        std::cout << " (" << analysis::percent(mssr.ipc / base.ipc - 1.0)
+                  << ")";
+    std::cout << "\n";
+    if (base.insts != mssr.insts)
+        std::cout << "note: committed-instruction counts differ (" <<
+            base.insts << " vs " << mssr.insts
+                  << "); cycle and IPC deltas are not directly "
+                     "equivalent\n";
+    std::cout << "reused at rename: " << mssr.funnel.reused
+              << " insts, salvaging "
+              << mssr.cpi[CpiCat::ReuseSalvaged] << " dispatch slots\n\n";
+
+    analysis::Table t({"category", base.scheme + " slots",
+                       mssr.scheme + " slots", "delta", "CPI delta"});
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        const CpiCat cat = static_cast<CpiCat>(i);
+        const std::int64_t delta =
+            static_cast<std::int64_t>(mssr.cpi[cat]) -
+            static_cast<std::int64_t>(base.cpi[cat]);
+        t.addRow({toString(cat), count(base.cpi[cat]), count(mssr.cpi[cat]),
+                  std::to_string(delta),
+                  analysis::fixed(
+                      mssr.cpi.cpiContribution(cat, mssr.insts, mssr.width) -
+                          base.cpi.cpiContribution(cat, base.insts,
+                                                   base.width),
+                      4)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc == 2 && std::string(argv[1]) != "--diff" &&
+            argv[1][0] != '-') {
+            for (const StatsRun &r : loadStatsFile(argv[1]))
+                printRun(r);
+            return 0;
+        }
+        if (argc == 4 && std::string(argv[1]) == "--diff") {
+            const std::vector<StatsRun> base = loadStatsFile(argv[2]);
+            const std::vector<StatsRun> mssr = loadStatsFile(argv[3]);
+            bool paired = false;
+            for (std::size_t i = 0; i < mssr.size(); ++i) {
+                if (const StatsRun *b = matchRun(base, mssr[i], i)) {
+                    printDiff(*b, mssr[i]);
+                    paired = true;
+                }
+            }
+            if (!paired) {
+                std::cerr << "mssr_stats: no runs could be paired between '"
+                          << argv[2] << "' and '" << argv[3] << "'\n";
+                return 1;
+            }
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "mssr_stats: " << e.what() << "\n";
+        return 1;
+    }
+    usage();
+}
