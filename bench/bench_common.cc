@@ -1,5 +1,6 @@
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -98,6 +99,7 @@ Harness::Harness(int argc, char **argv, std::string benchName,
         else
             warn("ignoring invalid MSSR_INTERVAL='", s, "'");
     }
+    profile_ = std::getenv("MSSR_PROFILE") != nullptr;
 
     if (baselines == Baselines::Build) {
         std::vector<BatchJob> jobs;
@@ -127,8 +129,39 @@ Harness::job(const std::string &label, const std::string &workload,
     j.config = cfg;
     if (statsInterval_ != 0)
         j.config.statsInterval = statsInterval_;
+    if (profile_)
+        j.config.profiling = true;
     return j;
 }
+
+namespace
+{
+
+/**
+ * Hottest branches of @p profile by total recovery slots (PC-ascending
+ * tie-break, so the JSON stays deterministic). Empty when profiling
+ * was off.
+ */
+std::vector<BranchRecord>
+topBranches(const PcProfile &profile, std::size_t n)
+{
+    std::vector<BranchRecord> branches;
+    for (const BranchRecord *b : profile.branches().sortedByPc())
+        branches.push_back(*b);
+    std::sort(branches.begin(), branches.end(),
+              [](const BranchRecord &a, const BranchRecord &b) {
+                  const auto ra = a.branchRecoverySlots + a.flushRecoverySlots;
+                  const auto rb = b.branchRecoverySlots + b.flushRecoverySlots;
+                  if (ra != rb)
+                      return ra > rb;
+                  return a.pc < b.pc;
+              });
+    if (branches.size() > n)
+        branches.resize(n);
+    return branches;
+}
+
+} // namespace
 
 std::vector<RunResult>
 Harness::runBatch(const std::vector<BatchJob> &jobs)
@@ -144,7 +177,8 @@ Harness::runBatch(const std::vector<BatchJob> &jobs)
                             results[i].insts, results[i].ipc,
                             results[i].hostSeconds, results[i].kips,
                             results[i].dispatchWidth, results[i].cpi,
-                            results[i].funnel, results[i].intervals});
+                            results[i].funnel, results[i].intervals,
+                            topBranches(results[i].profile, 5)});
     }
     return results;
 }
@@ -209,6 +243,16 @@ Harness::writeJson() const
                << ", \"cpi\": ";
             mssr::writeJson(os, CpiStack{s.cpiSlots});
             os << "}";
+        }
+        os << "], \"profile_top\": [";
+        for (std::size_t k = 0; k < r.profileTop.size(); ++k) {
+            const BranchRecord &b = r.profileTop[k];
+            os << (k ? ", " : "") << "{\"pc\": \"0x" << std::hex << b.pc
+               << std::dec << "\", \"mispredicts\": " << b.mispredicts
+               << ", \"squashed_insts\": " << b.squashedInsts
+               << ", \"recovery_slots\": "
+               << b.branchRecoverySlots + b.flushRecoverySlots
+               << ", \"reused\": " << b.reused << "}";
         }
         os << "]}";
     }

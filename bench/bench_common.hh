@@ -13,6 +13,9 @@
  *   MSSR_JSON   when set (or --json passed), write BENCH_batch.json
  *   MSSR_INTERVAL  sample interval stats every K cycles; the samples
  *               are carried on every record of BENCH_batch.json
+ *   MSSR_PROFILE  enable the per-PC profiler on every job; each
+ *               BENCH_batch.json record then carries its hottest
+ *               branches ("profile_top", sorted by recovery slots)
  *
  * Design points are executed by BatchRunner in submission order, so
  * every table printed to stdout is byte-identical to a sequential run
@@ -125,11 +128,13 @@ class Harness
         CpiStack cpi;
         ReuseFunnel funnel;
         std::vector<IntervalSample> intervals;
+        std::vector<BranchRecord> profileTop;
     };
 
     std::string benchName_;
     bool json_ = false;
     Cycle statsInterval_ = 0; //!< MSSR_INTERVAL; 0 disables sampling
+    bool profile_ = false;    //!< MSSR_PROFILE; per-PC profiler on jobs
     BatchRunner runner_;
     WorkloadSet set_;
     std::vector<Record> records_;

@@ -144,6 +144,15 @@ struct SimConfig
     Tracer *tracer = nullptr;
 
     /**
+     * Per-PC hot-spot profiling (common/profile.hh): when true, the
+     * core owns a PcProfile attributing squashes, recovery slots and
+     * reuse outcomes to static branch/reconvergence PCs, copied onto
+     * RunResult::profile ("mssr_run --profile-out" uses this). False
+     * keeps the null-profile fast path: one pointer test per site.
+     */
+    bool profiling = false;
+
+    /**
      * Interval statistics: when nonzero, sample IPC, reuse rate,
      * squashes and WPB/Squash-Log occupancy every statsInterval
      * cycles into RunResult::intervals (a final partial interval is

@@ -83,11 +83,14 @@ class Histogram
     /**
      * Mean of the recorded (clamped) values: overflow samples count
      * as the overflow bucket's index, so the mean is a lower bound
-     * when anything overflowed. 0 when empty.
+     * when anything overflowed. 0 when no sample was recorded; panics
+     * on a default-constructed histogram like sample().
      */
     double
     mean() const
     {
+        mssr_assert(!buckets_.empty(),
+                    "mean() on a default-constructed Histogram");
         if (count_ == 0)
             return 0.0;
         double sum = 0.0;
@@ -99,11 +102,15 @@ class Histogram
     /**
      * Value at percentile @p p (a fraction in [0, 1]): the smallest
      * bucket index whose cumulative count reaches p x count. Overflow
-     * samples report the overflow bucket's index. 0 when empty.
+     * samples report the overflow bucket's index. 0 when no sample was
+     * recorded; panics on a default-constructed histogram like
+     * sample().
      */
     std::uint64_t
     percentile(double p) const
     {
+        mssr_assert(!buckets_.empty(),
+                    "percentile() on a default-constructed Histogram");
         mssr_assert(p >= 0.0 && p <= 1.0, "percentile fraction ", p);
         if (count_ == 0)
             return 0;

@@ -36,6 +36,11 @@ O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem)
       case ReuseKind::None:
         break;
     }
+    if (cfg.profiling) {
+        profile_ = std::make_unique<PcProfile>();
+        if (reuse_)
+            reuse_->setProfile(profile_.get());
+    }
 
     prog_.loadInto(mem_);
     // Initial architectural state: all zero, sp = stack top; the
@@ -563,6 +568,12 @@ O3Cpu::renameStage()
                 cat = recoveryReason_ == SquashReason::BranchMispredict
                           ? CpiCat::BranchRecovery
                           : CpiCat::FlushRecovery;
+                // Mirror of the CPI-stack recovery charge below, so
+                // per-PC recovery slots reconcile with it exactly.
+                if (profile_)
+                    profile_->onRecoverySlots(recoveryCausePC_,
+                                              recoveryReason_,
+                                              cfg_.core.decodeWidth);
             }
             break;
         }
@@ -654,6 +665,9 @@ O3Cpu::applySquash()
 
     // 3. Frontend pipe: everything in flight is younger than the ROB.
     squashedInsts_ += squashed.size() + frontPipe_.size();
+    if (profile_)
+        profile_->onSquash(squash.cause->pc, squash.reason,
+                           squashed.size() + frontPipe_.size());
     frontPipe_.clear();
     frontPipeReady_.clear();
 
@@ -663,7 +677,8 @@ O3Cpu::applySquash()
     // 5. Physical-register disposition and wrong-path capture.
     if (reuse_) {
         if (squash.reason == SquashReason::BranchMispredict) {
-            reuse_->onBranchSquash(squash.cause->seq, squashed, cycle_);
+            reuse_->onBranchSquash(squash.cause->seq, squashed, cycle_,
+                                   squash.cause->pc);
         } else {
             reuse_->onOtherSquash(
                 squashed, squash.reason == SquashReason::ReuseVerifyFail);
@@ -699,8 +714,10 @@ O3Cpu::applySquash()
     }
     bpuStalled_ = false;
     // Dispatch slots lost while the frontend refills from the
-    // redirect are this squash's recovery penalty (CPI stack).
+    // redirect are this squash's recovery penalty (CPI stack), and
+    // the profiler charges them to the same causing PC.
     recoveryReason_ = squash.reason;
+    recoveryCausePC_ = squash.cause->pc;
 }
 
 void

@@ -26,6 +26,7 @@
 
 #include "common/config.hh"
 #include "common/cpi_stack.hh"
+#include "common/profile.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "core/dyn_inst.hh"
@@ -101,6 +102,14 @@ class O3Cpu
      * reuse-salvaged category and in ri.* stats).
      */
     ReuseFunnel funnel() const;
+
+    /**
+     * Per-PC hot-spot profile (SimConfig::profiling): squashes,
+     * recovery slots and reuse outcomes attributed to static branch
+     * and reconvergence PCs. Null when profiling is disabled -- every
+     * instrumentation site costs one pointer test, like the tracer.
+     */
+    const PcProfile *profile() const { return profile_.get(); }
 
     const ReuseUnit *reuseUnit() const { return reuse_.get(); }
     const IntegrationTable *integrationTable() const { return ri_.get(); }
@@ -209,9 +218,13 @@ class O3Cpu
 
     // Cycle accounting (see cpiStack()). recoveryReason_ tracks the
     // reason of the last squash until the corrected path reaches
-    // rename again, attributing the refill bubble to that squash.
+    // rename again, attributing the refill bubble to that squash;
+    // recoveryCausePC_ names the causing instruction's static PC so
+    // the profiler can charge the same slots to the same squash.
     CpiStack cpi_;
     SquashReason recoveryReason_ = SquashReason::None;
+    Addr recoveryCausePC_ = 0;
+    std::unique_ptr<PcProfile> profile_; //!< null = profiling off
 
     // Global state.
     Cycle cycle_ = 0;

@@ -28,6 +28,8 @@ runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
     out.funnel = cpu.funnel();
     out.dispatchWidth = cfg.core.decodeWidth;
     out.intervals = cpu.intervals();
+    if (cpu.profile())
+        out.profile = *cpu.profile();
     out.kips = out.hostSeconds > 0.0
                    ? static_cast<double>(out.insts) / out.hostSeconds / 1e3
                    : 0.0;

@@ -17,6 +17,7 @@
 
 #include "common/config.hh"
 #include "common/cpi_stack.hh"
+#include "common/profile.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "core/o3cpu.hh"
@@ -48,6 +49,13 @@ struct RunResult
 
     /** Interval samples (empty unless SimConfig::statsInterval set). */
     std::vector<IntervalSample> intervals;
+
+    /**
+     * Per-PC hot-spot profile (empty unless SimConfig::profiling):
+     * squashes, recovery slots and reuse outcomes attributed to
+     * static branch and reconvergence PCs (common/profile.hh).
+     */
+    PcProfile profile;
 
     // Host-side performance of the simulation itself. These are the
     // only non-deterministic fields: everything above is bit-identical

@@ -14,7 +14,8 @@ ReuseUnit::ReuseUnit(const ReuseConfig &cfg, FreeList &free_list)
       log_(cfg.numStreams, cfg.squashLogEntriesPerStream),
       rgids_(cfg.rgidBits),
       bloom_(cfg.bloomBits, cfg.bloomHashes),
-      streamCaptureCycle_(cfg.numStreams, 0)
+      streamCaptureCycle_(cfg.numStreams, 0),
+      streamOriginPC_(cfg.numStreams, 0)
 {
 }
 
@@ -83,7 +84,7 @@ ReuseUnit::clearSessions()
 void
 ReuseUnit::onBranchSquash(SeqNum branch_seq,
                           const std::vector<DynInstPtr> &squashed,
-                          Cycle now)
+                          Cycle now, Addr branch_pc)
 {
     ++squashEvents_;
     lastRedirectBranchSeq_ = branch_seq;
@@ -120,6 +121,7 @@ ReuseUnit::onBranchSquash(SeqNum branch_seq,
     mssr_assert(s == victim);
     ++streamsCaptured_;
     streamCaptureCycle_[s] = now;
+    streamOriginPC_[s] = branch_pc;
 
     // Populate the Squash Log and apply reservation policy (1): only
     // executed instructions keep their physical registers.
@@ -143,8 +145,11 @@ ReuseUnit::onBranchSquash(SeqNum branch_seq,
         entry.memSize = static_cast<std::uint8_t>(inst->si.memBytes());
 
         const bool logged = log_.append(s, entry);
-        if (logged)
+        if (logged) {
             ++funnelLogged_;
+            if (profile_)
+                profile_->onLogged(branch_pc);
+        }
         const bool reusable = logged && entry.hasDest && entry.executed &&
                               !entry.isStore && !entry.isControl &&
                               (!entry.isLoad || cfg_.reuseLoads);
@@ -232,11 +237,19 @@ ReuseUnit::detect(Addr start_pc, Addr end_pc)
         // by a detected reconvergence. The flag makes each entry count
         // once even when a stream is re-detected by a later session.
         SquashLogStream &logStream = log_.stream(s);
+        std::uint64_t newlyCovered = 0;
         for (unsigned i = hit.instOffset; i < logStream.numEntries; ++i) {
             if (!logStream.entries[i].covered) {
                 logStream.entries[i].covered = true;
                 ++funnelCovered_;
+                ++newlyCovered;
             }
+        }
+        if (profile_) {
+            profile_->onDetection(streamOriginPC_[s], hit.reconvPC,
+                                  hit.instOffset);
+            if (newlyCovered)
+                profile_->onCovered(streamOriginPC_[s], newlyCovered);
         }
 
         Session session;
@@ -317,6 +330,8 @@ ReuseUnit::processRename(const DynInstPtr &inst,
                 return advice;
             renameActive_ = true;
             renameCursor_ = front.startCursor;
+            if (profile_)
+                profile_->onSessionActivated(front.reconvPC);
         }
 
         SquashLogStream &stream = log_.stream(front.stream);
@@ -344,9 +359,12 @@ ReuseUnit::processRename(const DynInstPtr &inst,
         // kill counters (a stream can be re-covered after a squash
         // cuts its session; re-tests would otherwise double count).
         const bool firstTest = !entry.tested;
+        const Addr originPC = streamOriginPC_[front.stream];
         if (firstTest) {
             entry.tested = true;
             ++funnelTested_;
+            if (profile_)
+                profile_->onTested(originPC);
         }
         ReuseOutcome outcome = ReuseOutcome::Reused;
         bool ok = true;
@@ -356,18 +374,28 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             if (!entry.hasDest || entry.isStore || entry.isControl) {
                 ++reuseFailKind_;
                 outcome = ReuseOutcome::FailKind;
-                if (firstTest)
+                if (firstTest) {
                     ++funnelKillKind_;
+                    if (profile_)
+                        profile_->onKill(originPC, &BranchRecord::killKind);
+                }
             } else if (!entry.executed) {
                 ++reuseFailNotExecuted_;
                 outcome = ReuseOutcome::FailNotExecuted;
-                if (firstTest)
+                if (firstTest) {
                     ++funnelKillNotExecuted_;
+                    if (profile_)
+                        profile_->onKill(originPC,
+                                         &BranchRecord::killNotExecuted);
+                }
             } else {
                 ++reuseFailKind_;
                 outcome = ReuseOutcome::FailKind;
-                if (firstTest)
+                if (firstTest) {
                     ++funnelKillKind_;
+                    if (profile_)
+                        profile_->onKill(originPC, &BranchRecord::killKind);
+                }
             }
             ok = false;
         } else if (!rgids_.inWindow(inst->si.rd, entry.dstRgid)) {
@@ -376,8 +404,12 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // of the finite RGID width, see rgid.hh).
             ++reuseFailRgidCapacity_;
             outcome = ReuseOutcome::FailRgidCapacity;
-            if (firstTest)
+            if (firstTest) {
                 ++funnelKillRgidCapacity_;
+                if (profile_)
+                    profile_->onKill(originPC,
+                                     &BranchRecord::killRgidCapacity);
+            }
             ok = false;
         } else {
             mssr_assert(entry.op == inst->si.op,
@@ -399,13 +431,20 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             if (!ok) {
                 ++reuseFailRgid_;
                 outcome = ReuseOutcome::FailRgid;
-                if (firstTest)
+                if (firstTest) {
                     ++funnelKillRgid_;
+                    if (profile_)
+                        profile_->onKill(originPC, &BranchRecord::killRgid);
+                }
             } else if (stale) {
                 ++reuseFailRgidCapacity_;
                 outcome = ReuseOutcome::FailRgidCapacity;
-                if (firstTest)
+                if (firstTest) {
                     ++funnelKillRgidCapacity_;
+                    if (profile_)
+                        profile_->onKill(originPC,
+                                         &BranchRecord::killRgidCapacity);
+                }
                 ok = false;
             }
         }
@@ -417,8 +456,11 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             // the load must re-execute rather than be reused.
             ++reuseFailBloom_;
             outcome = ReuseOutcome::FailBloom;
-            if (firstTest)
+            if (firstTest) {
                 ++funnelKillBloom_;
+                if (profile_)
+                    profile_->onKill(originPC, &BranchRecord::killBloom);
+            }
             ok = false;
         }
 
@@ -431,6 +473,8 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             entry.consumed = true;
             ++reuseSuccess_;
             reuseLag_.sample(now - streamCaptureCycle_[front.stream]);
+            if (profile_)
+                profile_->onReused(originPC, front.reconvPC);
             if (entry.isLoad)
                 ++reuseLoads_;
             advice.reuse = true;

@@ -16,6 +16,7 @@
 
 #include "common/config.hh"
 #include "common/cpi_stack.hh"
+#include "common/profile.hh"
 #include "common/stats.hh"
 #include "common/trace.hh"
 #include "core/dyn_inst.hh"
@@ -58,10 +59,13 @@ class ReuseUnit
      *        instructions only; all still own their dst pregs).
      * @param now current cycle (stamps the stream's capture time for
      *        the capture-to-reuse latency histogram).
+     * @param branch_pc static PC of the mispredicted branch (stamps
+     *        the stream's origin for per-PC profiling; 0 = unknown,
+     *        only valid while no profile is attached).
      */
     void onBranchSquash(SeqNum branch_seq,
                         const std::vector<DynInstPtr> &squashed,
-                        Cycle now = 0);
+                        Cycle now = 0, Addr branch_pc = 0);
 
     /**
      * Non-branch squash (memory-order violation or reuse-verification
@@ -119,6 +123,15 @@ class ReuseUnit
      */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attaches the owning core's per-PC profile (or null): squash-log
+     * population, reconvergence detections and reuse-test verdicts
+     * are attributed to the origin branch PC of the stream involved
+     * (common/profile.hh). Must be attached before any squash is
+     * recorded so every stream carries its origin PC.
+     */
+    void setProfile(PcProfile *profile) { profile_ = profile; }
+
     /** Successful reuses so far (interval stats). */
     std::uint64_t successCount() const { return reuseSuccess_; }
 
@@ -175,6 +188,7 @@ class ReuseUnit
     ReuseConfig cfg_;
     FreeList &freeList_;
     Tracer *tracer_ = nullptr; //!< owning core's event sink (not owned)
+    PcProfile *profile_ = nullptr; //!< per-PC attribution (not owned)
     Wpb wpb_;
     SquashLog log_;
     RgidAllocator rgids_;
@@ -221,6 +235,7 @@ class ReuseUnit
     std::uint64_t funnelKillRgidCapacity_ = 0;
     std::uint64_t funnelKillBloom_ = 0;
     std::vector<Cycle> streamCaptureCycle_; //!< per-stream capture stamp
+    std::vector<Addr> streamOriginPC_;      //!< per-stream origin branch
     Histogram reuseLag_{256};  //!< capture-to-reuse latency (cycles)
 };
 

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "driver/batch_runner.hh"
 #include "driver/sim_runner.hh"
 #include "workloads/registry.hh"
@@ -79,6 +81,7 @@ TEST(Determinism, AccountingIdenticalAcrossWorkerCounts)
         for (SimConfig cfg :
              {baselineConfig(), rgidConfig(4, 64), regIntConfig(64, 4)}) {
             cfg.statsInterval = 400;
+            cfg.profiling = true;
             jobs.push_back({"job", prog, cfg, {}});
         }
     }
@@ -97,5 +100,14 @@ TEST(Determinism, AccountingIdenticalAcrossWorkerCounts)
             EXPECT_EQ(a.intervals[k].cpiSlots, b.intervals[k].cpiSlots)
                 << "job " << i << " interval " << k;
         }
+
+        // The per-PC profile is part of the same surface: identical
+        // record-by-record and byte-identical in its JSON export.
+        EXPECT_TRUE(a.profile == b.profile) << "job " << i << " profile";
+        EXPECT_FALSE(a.profile.empty()) << "job " << i;
+        std::ostringstream ja, jb;
+        writeJson(ja, a.profile);
+        writeJson(jb, b.profile);
+        EXPECT_EQ(ja.str(), jb.str()) << "job " << i << " profile JSON";
     }
 }

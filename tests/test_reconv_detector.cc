@@ -87,6 +87,60 @@ TEST(ReconvDetector, VpnRestriction)
     EXPECT_FALSE(wrongPage.found);
 }
 
+TEST(ReconvDetector, SingleInstructionBlockAtHeadStart)
+{
+    // A WPB entry holding exactly one instruction (startPC == endPC,
+    // inclusive range) overlapped right at its only PC: head_start ==
+    // end_pc is the tightest legal overlap and must still hit.
+    const WpbStream s = makeStream({{0x1000, 0x101c}, {0x2000, 0x2000}});
+    const ReconvHit hit = ReconvDetector::match(s, 0x2000, 0x201c, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.entryIdx, 1u);
+    EXPECT_EQ(hit.reconvPC, 0x2000u);
+    EXPECT_EQ(hit.instOffset, 8u); // all of block 0, none of block 1
+}
+
+TEST(ReconvDetector, AlignerMaskExactEquality)
+{
+    const WpbStream s = makeStream({{0x1000, 0x101c}});
+    // Inclusive boundaries: head_start == endPC and head_end ==
+    // startPC are overlaps, one instruction wide.
+    EXPECT_EQ(ReconvDetector::leftAlignerMask(s, 0x101c), 0b1u);
+    EXPECT_EQ(ReconvDetector::leftAlignerMask(s, 0x1020), 0u);
+    EXPECT_EQ(ReconvDetector::rightAlignerMask(s, 0x1000), 0b1u);
+    EXPECT_EQ(ReconvDetector::rightAlignerMask(s, 0x0ffc), 0u);
+    // Both masks agree at the single-instruction overlap, so match()
+    // hits the last instruction of the entry.
+    const ReconvHit hit = ReconvDetector::match(s, 0x101c, 0x1038, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.reconvPC, 0x101cu);
+    EXPECT_EQ(hit.instOffset, 7u);
+}
+
+TEST(ReconvDetector, VpnRestrictedMismatchIgnoresOverlap)
+{
+    // The stream's VPN says page 0x5, but its entries (stale or
+    // aliased) overlap a page-0x1 head block: the VPN compare must
+    // veto the range overlap when the restriction is on, and only
+    // then.
+    const WpbStream s = makeStream({{0x1000, 0x101c}}, /*vpn_pc=*/0x5000);
+    EXPECT_TRUE(ReconvDetector::match(s, 0x1000, 0x101c, false).found);
+    EXPECT_FALSE(ReconvDetector::match(s, 0x1000, 0x101c, true).found);
+}
+
+TEST(ReconvDetector, PriorityEncoderFirstAmongSeveral)
+{
+    // Three distinct entries all overlap the head block: the priority
+    // encoder must pick the first (lowest index), not the tightest.
+    const WpbStream s = makeStream(
+        {{0x1000, 0x101c}, {0x1008, 0x1010}, {0x100c, 0x100c}});
+    const ReconvHit hit = ReconvDetector::match(s, 0x100c, 0x1028, false);
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.entryIdx, 0u);
+    EXPECT_EQ(hit.reconvPC, 0x100cu);
+    EXPECT_EQ(hit.instOffset, 3u); // offset within entry 0
+}
+
 TEST(ReconvDetector, InvalidStreamNeverMatches)
 {
     WpbStream s = makeStream({{0x1000, 0x101c}});

@@ -81,6 +81,21 @@ TEST(Histogram, DefaultConstructedPanicsOnSample)
     EXPECT_THROW(h.sample(0), SimPanic);
 }
 
+TEST(Histogram, DefaultConstructedPanicsOnMeanAndPercentile)
+{
+    // Reading a distribution nobody could ever have sampled into is
+    // the same bug class as sampling into one: panic, don't return 0.
+    Histogram h;
+    EXPECT_THROW(h.mean(), SimPanic);
+    EXPECT_THROW(h.percentile(0.5), SimPanic);
+
+    // A sized-but-unsampled histogram is a legitimate "nothing
+    // happened" distribution and keeps reading as zero.
+    Histogram sized(4);
+    EXPECT_DOUBLE_EQ(sized.mean(), 0.0);
+    EXPECT_EQ(sized.percentile(0.5), 0u);
+}
+
 TEST(Histogram, Mean)
 {
     Histogram h(8);

@@ -33,6 +33,14 @@
  *                                selects Prometheus text exposition).
  *                                Feed the JSON to tools/mssr_stats for
  *                                tables and A-vs-B diffs.
+ *   --profile-out FILE           enable per-PC profiling and write the
+ *                                per-branch/per-reconvergence-point
+ *                                attribution to FILE (mssr-profile-v1
+ *                                JSON; a .folded suffix emits collapsed
+ *                                stack lines "branchPC;reconvPC;category
+ *                                slots" for flamegraph tooling). Feed
+ *                                the JSON to tools/mssr_stats --annotate
+ *                                / --topn for hot-branch listings.
  *   --list                       list available workloads
  *
  * Each job records into its own tracer, so tracing composes with
@@ -69,7 +77,7 @@ usage(const char *argv0)
                  "gshare|bimodal]\n        [--max-insts N] [--scale G] "
                  "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
                  "[--trace-out FILE] [--interval K] [--stats-out FILE] "
-                 "[--all-stats]\n        [--compare] "
+                 "[--all-stats]\n        [--profile-out FILE] [--compare] "
                  "(<workload>... | --asm <file.s> | --list)\n";
     std::exit(2);
 }
@@ -158,6 +166,29 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
     os << "\n  ]\n}\n";
 }
 
+/**
+ * mssr-profile-v1: one object per executed run carrying the identity
+ * and the full per-PC attribution (branch records sorted by PC,
+ * reconvergence-point records sorted by PC). tools/mssr_stats
+ * consumes this for --annotate/--topn listings and profile diffs.
+ */
+void
+writeProfileJson(std::ostream &os, const std::vector<BatchJob> &jobs,
+                 const std::vector<RunResult> &results)
+{
+    os << "{\n  \"schema\": \"mssr-profile-v1\",\n  \"runs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ")
+           << "{\"name\": \"" << jsonEscape(jobs[i].name)
+           << "\", \"scheme\": \"" << toString(jobs[i].config.reuseKind)
+           << "\", \"dispatch_width\": " << results[i].dispatchWidth
+           << ", \"profile\": ";
+        writeJson(os, results[i].profile);
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
 /** Prometheus text exposition of the same numbers (one-shot scrape). */
 void
 writeStatsProm(std::ostream &os, const std::vector<BatchJob> &jobs,
@@ -204,6 +235,7 @@ main(int argc, char **argv)
     std::string asmFile;
     std::string traceOutFile;
     std::string statsOutFile;
+    std::string profileOutFile;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
@@ -259,6 +291,9 @@ main(int argc, char **argv)
             cfg.statsInterval = numValue(argv[0], arg, next());
         } else if (arg == "--stats-out") {
             statsOutFile = next();
+        } else if (arg == "--profile-out") {
+            profileOutFile = next();
+            cfg.profiling = true;
         } else if (arg == "--bloom") {
             cfg.reuse.useBloomFilter = true;
         } else if (arg == "--trace") {
@@ -289,6 +324,29 @@ main(int argc, char **argv)
     }
     if (workloadNames.empty() && asmFile.empty())
         usage(argv[0]);
+
+    // The three output files must be distinct: the last writer would
+    // silently clobber the other's content otherwise.
+    {
+        const std::pair<const char *, const std::string *> outs[] = {
+            {"--trace-out", &traceOutFile},
+            {"--stats-out", &statsOutFile},
+            {"--profile-out", &profileOutFile},
+        };
+        for (std::size_t a = 0; a < 3; ++a) {
+            for (std::size_t b = a + 1; b < 3; ++b) {
+                if (!outs[a].second->empty() &&
+                    *outs[a].second == *outs[b].second) {
+                    std::cerr << "mssr_run: " << outs[a].first << " and "
+                              << outs[b].first
+                              << " point at the same file '"
+                              << *outs[a].second
+                              << "' (the last writer would clobber it)\n";
+                    return 2;
+                }
+            }
+        }
+    }
 
     try {
         // Build every program up front (programs must outlive the batch).
@@ -326,6 +384,7 @@ main(int argc, char **argv)
             if (compare) {
                 SimConfig baseCfg = baselineConfig(cfg.maxInsts);
                 baseCfg.statsInterval = cfg.statsInterval;
+                baseCfg.profiling = cfg.profiling;
                 addJob(labels[i] + "/baseline", &programs[i], baseCfg);
             }
         }
@@ -347,6 +406,30 @@ main(int argc, char **argv)
             std::cerr << "stats: wrote " << results.size() << " run"
                       << (results.size() == 1 ? "" : "s") << " to "
                       << statsOutFile << (prom ? " (prometheus)" : " (json)")
+                      << "\n";
+        }
+
+        if (!profileOutFile.empty()) {
+            std::ofstream out(profileOutFile);
+            if (!out)
+                fatal("cannot write profile file '", profileOutFile, "'");
+            const bool folded =
+                profileOutFile.size() >= 7 &&
+                profileOutFile.compare(profileOutFile.size() - 7, 7,
+                                       ".folded") == 0;
+            if (folded) {
+                // Single-run files match the documented 3-frame line
+                // format; multi-run files get a run-name root frame.
+                for (std::size_t i = 0; i < results.size(); ++i)
+                    writeFolded(out, results[i].profile,
+                                results.size() > 1 ? jobs[i].name
+                                                   : std::string());
+            } else {
+                writeProfileJson(out, jobs, results);
+            }
+            std::cerr << "profile: wrote " << results.size() << " run"
+                      << (results.size() == 1 ? "" : "s") << " to "
+                      << profileOutFile << (folded ? " (folded)" : " (json)")
                       << "\n";
         }
 

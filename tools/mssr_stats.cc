@@ -1,27 +1,43 @@
 /**
  * mssr_stats: offline reporter for the mssr-stats-v1 JSON files that
- * `mssr_run --stats-out FILE` writes.
+ * `mssr_run --stats-out FILE` writes and the mssr-profile-v1 files
+ * that `mssr_run --profile-out FILE` writes.
  *
- *   mssr_stats FILE
- *       For every run in FILE: the normalized CPI stack (slots,
- *       fraction, additive CPI contribution per category) and the
- *       squash-reuse funnel as a percentage waterfall with per-stage
- *       kill reasons.
+ *   mssr_stats [--topn N] FILE
+ *       mssr-stats-v1 FILE: for every run, the normalized CPI stack
+ *       (slots, fraction, additive CPI contribution per category) and
+ *       the squash-reuse funnel as a percentage waterfall with
+ *       per-stage kill reasons.
+ *       mssr-profile-v1 FILE: for every run, the top-N branches by
+ *       recovery penalty (squashes, recovery cycles, per-branch reuse
+ *       coverage, top reconvergence partner) and the top-N
+ *       reconvergence points by salvaged instructions.
  *
  *   mssr_stats --diff BASELINE MSSR
  *       Pairs runs between the two files (by name, falling back to
- *       position) and reports the headline "cycles recovered by
- *       reuse", the IPC delta it corresponds to, and the per-category
- *       dispatch-slot shifts that explain where the recovered cycles
- *       came from.
+ *       position). Stats files: the headline "cycles recovered by
+ *       reuse", the IPC delta, and the per-category dispatch-slot
+ *       shifts. Profile files: per-branch "cycles recovered by reuse"
+ *       deltas -- which static branches got cheaper and how much of
+ *       that reuse salvage paid back.
  *
- * Both modes re-verify the accounting invariants on load (slots sum
- * to cycles x width, funnel stages monotone) and exit non-zero when a
- * file violates them, so the CLI doubles as a schema/consistency
- * checker for CI.
+ *   mssr_stats --annotate PROG FILE
+ *       Merges an mssr-profile-v1 FILE into a disassembly listing of
+ *       workload PROG (rebuilt at MSSR_SCALE/MSSR_ITERS, which must
+ *       match the profiled run): every instruction line, with hot
+ *       branches and reconvergence points marked with their
+ *       normalized share of squashes / recovery cycles / salvage.
+ *
+ * All modes re-verify invariants on load (slots sum to cycles x
+ * width, funnel stages monotone) and exit non-zero when a file
+ * violates them, so the CLI doubles as a schema/consistency checker
+ * for CI.
  */
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -31,8 +47,11 @@
 #include <vector>
 
 #include "analysis/report.hh"
+#include "common/argparse.hh"
 #include "common/cpi_stack.hh"
 #include "common/mini_json.hh"
+#include "isa/program.hh"
+#include "workloads/registry.hh"
 
 using namespace mssr;
 using minijson::JsonValue;
@@ -43,10 +62,12 @@ namespace
 [[noreturn]] void
 usage()
 {
-    std::cerr << "usage: mssr_stats FILE\n"
-                 "       mssr_stats --diff BASELINE MSSR\n"
-                 "FILEs are mssr-stats-v1 JSON from mssr_run "
-                 "--stats-out.\n";
+    std::cerr << "usage: mssr_stats [--topn N] FILE\n"
+                 "       mssr_stats [--topn N] --diff BASELINE MSSR\n"
+                 "       mssr_stats --annotate PROG FILE\n"
+                 "FILEs are mssr-stats-v1 JSON from mssr_run --stats-out\n"
+                 "or mssr-profile-v1 JSON from mssr_run --profile-out\n"
+                 "(--annotate and per-branch --diff need profile files).\n";
     std::exit(2);
 }
 
@@ -90,6 +111,30 @@ u64Field(const std::string &file, const JsonValue &obj,
         field(file, obj, key, JsonValue::Number).number);
 }
 
+ReuseFunnel
+parseFunnel(const std::string &file, const JsonValue &funnel)
+{
+    ReuseFunnel out;
+    const JsonValue &stages =
+        field(file, funnel, "stages", JsonValue::Object);
+    out.squashed = u64Field(file, stages, "squashed");
+    out.logged = u64Field(file, stages, "logged");
+    out.covered = u64Field(file, stages, "covered");
+    out.tested = u64Field(file, stages, "tested");
+    out.rgidPass = u64Field(file, stages, "rgid_pass");
+    out.hazardPass = u64Field(file, stages, "hazard_pass");
+    out.reused = u64Field(file, stages, "reused");
+    const JsonValue &kills = field(file, funnel, "kills", JsonValue::Object);
+    out.killKind = u64Field(file, kills, "kind");
+    out.killNotExecuted = u64Field(file, kills, "not_executed");
+    out.killRgid = u64Field(file, kills, "rgid");
+    out.killRgidCapacity = u64Field(file, kills, "rgid_capacity");
+    out.killBloom = u64Field(file, kills, "bloom");
+    out.verifyOk = u64Field(file, funnel, "verify_ok");
+    out.verifyFail = u64Field(file, funnel, "verify_fail");
+    return out;
+}
+
 StatsRun
 parseRun(const std::string &file, const JsonValue &run)
 {
@@ -110,24 +155,8 @@ parseRun(const std::string &file, const JsonValue &run)
         out.cpi.charge(cat, u64Field(file, cpi, cpiCatKey(cat)));
     }
 
-    const JsonValue &funnel = field(file, run, "funnel", JsonValue::Object);
-    const JsonValue &stages =
-        field(file, funnel, "stages", JsonValue::Object);
-    out.funnel.squashed = u64Field(file, stages, "squashed");
-    out.funnel.logged = u64Field(file, stages, "logged");
-    out.funnel.covered = u64Field(file, stages, "covered");
-    out.funnel.tested = u64Field(file, stages, "tested");
-    out.funnel.rgidPass = u64Field(file, stages, "rgid_pass");
-    out.funnel.hazardPass = u64Field(file, stages, "hazard_pass");
-    out.funnel.reused = u64Field(file, stages, "reused");
-    const JsonValue &kills = field(file, funnel, "kills", JsonValue::Object);
-    out.funnel.killKind = u64Field(file, kills, "kind");
-    out.funnel.killNotExecuted = u64Field(file, kills, "not_executed");
-    out.funnel.killRgid = u64Field(file, kills, "rgid");
-    out.funnel.killRgidCapacity = u64Field(file, kills, "rgid_capacity");
-    out.funnel.killBloom = u64Field(file, kills, "bloom");
-    out.funnel.verifyOk = u64Field(file, funnel, "verify_ok");
-    out.funnel.verifyFail = u64Field(file, funnel, "verify_fail");
+    out.funnel =
+        parseFunnel(file, field(file, run, "funnel", JsonValue::Object));
 
     const JsonValue &stats = field(file, run, "stats", JsonValue::Object);
     for (const auto &[key, value] : stats.object) {
@@ -148,8 +177,9 @@ parseRun(const std::string &file, const JsonValue &run)
     return out;
 }
 
-std::vector<StatsRun>
-loadStatsFile(const std::string &file)
+/** Parses @p file and returns its top-level object. */
+JsonValue
+loadRoot(const std::string &file)
 {
     std::ifstream in(file);
     if (!in)
@@ -159,13 +189,215 @@ loadStatsFile(const std::string &file)
     const JsonValue root = minijson::JsonParser(text.str()).parse();
     if (root.kind != JsonValue::Object)
         malformed(file, "top level is not an object");
-    if (field(file, root, "schema", JsonValue::String).string !=
-        "mssr-stats-v1")
+    return root;
+}
+
+std::string
+schemaOf(const std::string &file, const JsonValue &root)
+{
+    return field(file, root, "schema", JsonValue::String).string;
+}
+
+std::vector<StatsRun>
+parseStatsRuns(const std::string &file, const JsonValue &root)
+{
+    if (schemaOf(file, root) != "mssr-stats-v1")
         malformed(file, "not an mssr-stats-v1 file");
     std::vector<StatsRun> runs;
     for (const JsonValue &run :
          field(file, root, "runs", JsonValue::Array).array)
         runs.push_back(parseRun(file, run));
+    if (runs.empty())
+        malformed(file, "no runs");
+    return runs;
+}
+
+std::vector<StatsRun>
+loadStatsFile(const std::string &file)
+{
+    return parseStatsRuns(file, loadRoot(file));
+}
+
+// ------------------------------------------------- mssr-profile-v1 side
+
+/** One branch record parsed back out of an mssr-profile-v1 file. */
+struct ProfileBranch
+{
+    Addr pc = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t otherSquashes = 0;
+    std::uint64_t squashedInsts = 0;
+    std::uint64_t branchRecoverySlots = 0;
+    std::uint64_t flushRecoverySlots = 0;
+    ReuseFunnel funnel;
+    std::vector<std::pair<Addr, std::uint64_t>> partners;
+
+    std::uint64_t
+    recoverySlots() const
+    {
+        return branchRecoverySlots + flushRecoverySlots;
+    }
+
+    Addr
+    topPartner() const
+    {
+        Addr best = 0;
+        std::uint64_t bestCount = 0;
+        for (const auto &[pc_, count_] : partners) {
+            if (count_ > bestCount || (count_ == bestCount && pc_ < best)) {
+                best = pc_;
+                bestCount = count_;
+            }
+        }
+        return best;
+    }
+};
+
+/** One reconvergence-point record from an mssr-profile-v1 file. */
+struct ProfileReconv
+{
+    Addr pc = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t sessions = 0;
+    std::uint64_t instsSalvaged = 0;
+};
+
+struct ProfileRun
+{
+    std::string name;
+    std::string scheme;
+    unsigned width = 0;
+    std::vector<ProfileBranch> branches; //!< sorted by PC
+    std::vector<ProfileReconv> reconvs;  //!< sorted by PC
+
+    const ProfileBranch *
+    branchAt(Addr pc) const
+    {
+        for (const ProfileBranch &b : branches)
+            if (b.pc == pc)
+                return &b;
+        return nullptr;
+    }
+
+    const ProfileReconv *
+    reconvAt(Addr pc) const
+    {
+        for (const ProfileReconv &r : reconvs)
+            if (r.pc == pc)
+                return &r;
+        return nullptr;
+    }
+
+    std::uint64_t
+    totalSquashed() const
+    {
+        std::uint64_t sum = 0;
+        for (const ProfileBranch &b : branches)
+            sum += b.squashedInsts;
+        return sum;
+    }
+
+    std::uint64_t
+    totalRecoverySlots() const
+    {
+        std::uint64_t sum = 0;
+        for (const ProfileBranch &b : branches)
+            sum += b.recoverySlots();
+        return sum;
+    }
+
+    std::uint64_t
+    totalSalvaged() const
+    {
+        std::uint64_t sum = 0;
+        for (const ProfileReconv &r : reconvs)
+            sum += r.instsSalvaged;
+        return sum;
+    }
+};
+
+Addr
+pcField(const std::string &file, const JsonValue &obj)
+{
+    const std::string &s = field(file, obj, "pc", JsonValue::String).string;
+    if (s.size() < 3 || s[0] != '0' || s[1] != 'x')
+        malformed(file, "PC '" + s + "' is not a 0x hex string");
+    return static_cast<Addr>(std::strtoull(s.c_str() + 2, nullptr, 16));
+}
+
+ProfileRun
+parseProfileRun(const std::string &file, const JsonValue &run)
+{
+    if (run.kind != JsonValue::Object)
+        malformed(file, "run entry is not an object");
+    ProfileRun out;
+    out.name = field(file, run, "name", JsonValue::String).string;
+    out.scheme = field(file, run, "scheme", JsonValue::String).string;
+    out.width =
+        static_cast<unsigned>(u64Field(file, run, "dispatch_width"));
+    const JsonValue &profile =
+        field(file, run, "profile", JsonValue::Object);
+    for (const JsonValue &b :
+         field(file, profile, "branches", JsonValue::Array).array) {
+        if (b.kind != JsonValue::Object)
+            malformed(file, "branch entry is not an object");
+        ProfileBranch branch;
+        branch.pc = pcField(file, b);
+        branch.mispredicts = u64Field(file, b, "mispredicts");
+        branch.otherSquashes = u64Field(file, b, "other_squashes");
+        branch.squashedInsts = u64Field(file, b, "squashed_insts");
+        branch.branchRecoverySlots =
+            u64Field(file, b, "branch_recovery_slots");
+        branch.flushRecoverySlots =
+            u64Field(file, b, "flush_recovery_slots");
+        branch.funnel =
+            parseFunnel(file, field(file, b, "funnel", JsonValue::Object));
+        if (!branch.funnel.monotonic())
+            malformed(file, "run '" + out.name + "': branch funnel not "
+                            "monotonic");
+        for (const JsonValue &p :
+             field(file, b, "partners", JsonValue::Array).array) {
+            if (p.kind != JsonValue::Object)
+                malformed(file, "partner entry is not an object");
+            branch.partners.emplace_back(pcField(file, p),
+                                         u64Field(file, p, "count"));
+        }
+        out.branches.push_back(std::move(branch));
+    }
+    for (const JsonValue &r :
+         field(file, profile, "reconv_points", JsonValue::Array).array) {
+        if (r.kind != JsonValue::Object)
+            malformed(file, "reconv entry is not an object");
+        ProfileReconv reconv;
+        reconv.pc = pcField(file, r);
+        reconv.detections = u64Field(file, r, "detections");
+        reconv.sessions = u64Field(file, r, "sessions");
+        reconv.instsSalvaged = u64Field(file, r, "insts_salvaged");
+        out.reconvs.push_back(reconv);
+    }
+    // Re-verify the cross-record invariant: reuses attributed to
+    // branches and salvage attributed to reconvergence points count
+    // the same instructions.
+    std::uint64_t reused = 0;
+    for (const ProfileBranch &b : out.branches)
+        reused += b.funnel.reused;
+    if (reused != out.totalSalvaged())
+        malformed(file, "run '" + out.name + "': branch reuses (" +
+                            std::to_string(reused) +
+                            ") != reconv salvage (" +
+                            std::to_string(out.totalSalvaged()) + ")");
+    return out;
+}
+
+std::vector<ProfileRun>
+parseProfileRuns(const std::string &file, const JsonValue &root)
+{
+    if (schemaOf(file, root) != "mssr-profile-v1")
+        malformed(file, "not an mssr-profile-v1 file");
+    std::vector<ProfileRun> runs;
+    for (const JsonValue &run :
+         field(file, root, "runs", JsonValue::Array).array)
+        runs.push_back(parseProfileRun(file, run));
     if (runs.empty())
         malformed(file, "no runs");
     return runs;
@@ -287,38 +519,371 @@ printDiff(const StatsRun &base, const StatsRun &mssr)
     t.print(std::cout);
 }
 
+std::string
+hex(Addr pc)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    return os.str();
+}
+
+/** Slots converted to whole cycles of the run's dispatch width. */
+std::uint64_t
+slotCycles(std::uint64_t slots, unsigned width)
+{
+    return width ? slots / width : 0;
+}
+
+void
+printProfile(const ProfileRun &r, unsigned topn)
+{
+    analysis::banner(std::cout,
+                     r.name + " (" + r.scheme + ") per-PC profile");
+    const std::uint64_t squashed = r.totalSquashed();
+    const std::uint64_t recCycles =
+        slotCycles(r.totalRecoverySlots(), r.width);
+    const std::uint64_t salvaged = r.totalSalvaged();
+    std::cout << r.branches.size() << " squash-cause PCs, "
+              << r.reconvs.size() << " reconvergence PCs; " << squashed
+              << " insts squashed, " << recCycles
+              << " recovery cycles, " << salvaged << " insts reused\n\n";
+
+    std::vector<const ProfileBranch *> hot;
+    for (const ProfileBranch &b : r.branches)
+        hot.push_back(&b);
+    std::sort(hot.begin(), hot.end(),
+              [](const ProfileBranch *a, const ProfileBranch *b) {
+                  if (a->recoverySlots() != b->recoverySlots())
+                      return a->recoverySlots() > b->recoverySlots();
+                  if (a->squashedInsts != b->squashedInsts)
+                      return a->squashedInsts > b->squashedInsts;
+                  return a->pc < b->pc;
+              });
+    if (hot.size() > topn)
+        hot.resize(topn);
+
+    std::cout << "top " << hot.size() << " branches by recovery penalty:\n";
+    analysis::Table branches({"branch", "mispred", "squashed", "recov cy",
+                              "share", "reused", "coverage", "reconv @"});
+    const double recTotal =
+        recCycles ? static_cast<double>(recCycles) : 1.0;
+    for (const ProfileBranch *b : hot) {
+        const std::uint64_t cy = slotCycles(b->recoverySlots(), r.width);
+        const Addr partner = b->topPartner();
+        branches.addRow(
+            {hex(b->pc), count(b->mispredicts), count(b->squashedInsts),
+             count(cy), share(static_cast<double>(cy) / recTotal),
+             count(b->funnel.reused),
+             share(b->squashedInsts
+                       ? static_cast<double>(b->funnel.reused) /
+                             static_cast<double>(b->squashedInsts)
+                       : 0.0),
+             partner ? hex(partner) : std::string("-")});
+    }
+    branches.print(std::cout);
+
+    std::vector<const ProfileReconv *> points;
+    for (const ProfileReconv &p : r.reconvs)
+        points.push_back(&p);
+    std::sort(points.begin(), points.end(),
+              [](const ProfileReconv *a, const ProfileReconv *b) {
+                  if (a->instsSalvaged != b->instsSalvaged)
+                      return a->instsSalvaged > b->instsSalvaged;
+                  return a->pc < b->pc;
+              });
+    if (points.size() > topn)
+        points.resize(topn);
+    if (points.empty())
+        return;
+    std::cout << "\ntop " << points.size()
+              << " reconvergence points by salvage:\n";
+    analysis::Table reconv(
+        {"reconv", "detections", "sessions", "salvaged", "share"});
+    const double salvTotal =
+        salvaged ? static_cast<double>(salvaged) : 1.0;
+    for (const ProfileReconv *p : points) {
+        reconv.addRow({hex(p->pc), count(p->detections), count(p->sessions),
+                       count(p->instsSalvaged),
+                       share(static_cast<double>(p->instsSalvaged) /
+                             salvTotal)});
+    }
+    reconv.print(std::cout);
+}
+
+const ProfileRun *
+matchProfileRun(const std::vector<ProfileRun> &base, const ProfileRun &mssr,
+                std::size_t index)
+{
+    for (const ProfileRun &b : base)
+        if (b.name == mssr.name)
+            return &b;
+    return index < base.size() ? &base[index] : nullptr;
+}
+
+/**
+ * Per-branch "cycles recovered by reuse": the recovery-cycle delta
+ * between the runs plus the dispatch cycles the MSSR run salvaged at
+ * that branch (reused slots / width) -- reuse mostly pays back by
+ * salvaging work, not by shortening the refill window, so both terms
+ * are shown.
+ */
+void
+printProfileDiff(const ProfileRun &base, const ProfileRun &mssr,
+                 unsigned topn)
+{
+    analysis::banner(std::cout, mssr.name + ": " + base.scheme + " vs " +
+                                    mssr.scheme + " per-branch recovery");
+
+    struct Row
+    {
+        Addr pc;
+        std::int64_t baseCy;
+        std::int64_t mssrCy;
+        std::int64_t salvagedCy;
+        std::uint64_t reused;
+        std::uint64_t squashed;
+
+        std::int64_t recovered() const { return baseCy - mssrCy + salvagedCy; }
+    };
+    std::vector<Row> rows;
+    for (const ProfileBranch &b : base.branches) {
+        const ProfileBranch *m = mssr.branchAt(b.pc);
+        rows.push_back({b.pc,
+                        static_cast<std::int64_t>(
+                            slotCycles(b.recoverySlots(), base.width)),
+                        static_cast<std::int64_t>(slotCycles(
+                            m ? m->recoverySlots() : 0, mssr.width)),
+                        static_cast<std::int64_t>(slotCycles(
+                            m ? m->funnel.reused : 0, mssr.width)),
+                        m ? m->funnel.reused : 0,
+                        m ? m->squashedInsts : 0});
+    }
+    for (const ProfileBranch &m : mssr.branches)
+        if (!base.branchAt(m.pc))
+            rows.push_back({m.pc, 0,
+                            static_cast<std::int64_t>(slotCycles(
+                                m.recoverySlots(), mssr.width)),
+                            static_cast<std::int64_t>(
+                                slotCycles(m.funnel.reused, mssr.width)),
+                            m.funnel.reused, m.squashedInsts});
+
+    std::int64_t recoveredTotal = 0, deltaTotal = 0, salvagedTotal = 0;
+    for (const Row &row : rows) {
+        recoveredTotal += row.recovered();
+        deltaTotal += row.baseCy - row.mssrCy;
+        salvagedTotal += row.salvagedCy;
+    }
+    std::cout << "cycles recovered by reuse: " << recoveredTotal
+              << " (recovery delta " << deltaTotal << " + salvaged dispatch "
+              << salvagedTotal << ") across " << rows.size()
+              << " branch PCs\n\n";
+
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.recovered() != b.recovered())
+            return a.recovered() > b.recovered();
+        return a.pc < b.pc;
+    });
+    if (rows.size() > topn)
+        rows.resize(topn);
+
+    analysis::Table t({"branch", base.scheme + " recov cy",
+                       mssr.scheme + " recov cy", "salvaged cy", "recovered",
+                       "reused", "coverage"});
+    for (const Row &row : rows) {
+        t.addRow({hex(row.pc), std::to_string(row.baseCy),
+                  std::to_string(row.mssrCy),
+                  std::to_string(row.salvagedCy),
+                  std::to_string(row.recovered()), count(row.reused),
+                  share(row.squashed
+                            ? static_cast<double>(row.reused) /
+                                  static_cast<double>(row.squashed)
+                            : 0.0)});
+    }
+    t.print(std::cout);
+}
+
+/**
+ * Disassembly listing of @p prog with the profile's records merged in:
+ * every squash-cause PC and reconvergence PC is marked with its
+ * normalized share of squashes / recovery cycles / salvage. Records
+ * whose PC falls outside the code image (wrong-path fetch) are listed
+ * separately so the annotation still accounts for every record.
+ */
+void
+annotate(const ProfileRun &r, const std::string &prog_name,
+         const isa::Program &prog)
+{
+    analysis::banner(std::cout, prog_name + " annotated with " + r.name +
+                                    " (" + r.scheme + ")");
+    const double squashTotal = r.totalSquashed()
+                                   ? static_cast<double>(r.totalSquashed())
+                                   : 1.0;
+    const std::uint64_t recCyTotal =
+        slotCycles(r.totalRecoverySlots(), r.width);
+    const double recTotal =
+        recCyTotal ? static_cast<double>(recCyTotal) : 1.0;
+    const double salvTotal = r.totalSalvaged()
+                                 ? static_cast<double>(r.totalSalvaged())
+                                 : 1.0;
+
+    for (Addr pc = prog.codeBase(); pc < prog.codeEnd(); pc += InstBytes) {
+        std::string line = hex(pc);
+        line.resize(std::max<std::size_t>(line.size() + 2, 10), ' ');
+        line += isa::disasm(prog.instAt(pc), pc);
+        const ProfileBranch *b = r.branchAt(pc);
+        const ProfileReconv *p = r.reconvAt(pc);
+        if (b || p)
+            line.resize(std::max<std::size_t>(line.size() + 2, 34), ' ');
+        if (b) {
+            const std::uint64_t cy = slotCycles(b->recoverySlots(), r.width);
+            line += " ;; squash " + count(b->squashedInsts) + " (" +
+                    share(static_cast<double>(b->squashedInsts) /
+                          squashTotal) +
+                    "), recovery " + count(cy) + "cy (" +
+                    share(static_cast<double>(cy) / recTotal) +
+                    "), reused " + count(b->funnel.reused);
+        }
+        if (p) {
+            line += " ;; reconv " + count(p->detections) + " det, salvaged " +
+                    count(p->instsSalvaged) + " (" +
+                    share(static_cast<double>(p->instsSalvaged) / salvTotal) +
+                    ")";
+        }
+        std::cout << line << "\n";
+    }
+
+    bool outsideHeader = false;
+    auto outside = [&](Addr pc) {
+        return !(pc >= prog.codeBase() && pc < prog.codeEnd());
+    };
+    for (const ProfileBranch &b : r.branches) {
+        if (!outside(b.pc))
+            continue;
+        if (!outsideHeader) {
+            std::cout << "records outside the code image "
+                         "(wrong-path fetch):\n";
+            outsideHeader = true;
+        }
+        std::cout << "  " << hex(b.pc) << " squash "
+                  << count(b.squashedInsts) << ", reused "
+                  << count(b.funnel.reused) << "\n";
+    }
+    for (const ProfileReconv &p : r.reconvs) {
+        if (!outside(p.pc))
+            continue;
+        if (!outsideHeader) {
+            std::cout << "records outside the code image "
+                         "(wrong-path fetch):\n";
+            outsideHeader = true;
+        }
+        std::cout << "  " << hex(p.pc) << " reconv, salvaged "
+                  << count(p.instsSalvaged) << "\n";
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    bool diff = false;
+    unsigned topn = 10;
+    std::string annotateProg;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--diff") {
+            diff = true;
+        } else if (arg == "--topn") {
+            const std::string v = next();
+            const std::optional<std::uint64_t> n = parseU64(v);
+            if (!n || *n == 0) {
+                std::cerr << "mssr_stats: invalid value '" << v
+                          << "' for --topn (expected a positive integer)\n";
+                usage();
+            }
+            topn = static_cast<unsigned>(
+                std::min<std::uint64_t>(*n, 1u << 20));
+        } else if (arg == "--annotate") {
+            annotateProg = next();
+        } else if (arg[0] == '-') {
+            usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+
     try {
-        if (argc == 2 && std::string(argv[1]) != "--diff" &&
-            argv[1][0] != '-') {
-            for (const StatsRun &r : loadStatsFile(argv[1]))
-                printRun(r);
+        if (!annotateProg.empty()) {
+            if (diff || files.size() != 1)
+                usage();
+            const JsonValue root = loadRoot(files[0]);
+            const isa::Program prog = workloads::buildWorkload(
+                annotateProg, workloads::WorkloadScale::fromEnv());
+            for (const ProfileRun &r : parseProfileRuns(files[0], root))
+                annotate(r, annotateProg, prog);
             return 0;
         }
-        if (argc == 4 && std::string(argv[1]) == "--diff") {
-            const std::vector<StatsRun> base = loadStatsFile(argv[2]);
-            const std::vector<StatsRun> mssr = loadStatsFile(argv[3]);
+        if (diff) {
+            if (files.size() != 2)
+                usage();
+            const JsonValue baseRoot = loadRoot(files[0]);
+            const JsonValue mssrRoot = loadRoot(files[1]);
+            if (schemaOf(files[0], baseRoot) !=
+                schemaOf(files[1], mssrRoot))
+                malformed(files[1], "schema differs from '" + files[0] +
+                                        "' (cannot diff stats against a "
+                                        "profile)");
             bool paired = false;
-            for (std::size_t i = 0; i < mssr.size(); ++i) {
-                if (const StatsRun *b = matchRun(base, mssr[i], i)) {
-                    printDiff(*b, mssr[i]);
-                    paired = true;
+            if (schemaOf(files[0], baseRoot) == "mssr-profile-v1") {
+                const std::vector<ProfileRun> base =
+                    parseProfileRuns(files[0], baseRoot);
+                const std::vector<ProfileRun> mssr =
+                    parseProfileRuns(files[1], mssrRoot);
+                for (std::size_t i = 0; i < mssr.size(); ++i) {
+                    if (const ProfileRun *b =
+                            matchProfileRun(base, mssr[i], i)) {
+                        printProfileDiff(*b, mssr[i], topn);
+                        paired = true;
+                    }
+                }
+            } else {
+                const std::vector<StatsRun> base =
+                    parseStatsRuns(files[0], baseRoot);
+                const std::vector<StatsRun> mssr =
+                    parseStatsRuns(files[1], mssrRoot);
+                for (std::size_t i = 0; i < mssr.size(); ++i) {
+                    if (const StatsRun *b = matchRun(base, mssr[i], i)) {
+                        printDiff(*b, mssr[i]);
+                        paired = true;
+                    }
                 }
             }
             if (!paired) {
                 std::cerr << "mssr_stats: no runs could be paired between '"
-                          << argv[2] << "' and '" << argv[3] << "'\n";
+                          << files[0] << "' and '" << files[1] << "'\n";
                 return 1;
             }
             return 0;
         }
+        if (files.size() != 1)
+            usage();
+        const JsonValue root = loadRoot(files[0]);
+        if (schemaOf(files[0], root) == "mssr-profile-v1") {
+            for (const ProfileRun &r : parseProfileRuns(files[0], root))
+                printProfile(r, topn);
+        } else {
+            for (const StatsRun &r : parseStatsRuns(files[0], root))
+                printRun(r);
+        }
+        return 0;
     } catch (const std::exception &e) {
         std::cerr << "mssr_stats: " << e.what() << "\n";
         return 1;
     }
-    usage();
 }
