@@ -100,6 +100,12 @@ Harness::Harness(int argc, char **argv, std::string benchName,
             warn("ignoring invalid MSSR_INTERVAL='", s, "'");
     }
     profile_ = std::getenv("MSSR_PROFILE") != nullptr;
+    if (const char *s = std::getenv("MSSR_FF")) {
+        if (const auto v = parseU64(s))
+            fastForward_ = *v;
+        else
+            warn("ignoring invalid MSSR_FF='", s, "'");
+    }
 
     if (baselines == Baselines::Build) {
         std::vector<BatchJob> jobs;
@@ -131,6 +137,8 @@ Harness::job(const std::string &label, const std::string &workload,
         j.config.statsInterval = statsInterval_;
     if (profile_)
         j.config.profiling = true;
+    if (fastForward_ != 0)
+        j.config.fastForwardInsts = fastForward_;
     return j;
 }
 
@@ -176,7 +184,9 @@ Harness::runBatch(const std::vector<BatchJob> &jobs)
         records_.push_back({jobs[i].name, results[i].cycles,
                             results[i].insts, results[i].ipc,
                             results[i].hostSeconds, results[i].kips,
-                            results[i].dispatchWidth, results[i].cpi,
+                            results[i].dispatchWidth, results[i].ffInsts,
+                            results[i].ckptHit, results[i].ffHostSeconds,
+                            results[i].cpi,
                             results[i].funnel, results[i].intervals,
                             topBranches(results[i].profile, 5)});
     }
@@ -223,6 +233,9 @@ Harness::writeJson() const
            << ", \"ipc\": " << r.ipc
            << ", \"host_sec\": " << r.hostSec << ", \"kips\": " << r.kips
            << ", \"dispatch_width\": " << r.dispatchWidth
+           << ", \"ff_insts\": " << r.ffInsts
+           << ", \"ckpt_hit\": " << (r.ckptHit ? "true" : "false")
+           << ", \"ff_host_sec\": " << r.ffHostSec
            << ", \"cpi\": ";
         mssr::writeJson(os, r.cpi);
         os << ", \"funnel\": ";

@@ -16,6 +16,13 @@
  *   MSSR_PROFILE  enable the per-PC profiler on every job; each
  *               BENCH_batch.json record then carries its hottest
  *               branches ("profile_top", sorted by recovery slots)
+ *   MSSR_FF     fast-forward every job's first K instructions on the
+ *               functional emulator. Jobs sharing a workload share one
+ *               warm-up snapshot (BatchRunner's checkpoint cache), so
+ *               an N-config sweep pays the functional prefix once per
+ *               workload; each BENCH_batch.json record carries its
+ *               prefix length, checkpoint hit/miss and warm-up wall
+ *               time ("ff_insts", "ckpt_hit", "ff_host_sec")
  *
  * Design points are executed by BatchRunner in submission order, so
  * every table printed to stdout is byte-identical to a sequential run
@@ -125,6 +132,9 @@ class Harness
         double hostSec;
         double kips;
         unsigned dispatchWidth;
+        std::uint64_t ffInsts;
+        bool ckptHit;
+        double ffHostSec;
         CpiStack cpi;
         ReuseFunnel funnel;
         std::vector<IntervalSample> intervals;
@@ -135,6 +145,7 @@ class Harness
     bool json_ = false;
     Cycle statsInterval_ = 0; //!< MSSR_INTERVAL; 0 disables sampling
     bool profile_ = false;    //!< MSSR_PROFILE; per-PC profiler on jobs
+    std::uint64_t fastForward_ = 0; //!< MSSR_FF; shared warm-up prefix
     BatchRunner runner_;
     WorkloadSet set_;
     std::vector<Record> records_;

@@ -17,6 +17,7 @@ namespace mssr
 {
 
 class Tracer;
+struct Checkpoint;
 
 /** Which main conditional branch predictor the frontend uses. */
 enum class BranchPredictorKind
@@ -132,6 +133,35 @@ struct SimConfig
     RegIntConfig regint;
     std::uint64_t maxInsts = 0;   //!< 0 = run to HALT
     std::uint64_t maxCycles = 0;  //!< 0 = unbounded
+
+    /**
+     * Functional fast-forward: when nonzero, runSim() executes the
+     * first fastForwardInsts instructions on the functional emulator
+     * (architecturally exact, orders of magnitude faster than the
+     * detailed core) and constructs the O3 core from the resulting
+     * snapshot; maxInsts/maxCycles then bound the *detailed* region
+     * only. Cycle counts, stats and accounting cover the detailed
+     * region and are byte-identical whether the snapshot was computed
+     * live, shared in a batch, or reloaded from an mssr-ckpt-v1 file.
+     */
+    std::uint64_t fastForwardInsts = 0;
+
+    /**
+     * Warm the branch predictor from the checkpoint's recorded
+     * branch-outcome history (the prefix's last few thousand control
+     * instructions) before the detailed region starts. Off by default:
+     * a cold BPU matches a from-reset detailed run of the region.
+     */
+    bool warmBpu = false;
+
+    /**
+     * Optional pre-computed snapshot for the fast-forward prefix (not
+     * owned). When set (BatchRunner's checkpoint cache, mssr_run
+     * --ckpt-dir), runSim() validates programHash/ffInsts and skips
+     * the functional prefix; when null, the prefix runs in-process.
+     * Ignored unless fastForwardInsts is nonzero.
+     */
+    const Checkpoint *checkpoint = nullptr;
 
     /**
      * Optional structured event tracer (common/trace.hh): when set,

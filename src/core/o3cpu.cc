@@ -4,11 +4,13 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "sim/checkpoint.hh"
 
 namespace mssr
 {
 
-O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem)
+O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem,
+             const Checkpoint *snapshot)
     : cfg_(cfg),
       prog_(prog),
       mem_(mem),
@@ -42,13 +44,35 @@ O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem)
             reuse_->setProfile(profile_.get());
     }
 
-    prog_.loadInto(mem_);
-    // Initial architectural state: all zero, sp = stack top; the
-    // identity RAT maps arch reg r to preg r.
-    for (unsigned r = 0; r < NumArchRegs; ++r)
-        regs_.write(static_cast<PhysReg>(r), 0);
-    regs_.write(2, prog_.stackTop());
-    archState_[2] = prog_.stackTop();
+    if (!snapshot) {
+        prog_.loadInto(mem_);
+        // Initial architectural state: all zero, sp = stack top; the
+        // identity RAT maps arch reg r to preg r.
+        for (unsigned r = 0; r < NumArchRegs; ++r)
+            regs_.write(static_cast<PhysReg>(r), 0);
+        regs_.write(2, prog_.stackTop());
+        archState_[2] = prog_.stackTop();
+        return;
+    }
+
+    // Snapshot start: the caller already restored the memory image, so
+    // only the register file and the fetch PC need seeding. The
+    // identity RAT still maps arch reg r to preg r at this point.
+    for (unsigned r = 0; r < NumArchRegs; ++r) {
+        regs_.write(static_cast<PhysReg>(r), snapshot->regs[r]);
+        archState_[r] = snapshot->regs[r];
+    }
+    if (cfg.warmBpu) {
+        // Replay the prefix's recorded control outcomes through the
+        // commit-update path: trains the conditional predictor and the
+        // BTB exactly as committing those branches would have.
+        for (const BranchOutcome &rec : snapshot->branchHist)
+            bpu_.commitControl(rec.pc, prog_.instAt(rec.pc), rec.taken,
+                               rec.next);
+    }
+    bpu_.redirectSimple(snapshot->pc);
+    if (snapshot->halted)
+        halted_ = true;
 }
 
 // ---------------------------------------------------------------- helpers

@@ -47,10 +47,23 @@
 namespace mssr
 {
 
+struct Checkpoint;
+
 class O3Cpu
 {
   public:
-    O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem);
+    /**
+     * @param snapshot optional architectural snapshot to start from
+     *        (sim/checkpoint.hh). Null starts the core from reset at
+     *        prog.entry() and loads the program's data image. Non-null
+     *        starts at the snapshot's PC with the snapshot's register
+     *        file; the caller must have restored the snapshot's memory
+     *        image into @p mem already (Checkpoint::restoreMemory),
+     *        and SimConfig::warmBpu selects whether the snapshot's
+     *        recorded branch history pre-trains the predictor.
+     */
+    O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem,
+          const Checkpoint *snapshot = nullptr);
 
     /** Advances one cycle. */
     void tick();

@@ -1,10 +1,15 @@
 #include "driver/batch_runner.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <filesystem>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "common/argparse.hh"
 #include "common/log.hh"
@@ -36,6 +41,22 @@ BatchRunner::defaultThreads()
     return hw;
 }
 
+namespace
+{
+
+/** One distinct (program, fast-forward length) shared warm-up. */
+struct PrefixGroup
+{
+    const isa::Program *program = nullptr;
+    std::uint64_t ffInsts = 0;
+    std::vector<std::size_t> jobIdx; //!< batch indices sharing it
+    Checkpoint ckpt;
+    bool diskHit = false;            //!< loaded from the checkpoint dir
+    double hostSeconds = 0.0;        //!< wall-clock of compute-or-load
+};
+
+} // namespace
+
 std::vector<RunResult>
 BatchRunner::run(const std::vector<BatchJob> &jobs) const
 {
@@ -43,37 +64,97 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
     if (jobs.empty())
         return results;
 
+    // Phase 0 -- shared warm-up. Group jobs that fast-forward the same
+    // program by the same instruction count (and don't already carry a
+    // snapshot), then take each group's functional prefix exactly
+    // once, before any detailed run starts. Runs on the calling thread:
+    // prefix emulation is orders of magnitude cheaper than detailed
+    // simulation and a phase-0 error (corrupt checkpoint file) should
+    // surface before any simulation work is spent.
+    std::vector<SimConfig> configs(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        configs[i] = jobs[i].config;
+
+    std::map<std::pair<const isa::Program *, std::uint64_t>, std::size_t>
+        groupOf;
+    std::deque<PrefixGroup> groups; // deque: &g.ckpt stays stable
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (configs[i].fastForwardInsts == 0 || configs[i].checkpoint)
+            continue;
+        const auto key =
+            std::make_pair(jobs[i].program, configs[i].fastForwardInsts);
+        const auto [it, fresh] = groupOf.try_emplace(key, groups.size());
+        if (fresh) {
+            groups.emplace_back();
+            groups.back().program = jobs[i].program;
+            groups.back().ffInsts = configs[i].fastForwardInsts;
+        }
+        groups[it->second].jobIdx.push_back(i);
+    }
+    for (PrefixGroup &g : groups) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string path;
+        if (!ckptDir_.empty())
+            path = ckptDir_ + "/" +
+                   checkpointFileName(g.program->hash(), g.ffInsts);
+        if (!path.empty() && std::filesystem::exists(path)) {
+            // Present-but-invalid files throw SerializeError here:
+            // a stale or truncated cache must be surfaced, never
+            // silently recomputed.
+            g.ckpt = readCheckpoint(path);
+            g.diskHit = true;
+        } else {
+            g.ckpt = computeCheckpoint(*g.program, g.ffInsts);
+            if (!path.empty())
+                writeCheckpoint(path, g.ckpt);
+        }
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - t0;
+        g.hostSeconds = elapsed.count();
+        for (const std::size_t i : g.jobIdx)
+            configs[i].checkpoint = &g.ckpt;
+    }
+
+    // Phase 1 -- the detailed runs.
     // Sequential fast path: no pool, no synchronization. Results are
     // identical either way; this is the timing baseline.
     if (threads_ == 1 || jobs.size() == 1) {
         for (std::size_t i = 0; i < jobs.size(); ++i)
-            results[i] =
-                runSim(*jobs[i].program, jobs[i].config, nullptr,
-                       jobs[i].inspect);
-        return results;
+            results[i] = runSim(*jobs[i].program, configs[i], nullptr,
+                                jobs[i].inspect);
+    } else {
+        std::exception_ptr firstError;
+        std::mutex errorMutex;
+        {
+            ThreadPool pool(std::min<std::size_t>(threads_, jobs.size()));
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                pool.submit([&, i] {
+                    try {
+                        results[i] = runSim(*jobs[i].program, configs[i],
+                                            nullptr, jobs[i].inspect);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(errorMutex);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                });
+            }
+            pool.wait();
+        }
+        if (firstError)
+            std::rethrow_exception(firstError);
     }
 
-    std::exception_ptr firstError;
-    std::mutex errorMutex;
-    {
-        ThreadPool pool(std::min<std::size_t>(threads_, jobs.size()));
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            pool.submit([&, i] {
-                try {
-                    results[i] =
-                        runSim(*jobs[i].program, jobs[i].config, nullptr,
-                               jobs[i].inspect);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(errorMutex);
-                    if (!firstError)
-                        firstError = std::current_exception();
-                }
-            });
-        }
-        pool.wait();
+    // Attribution: runSim reported every grouped job as a checkpoint
+    // hit (each received a pre-computed snapshot). The group's first
+    // job is the one that actually paid for the prefix, so it carries
+    // the group's compute-or-load wall time and the real disk-cache
+    // hit/miss status; the other members stay hits.
+    for (const PrefixGroup &g : groups) {
+        RunResult &owner = results[g.jobIdx.front()];
+        owner.ckptHit = g.diskHit;
+        owner.ffHostSeconds = g.hostSeconds;
     }
-    if (firstError)
-        std::rethrow_exception(firstError);
     return results;
 }
 

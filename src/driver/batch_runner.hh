@@ -54,15 +54,38 @@ class BatchRunner
     unsigned threads() const { return threads_; }
 
     /**
+     * Enables the on-disk checkpoint layer: shared warm-up snapshots
+     * are loaded from @p dir when a matching mssr-ckpt-v1 file exists
+     * (load-on-hit) and written there after being computed
+     * (save-on-miss). Files are keyed ck_<programHash>_ff<K>.ckpt; a
+     * present-but-corrupt file raises SerializeError rather than
+     * silently recomputing, so stale caches are surfaced, not masked.
+     * Empty (the default) keeps the cache purely in-memory.
+     */
+    void setCheckpointDir(std::string dir) { ckptDir_ = std::move(dir); }
+    const std::string &checkpointDir() const { return ckptDir_; }
+
+    /**
      * Runs all @p jobs and returns results in submission order.
      * A job that throws (bad config/program) aborts the batch: the
      * first exception is rethrown on the calling thread once all
      * in-flight jobs have drained.
+     *
+     * Shared warm-up: jobs whose configs fast-forward the same program
+     * by the same instruction count (and do not already carry a
+     * SimConfig::checkpoint) share one functional prefix, computed or
+     * loaded from the checkpoint directory exactly once before the
+     * detailed runs start. Results are byte-identical to per-job
+     * fast-forwarding at any worker count; only wall-clock changes.
+     * Attribution: the first job of each group reports the group's
+     * prefix wall time in ffHostSeconds and ckptHit=false unless the
+     * snapshot came from disk; the other members report ckptHit=true.
      */
     std::vector<RunResult> run(const std::vector<BatchJob> &jobs) const;
 
   private:
     unsigned threads_;
+    std::string ckptDir_;
 };
 
 } // namespace mssr

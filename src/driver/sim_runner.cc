@@ -2,8 +2,27 @@
 
 #include <chrono>
 
+#include "common/serialize.hh"
+#include "sim/func_emu.hh"
+
 namespace mssr
 {
+
+Checkpoint
+computeCheckpoint(const isa::Program &prog, std::uint64_t ffInsts)
+{
+    Checkpoint ckpt;
+    Memory ffMem;
+    FuncEmu emu(prog, ffMem);
+    BranchHistory hist;
+    emu.recordBranches(&hist);
+    emu.run(ffInsts);
+    emu.saveState(ckpt);
+    ckpt.programHash = prog.hash();
+    ckpt.ffInsts = ffInsts;
+    ckpt.branchHist = hist.inOrder();
+    return ckpt;
+}
 
 RunResult
 runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
@@ -12,12 +31,43 @@ runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
     const auto start = std::chrono::steady_clock::now();
     Memory local;
     Memory &mem = mem_out ? *mem_out : local;
-    O3Cpu cpu(cfg, prog, mem);
+
+    RunResult out;
+    Checkpoint computed;
+    const Checkpoint *snapshot = nullptr;
+    if (cfg.fastForwardInsts > 0) {
+        if (cfg.checkpoint) {
+            // Pre-computed snapshot (batch-shared prefix or a loaded
+            // checkpoint file): validate it actually matches this run
+            // before trusting it.
+            if (cfg.checkpoint->programHash != prog.hash())
+                throw SerializeError(
+                    "checkpoint was taken from a different program "
+                    "(hash mismatch)");
+            if (cfg.checkpoint->ffInsts != cfg.fastForwardInsts)
+                throw SerializeError(
+                    "checkpoint fast-forward length " +
+                    std::to_string(cfg.checkpoint->ffInsts) +
+                    " does not match requested --fast-forward " +
+                    std::to_string(cfg.fastForwardInsts));
+            snapshot = cfg.checkpoint;
+            out.ckptHit = true;
+        } else {
+            computed = computeCheckpoint(prog, cfg.fastForwardInsts);
+            snapshot = &computed;
+        }
+        out.ffInsts = cfg.fastForwardInsts;
+        const std::chrono::duration<double> ffElapsed =
+            std::chrono::steady_clock::now() - start;
+        out.ffHostSeconds = ffElapsed.count();
+        snapshot->restoreMemory(mem);
+    }
+
+    O3Cpu cpu(cfg, prog, mem, snapshot);
     cpu.run();
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
 
-    RunResult out;
     out.hostSeconds = elapsed.count();
     out.cycles = cpu.cycles();
     out.insts = cpu.instsCommitted();

@@ -22,6 +22,7 @@
 #include "common/trace.hh"
 #include "core/o3cpu.hh"
 #include "isa/program.hh"
+#include "sim/checkpoint.hh"
 #include "sim/memory.hh"
 
 namespace mssr
@@ -57,10 +58,26 @@ struct RunResult
      */
     PcProfile profile;
 
+    /**
+     * Functional fast-forward prefix length (SimConfig::
+     * fastForwardInsts). `insts` above counts detailed-region commits
+     * only, so a fast-forwarded run executed ffInsts + insts
+     * instructions architecturally.
+     */
+    std::uint64_t ffInsts = 0;
+    /**
+     * True when the fast-forward snapshot came from a pre-computed
+     * checkpoint (disk hit or a batch-shared prefix) instead of being
+     * emulated in-process. Purely informational: results are byte-
+     * identical either way.
+     */
+    bool ckptHit = false;
+
     // Host-side performance of the simulation itself. These are the
     // only non-deterministic fields: everything above is bit-identical
     // across repeated runs, these track the simulator's own speed.
     double hostSeconds = 0.0; //!< wall-clock time of the runSim() call
+    double ffHostSeconds = 0.0; //!< wall-clock of the functional prefix
     double kips = 0.0;        //!< simulated kilo-instructions / host second
 
     /**
@@ -100,6 +117,20 @@ struct RunResult
 RunResult runSim(const isa::Program &prog, const SimConfig &cfg,
                  Memory *mem_out = nullptr,
                  const std::function<void(const O3Cpu &)> &inspect = {});
+
+/**
+ * Computes the fast-forward snapshot for @p prog after @p ffInsts
+ * functionally-emulated instructions: architectural registers, PC,
+ * the sparse memory image and the prefix's branch-outcome history.
+ * This is exactly the snapshot runSim() computes internally when
+ * SimConfig::fastForwardInsts is set and SimConfig::checkpoint is
+ * null, so passing the result back via SimConfig::checkpoint yields
+ * byte-identical simulation results. Used by the BatchRunner's shared
+ * warm-up cache and by "mssr_run --ckpt-dir" to create checkpoint
+ * files.
+ */
+Checkpoint computeCheckpoint(const isa::Program &prog,
+                             std::uint64_t ffInsts);
 
 /** Convenience: baseline configuration (no squash reuse). */
 SimConfig baselineConfig(std::uint64_t max_insts = 0);

@@ -111,4 +111,44 @@ Program::loadInto(Memory &mem) const
             mem.write8(addr + i, bytes[i]);
 }
 
+namespace
+{
+
+inline void
+fnv1a(std::uint64_t &h, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFF;
+        h *= 0x100000001b3ull;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+Program::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    fnv1a(h, codeBase_);
+    fnv1a(h, entry_);
+    fnv1a(h, dataBase_);
+    fnv1a(h, stackTop_);
+    fnv1a(h, insts_.size());
+    for (const Inst &inst : insts_) {
+        fnv1a(h, static_cast<std::uint64_t>(inst.op));
+        fnv1a(h, (std::uint64_t{inst.rd} << 16) |
+                     (std::uint64_t{inst.rs1} << 8) | inst.rs2);
+        fnv1a(h, static_cast<std::uint64_t>(inst.imm));
+    }
+    for (const auto &[addr, bytes] : dataChunks_) {
+        fnv1a(h, addr);
+        fnv1a(h, bytes.size());
+        for (std::size_t i = 0; i < bytes.size(); ++i) {
+            h ^= bytes[i];
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
 } // namespace mssr::isa

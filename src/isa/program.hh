@@ -93,6 +93,16 @@ class Program
     void loadInto(Memory &mem) const;
     /// @}
 
+    /**
+     * Deterministic content hash (FNV-1a over layout, code and data
+     * images). Two programs hash equal iff they load and execute
+     * identically, which is what keys the checkpoint cache: a
+     * checkpoint taken from one program is only valid for a program
+     * with the same hash. Labels are excluded (they are assembler
+     * metadata, not machine state).
+     */
+    std::uint64_t hash() const;
+
   private:
     Addr codeBase_;
     Addr entry_;

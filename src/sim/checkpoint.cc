@@ -1,0 +1,174 @@
+#include "sim/checkpoint.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "common/serialize.hh"
+#include "sim/memory.hh"
+
+namespace mssr
+{
+
+namespace
+{
+
+constexpr char CkptMagic[9] = "MSSRCKPT";
+constexpr std::uint32_t CkptVersion = 1;
+
+} // namespace
+
+std::vector<BranchOutcome>
+BranchHistory::inOrder() const
+{
+    std::vector<BranchOutcome> out;
+    out.reserve(recs_.size());
+    if (recs_.size() < cap_) {
+        out = recs_;
+    } else {
+        for (std::size_t i = 0; i < recs_.size(); ++i)
+            out.push_back(recs_[(head_ + i) % cap_]);
+    }
+    return out;
+}
+
+void
+Checkpoint::captureMemory(const Memory &mem)
+{
+    pageRuns.clear();
+    for (const auto &[pageNum, data] : mem.sortedPages()) {
+        if (!pageRuns.empty() &&
+            pageRuns.back().firstPage +
+                    pageRuns.back().data.size() / Memory::PageBytes ==
+                pageNum) {
+            pageRuns.back().data.insert(pageRuns.back().data.end(), data,
+                                        data + Memory::PageBytes);
+        } else {
+            PageRun run;
+            run.firstPage = pageNum;
+            run.data.assign(data, data + Memory::PageBytes);
+            pageRuns.push_back(std::move(run));
+        }
+    }
+}
+
+void
+Checkpoint::restoreMemory(Memory &mem) const
+{
+    for (const PageRun &run : pageRuns) {
+        const std::size_t n = run.data.size() / Memory::PageBytes;
+        for (std::size_t i = 0; i < n; ++i)
+            mem.loadPage(run.firstPage + i,
+                         run.data.data() + i * Memory::PageBytes);
+    }
+}
+
+void
+writeCheckpoint(const std::string &path, const Checkpoint &ckpt)
+{
+    SerialWriter w(CkptMagic, CkptVersion);
+
+    w.beginSection("META");
+    w.u64(ckpt.programHash);
+    w.u64(ckpt.ffInsts);
+    w.u64(ckpt.instret);
+    w.endSection();
+
+    w.beginSection("REGS");
+    w.u64(ckpt.pc);
+    w.u8(ckpt.halted ? 1 : 0);
+    for (RegVal r : ckpt.regs)
+        w.u64(r);
+    w.endSection();
+
+    w.beginSection("PAGE");
+    w.u64(ckpt.pageRuns.size());
+    for (const Checkpoint::PageRun &run : ckpt.pageRuns) {
+        w.u64(run.firstPage);
+        w.u64(run.data.size() / Memory::PageBytes);
+        w.bytes(run.data.data(), run.data.size());
+    }
+    w.endSection();
+
+    w.beginSection("BHST");
+    w.u64(ckpt.branchHist.size());
+    for (const BranchOutcome &b : ckpt.branchHist) {
+        w.u64(b.pc);
+        w.u64(b.next);
+        w.u8(b.taken ? 1 : 0);
+    }
+    w.endSection();
+
+    w.writeFile(path);
+}
+
+Checkpoint
+readCheckpoint(const std::string &path)
+{
+    SerialReader r(SerialReader::readFile(path), CkptMagic, CkptVersion);
+    Checkpoint ckpt;
+    bool meta = false, regs = false, page = false, bhst = false;
+    while (!r.atEnd()) {
+        const std::string tag = r.enterSection();
+        if (tag == "META") {
+            ckpt.programHash = r.u64();
+            ckpt.ffInsts = r.u64();
+            ckpt.instret = r.u64();
+            meta = true;
+        } else if (tag == "REGS") {
+            ckpt.pc = r.u64();
+            ckpt.halted = r.u8() != 0;
+            for (RegVal &reg : ckpt.regs)
+                reg = r.u64();
+            regs = true;
+        } else if (tag == "PAGE") {
+            const std::uint64_t runs = r.u64();
+            for (std::uint64_t i = 0; i < runs; ++i) {
+                Checkpoint::PageRun run;
+                run.firstPage = r.u64();
+                const std::uint64_t pages = r.u64();
+                if (pages > r.remaining() / Memory::PageBytes)
+                    throw SerializeError(
+                        "page-run count exceeds section size");
+                run.data.resize(static_cast<std::size_t>(pages) *
+                                Memory::PageBytes);
+                r.bytes(run.data.data(), run.data.size());
+                ckpt.pageRuns.push_back(std::move(run));
+            }
+            page = true;
+        } else if (tag == "BHST") {
+            const std::uint64_t n = r.u64();
+            if (n > r.remaining() / 17) // 8 + 8 + 1 bytes per record
+                throw SerializeError(
+                    "branch-history count exceeds section size");
+            ckpt.branchHist.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                BranchOutcome b;
+                b.pc = r.u64();
+                b.next = r.u64();
+                b.taken = r.u8() != 0;
+                ckpt.branchHist.push_back(b);
+            }
+            bhst = true;
+        } else {
+            // Unknown section: forward-compat would skip it, but v1
+            // has no optional sections, so treat it as corruption.
+            throw SerializeError("unknown section '" + tag + "'");
+        }
+        r.leaveSection();
+    }
+    if (!meta || !regs || !page || !bhst)
+        throw SerializeError("missing checkpoint section (truncated?)");
+    return ckpt;
+}
+
+std::string
+checkpointFileName(std::uint64_t program_hash, std::uint64_t ff_insts)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "ck_%016llx_ff%llu.ckpt",
+                  static_cast<unsigned long long>(program_hash),
+                  static_cast<unsigned long long>(ff_insts));
+    return buf;
+}
+
+} // namespace mssr

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Architectural checkpoints: the saved state of a functional
+ * fast-forward prefix, restorable into a fresh FuncEmu or used to
+ * construct an O3 core mid-program.
+ *
+ * A checkpoint captures exactly the architectural machine state --
+ * registers, PC, instret, halt flag, and the sparse memory image as
+ * run-length page records -- plus the branch-outcome history of the
+ * prefix (a bounded ring) so a detailed core constructed from the
+ * checkpoint can optionally warm its branch predictor by replaying
+ * committed control flow (SimConfig::warmBpu).
+ *
+ * On disk a checkpoint is an `mssr-ckpt-v1` container (see
+ * common/serialize.hh and docs/FORMATS.md): magic "MSSRCKPT",
+ * version 1, CRC-protected META/REGS/PAGE/BHST sections. Readers
+ * validate everything before touching caller state; a corrupt or
+ * mismatched file throws SerializeError and restores nothing.
+ */
+
+#ifndef MSSR_SIM_CHECKPOINT_HH
+#define MSSR_SIM_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mssr
+{
+
+class Memory;
+
+/** One committed control-flow outcome of the functional prefix. */
+struct BranchOutcome
+{
+    Addr pc = 0;     //!< static PC of the control instruction
+    Addr next = 0;   //!< actual next PC (target or fall-through)
+    bool taken = false;
+
+    bool operator==(const BranchOutcome &) const = default;
+};
+
+/**
+ * Bounded ring of the most recent branch outcomes. The functional
+ * emulator feeds this during a fast-forward run; the capacity bounds
+ * both checkpoint size and warm-up replay cost while retaining far
+ * more history than any predictor table needs.
+ */
+class BranchHistory
+{
+  public:
+    static constexpr std::size_t DefaultCapacity = 4096;
+
+    explicit BranchHistory(std::size_t capacity = DefaultCapacity)
+        : cap_(capacity)
+    {
+    }
+
+    void
+    note(Addr pc, bool taken, Addr next)
+    {
+        if (recs_.size() < cap_) {
+            recs_.push_back({pc, next, taken});
+        } else {
+            recs_[head_] = {pc, next, taken};
+            head_ = (head_ + 1) % cap_;
+        }
+    }
+
+    /** Records oldest-to-newest (the replay order). */
+    std::vector<BranchOutcome> inOrder() const;
+
+    std::size_t size() const { return recs_.size(); }
+
+  private:
+    std::size_t cap_;
+    std::size_t head_ = 0; //!< next overwrite slot once full
+    std::vector<BranchOutcome> recs_;
+};
+
+/**
+ * A saved architectural state. `ffInsts` is the requested prefix
+ * length (the cache key, together with `programHash`); `instret` is
+ * the count actually executed, which is smaller only when the program
+ * halted inside the prefix.
+ */
+struct Checkpoint
+{
+    /** A run of consecutive pages: `firstPage`, then data.size() /
+     *  Memory::PageBytes page images back to back. */
+    struct PageRun
+    {
+        Addr firstPage = 0;
+        std::vector<std::uint8_t> data;
+
+        bool operator==(const PageRun &) const = default;
+    };
+
+    std::uint64_t programHash = 0; //!< isa::Program::hash() of the program
+    std::uint64_t ffInsts = 0;     //!< requested fast-forward length
+    std::uint64_t instret = 0;     //!< instructions actually executed
+    Addr pc = 0;
+    bool halted = false;
+    std::array<RegVal, NumArchRegs> regs{};
+    std::vector<PageRun> pageRuns;        //!< sorted, coalesced pages
+    std::vector<BranchOutcome> branchHist; //!< oldest to newest
+
+    /** Writes every page run into @p mem (zero pages stay sparse only
+     *  if they were sparse at save time; content is what matters). */
+    void restoreMemory(Memory &mem) const;
+
+    /** Builds the run-length page records from @p mem. */
+    void captureMemory(const Memory &mem);
+
+    bool operator==(const Checkpoint &) const = default;
+};
+
+/** @name mssr-ckpt-v1 file I/O
+ * Both throw SerializeError on I/O failure; readCheckpoint also
+ * throws on bad magic, wrong version, truncation or CRC mismatch.
+ * writeCheckpoint goes through a temp-file + rename so readers never
+ * observe a torn file.
+ */
+/// @{
+void writeCheckpoint(const std::string &path, const Checkpoint &ckpt);
+Checkpoint readCheckpoint(const std::string &path);
+/// @}
+
+/**
+ * The canonical cache file name for a (program hash, fast-forward K)
+ * key inside a checkpoint directory: `ck_<hash:016x>_ff<K>.ckpt`.
+ */
+std::string checkpointFileName(std::uint64_t program_hash,
+                               std::uint64_t ff_insts);
+
+} // namespace mssr
+
+#endif // MSSR_SIM_CHECKPOINT_HH

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "sim/checkpoint.hh"
 
 namespace mssr
 {
@@ -45,11 +46,16 @@ FuncEmu::step()
         const Addr addr = isa::evalMemAddr(inst, a);
         mem_.write(addr, b, inst.memBytes());
     } else if (inst.isCondBranch()) {
-        if (isa::evalCondBranch(inst, a, b))
+        const bool taken = isa::evalCondBranch(inst, a, b);
+        if (taken)
             next_pc = isa::evalTarget(inst, pc_, a);
+        if (branchHist_)
+            branchHist_->note(pc_, taken, next_pc);
     } else if (inst.isJump()) {
         setReg(inst.rd, pc_ + InstBytes);
         next_pc = isa::evalTarget(inst, pc_, a);
+        if (branchHist_)
+            branchHist_->note(pc_, true, next_pc);
     } else {
         setReg(inst.rd, isa::evalAlu(inst, a, b));
     }
@@ -63,6 +69,26 @@ FuncEmu::run(std::uint64_t maxInsts)
     while (!halted_ && (maxInsts == 0 || instret_ - start < maxInsts))
         step();
     return instret_ - start;
+}
+
+void
+FuncEmu::saveState(Checkpoint &ckpt) const
+{
+    ckpt.pc = pc_;
+    ckpt.halted = halted_;
+    ckpt.instret = instret_;
+    ckpt.regs = regs_;
+    ckpt.captureMemory(mem_);
+}
+
+void
+FuncEmu::restoreState(const Checkpoint &ckpt)
+{
+    pc_ = ckpt.pc;
+    halted_ = ckpt.halted;
+    instret_ = ckpt.instret;
+    regs_ = ckpt.regs;
+    ckpt.restoreMemory(mem_);
 }
 
 } // namespace mssr

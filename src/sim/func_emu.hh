@@ -19,6 +19,9 @@
 namespace mssr
 {
 
+class BranchHistory;
+struct Checkpoint;
+
 /** Architectural machine state plus a step interpreter. */
 class FuncEmu
 {
@@ -53,6 +56,30 @@ class FuncEmu
     const std::array<RegVal, NumArchRegs> &regs() const { return regs_; }
     Memory &memory() { return mem_; }
 
+    /**
+     * Attaches a branch-outcome recorder: every executed control
+     * instruction (conditional branch or jump) appends its (pc, taken,
+     * next PC) to @p hist. Null detaches. Used by fast-forward runs to
+     * capture warm-up history for the detailed core's predictor.
+     */
+    void recordBranches(BranchHistory *hist) { branchHist_ = hist; }
+
+    /**
+     * Fills @p ckpt with the current architectural state: registers,
+     * PC, halt flag, instret and the full sparse memory image. Does
+     * not touch programHash/ffInsts/branchHist (the caller owns the
+     * cache identity and history).
+     */
+    void saveState(Checkpoint &ckpt) const;
+
+    /**
+     * Replaces the architectural state with @p ckpt's: registers, PC,
+     * halt flag, instret and memory pages. The bound program must be
+     * the one the checkpoint was taken from (callers validate via
+     * Checkpoint::programHash).
+     */
+    void restoreState(const Checkpoint &ckpt);
+
   private:
     const isa::Program &prog_;
     Memory &mem_;
@@ -60,6 +87,7 @@ class FuncEmu
     Addr pc_;
     bool halted_ = false;
     std::uint64_t instret_ = 0;
+    BranchHistory *branchHist_ = nullptr; //!< not owned; null = off
 };
 
 } // namespace mssr

@@ -1,5 +1,6 @@
 #include "sim/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hh"
@@ -79,6 +80,29 @@ Memory::write(Addr addr, std::uint64_t value, unsigned n)
         touchPage(a)[a % PageBytes] =
             static_cast<std::uint8_t>(value >> (8 * i));
     }
+}
+
+std::vector<std::pair<Addr, const std::uint8_t *>>
+Memory::sortedPages() const
+{
+    std::vector<std::pair<Addr, const std::uint8_t *>> out;
+    out.reserve(pages_.size());
+    for (const auto &[pageNum, page] : pages_)
+        out.emplace_back(pageNum, page->data());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
+void
+Memory::loadPage(Addr pageNum, const std::uint8_t *data)
+{
+    auto &slot = pages_[pageNum];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    std::memcpy(slot->data(), data, PageBytes);
+    cachedPageNum_ = pageNum;
+    cachedPage_ = slot.get();
 }
 
 bool

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -60,6 +62,17 @@ class Memory
      * zero-filled, so sparseness is not observable).
      */
     bool equals(const Memory &other) const;
+
+    /**
+     * All allocated pages as (page number, page bytes), sorted by page
+     * number -- the deterministic order checkpoints serialize in. The
+     * pointers stay valid until the next write()/loadPage().
+     */
+    std::vector<std::pair<Addr, const std::uint8_t *>> sortedPages() const;
+
+    /** Installs a full page image at @p pageNum (allocating it if
+     *  needed). Used by checkpoint restore. */
+    void loadPage(Addr pageNum, const std::uint8_t *data);
 
   private:
     using Page = std::array<std::uint8_t, PageBytes>;

@@ -41,7 +41,18 @@
  *                                slots" for flamegraph tooling). Feed
  *                                the JSON to tools/mssr_stats --annotate
  *                                / --topn for hot-branch listings.
+ *   --fast-forward K             run the first K instructions on the
+ *                                functional emulator, then simulate the
+ *                                remainder in detail from the snapshot
+ *                                (--max-insts then bounds the detailed
+ *                                region only)
+ *   --ckpt-dir DIR               cache fast-forward snapshots in DIR as
+ *                                mssr-ckpt-v1 files (load on hit, save
+ *                                on miss; corrupt files exit 2)
+ *   --warm-bpu                   pre-train the branch predictor from
+ *                                the prefix's recorded branch outcomes
  *   --list                       list available workloads
+ *   --help                       print this flag reference and exit 0
  *
  * Each job records into its own tracer, so tracing composes with
  * parallel execution and the per-job event streams stay deterministic.
@@ -49,6 +60,7 @@
 
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -58,6 +70,7 @@
 #include "analysis/report.hh"
 #include "common/argparse.hh"
 #include "common/cpi_stack.hh"
+#include "common/serialize.hh"
 #include "common/trace.hh"
 #include "driver/batch_runner.hh"
 #include "isa/assembler.hh"
@@ -68,18 +81,77 @@ using namespace mssr;
 namespace
 {
 
+void
+printUsage(std::ostream &os, const char *argv0)
+{
+    os << "usage: " << argv0
+       << " [--reuse none|rgid|regint] [--streams N] [--entries P]"
+          "\n        [--sets S] [--ways W] [--predictor tage|"
+          "gshare|bimodal]\n        [--max-insts N] [--scale G] "
+          "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
+          "[--trace-out FILE] [--interval K] [--stats-out FILE] "
+          "[--all-stats]\n        [--profile-out FILE] "
+          "[--fast-forward K] [--ckpt-dir DIR] [--warm-bpu]\n        "
+          "[--compare] (<workload>... | --asm <file.s> | --list)\n";
+}
+
 [[noreturn]] void
 usage(const char *argv0)
 {
-    std::cerr << "usage: " << argv0
-              << " [--reuse none|rgid|regint] [--streams N] [--entries P]"
-                 "\n        [--sets S] [--ways W] [--predictor tage|"
-                 "gshare|bimodal]\n        [--max-insts N] [--scale G] "
-                 "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
-                 "[--trace-out FILE] [--interval K] [--stats-out FILE] "
-                 "[--all-stats]\n        [--profile-out FILE] [--compare] "
-                 "(<workload>... | --asm <file.s> | --list)\n";
+    printUsage(std::cerr, argv0);
     std::exit(2);
+}
+
+/** Full flag reference for --help (stdout, exit 0 -- not an error). */
+[[noreturn]] void
+help(const char *argv0)
+{
+    printUsage(std::cout, argv0);
+    std::cout <<
+        "\nOptions:\n"
+        "  --reuse none|rgid|regint  squash-reuse scheme (default rgid)\n"
+        "  --streams N               RGID streams (default 4)\n"
+        "  --entries P               squash-log entries/stream (default "
+        "64)\n"
+        "  --sets S --ways W         Register Integration geometry "
+        "(default 64x4)\n"
+        "  --predictor tage|gshare|bimodal  branch predictor (default "
+        "tage)\n"
+        "  --max-insts N             stop after N detailed commits\n"
+        "  --scale G --iters I       workload sizing\n"
+        "  --jobs N                  worker threads (default: MSSR_JOBS "
+        "or hardware concurrency)\n"
+        "  --bloom                   Bloom hazard check instead of "
+        "re-execute verify\n"
+        "  --trace                   record pipeline events (text to "
+        "stderr)\n"
+        "  --trace-out FILE          write events as Chrome trace_event "
+        "JSON (implies --trace)\n"
+        "  --interval K              sample interval stats every K "
+        "cycles\n"
+        "  --stats-out FILE          write mssr-stats-v1 JSON (.prom: "
+        "Prometheus text)\n"
+        "  --profile-out FILE        write mssr-profile-v1 JSON (.folded: "
+        "flamegraph lines)\n"
+        "  --fast-forward K          functionally emulate the first K "
+        "insts, then simulate\n"
+        "                            the remainder in detail from the "
+        "snapshot\n"
+        "  --ckpt-dir DIR            cache fast-forward snapshots in DIR "
+        "(mssr-ckpt-v1;\n"
+        "                            load on hit, save on miss, corrupt "
+        "file exits 2)\n"
+        "  --warm-bpu                pre-train the predictor from the "
+        "prefix's branches\n"
+        "  --all-stats               dump every counter\n"
+        "  --compare                 also run the no-reuse baseline\n"
+        "  --asm FILE                assemble and run FILE instead of a "
+        "named workload\n"
+        "  --list                    list available workloads\n"
+        "  --help                    print this reference and exit 0\n"
+        "\nExit status: 0 success; 1 runtime failure; 2 bad usage or "
+        "invalid input file.\n";
+    std::exit(0);
 }
 
 /**
@@ -150,6 +222,7 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
            << "\", \"scheme\": \"" << toString(jobs[i].config.reuseKind)
            << "\", \"dispatch_width\": " << r.dispatchWidth
            << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
+           << ", \"ff_insts\": " << r.ffInsts
            << ", \"ipc\": " << r.ipc << ", \"cpi_slots\": ";
         writeJson(os, r.cpi);
         os << ", \"funnel\": ";
@@ -219,6 +292,9 @@ printSummary(const std::string &label, const RunResult &r)
         std::cout << ", reuses " << r.stats.get("reuse.success");
     if (r.stats.has("ri.integrations"))
         std::cout << ", integrations " << r.stats.get("ri.integrations");
+    if (r.ffInsts)
+        std::cout << " (+" << r.ffInsts << " ff insts, ckpt "
+                  << (r.ckptHit ? "hit" : "miss") << ")";
     std::cout << " [" << analysis::fixed(r.hostSeconds, 2) << "s host, "
               << analysis::fixed(r.kips, 0) << " kips]\n";
 }
@@ -236,6 +312,7 @@ main(int argc, char **argv)
     std::string traceOutFile;
     std::string statsOutFile;
     std::string profileOutFile;
+    std::string ckptDir;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
@@ -281,6 +358,17 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--max-insts") {
             cfg.maxInsts = numValue(argv[0], arg, next());
+        } else if (arg == "--fast-forward") {
+            cfg.fastForwardInsts = numValue(argv[0], arg, next(), 1);
+        } else if (arg == "--ckpt-dir") {
+            ckptDir = next();
+            if (ckptDir.empty()) {
+                std::cerr << "mssr_run: --ckpt-dir needs a non-empty "
+                             "directory\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--warm-bpu") {
+            cfg.warmBpu = true;
         } else if (arg == "--scale") {
             scale.graphScale = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--iters") {
@@ -316,7 +404,10 @@ main(int argc, char **argv)
                 std::cout << "\n";
             }
             return 0;
-        } else if (arg == "--help" || arg[0] == '-') {
+        } else if (arg == "--help") {
+            help(argv[0]);
+        } else if (arg[0] == '-') {
+            std::cerr << "mssr_run: unknown option '" << arg << "'\n";
             usage(argv[0]);
         } else {
             workloadNames.push_back(arg);
@@ -324,6 +415,12 @@ main(int argc, char **argv)
     }
     if (workloadNames.empty() && asmFile.empty())
         usage(argv[0]);
+    if (cfg.fastForwardInsts == 0 && (!ckptDir.empty() || cfg.warmBpu)) {
+        std::cerr << "mssr_run: "
+                  << (ckptDir.empty() ? "--warm-bpu" : "--ckpt-dir")
+                  << " requires --fast-forward K\n";
+        usage(argv[0]);
+    }
 
     // The three output files must be distinct: the last writer would
     // silently clobber the other's content otherwise.
@@ -385,10 +482,19 @@ main(int argc, char **argv)
                 SimConfig baseCfg = baselineConfig(cfg.maxInsts);
                 baseCfg.statsInterval = cfg.statsInterval;
                 baseCfg.profiling = cfg.profiling;
+                // Same region as the MSSR run -- and the same (program,
+                // K) warm-up group, so the pair shares one functional
+                // prefix through the BatchRunner cache.
+                baseCfg.fastForwardInsts = cfg.fastForwardInsts;
+                baseCfg.warmBpu = cfg.warmBpu;
                 addJob(labels[i] + "/baseline", &programs[i], baseCfg);
             }
         }
-        const BatchRunner runner(jobsOverride);
+        BatchRunner runner(jobsOverride);
+        if (!ckptDir.empty()) {
+            std::filesystem::create_directories(ckptDir);
+            runner.setCheckpointDir(ckptDir);
+        }
         const std::vector<RunResult> results = runner.run(jobs);
 
         if (!statsOutFile.empty()) {
@@ -472,6 +578,11 @@ main(int argc, char **argv)
                 r.stats.dump(std::cout);
         }
         return 0;
+    } catch (const SerializeError &e) {
+        // Corrupt/stale/mismatched checkpoint file: an input-validation
+        // failure with a clear diagnostic, same exit class as bad usage.
+        std::cerr << "mssr_run: checkpoint error: " << e.what() << "\n";
+        return 2;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;
