@@ -106,6 +106,16 @@ Harness::Harness(int argc, char **argv, std::string benchName,
         else
             warn("ignoring invalid MSSR_FF='", s, "'");
     }
+    if (const char *s = std::getenv("MSSR_FUNC_TIER")) {
+        const std::string v = s;
+        if (v == "fast")
+            funcTier_ = FuncTier::Fast;
+        else if (v == "interp")
+            funcTier_ = FuncTier::Interpreter;
+        else
+            warn("ignoring invalid MSSR_FUNC_TIER='", s,
+                 "' (want fast or interp); using fast");
+    }
 
     if (baselines == Baselines::Build) {
         std::vector<BatchJob> jobs;
@@ -139,6 +149,7 @@ Harness::job(const std::string &label, const std::string &workload,
         j.config.profiling = true;
     if (fastForward_ != 0)
         j.config.fastForwardInsts = fastForward_;
+    j.config.funcTier = funcTier_;
     return j;
 }
 
@@ -181,12 +192,17 @@ Harness::runBatch(const std::vector<BatchJob> &jobs)
                                       start)
             .count();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const double ffKips =
+            results[i].ffHostSeconds > 0.0
+                ? static_cast<double>(results[i].ffInsts) /
+                      results[i].ffHostSeconds / 1e3
+                : 0.0;
         records_.push_back({jobs[i].name, results[i].cycles,
                             results[i].insts, results[i].ipc,
                             results[i].hostSeconds, results[i].kips,
                             results[i].dispatchWidth, results[i].ffInsts,
                             results[i].ckptHit, results[i].ffHostSeconds,
-                            results[i].cpi,
+                            ffKips, results[i].cpi,
                             results[i].funnel, results[i].intervals,
                             topBranches(results[i].profile, 5)});
     }
@@ -222,6 +238,7 @@ Harness::writeJson() const
     os << "{\n";
     os << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n";
     os << "  \"threads\": " << threads() << ",\n";
+    os << "  \"func_tier\": \"" << toString(funcTier_) << "\",\n";
     os << "  \"jobs\": " << records_.size() << ",\n";
     os << "  \"wall_sec\": " << wallSeconds_ << ",\n";
     os << "  \"results\": [";
@@ -236,6 +253,7 @@ Harness::writeJson() const
            << ", \"ff_insts\": " << r.ffInsts
            << ", \"ckpt_hit\": " << (r.ckptHit ? "true" : "false")
            << ", \"ff_host_sec\": " << r.ffHostSec
+           << ", \"ff_kips\": " << r.ffKips
            << ", \"cpi\": ";
         mssr::writeJson(os, r.cpi);
         os << ", \"funnel\": ";

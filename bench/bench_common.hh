@@ -21,8 +21,14 @@
  *               warm-up snapshot (BatchRunner's checkpoint cache), so
  *               an N-config sweep pays the functional prefix once per
  *               workload; each BENCH_batch.json record carries its
- *               prefix length, checkpoint hit/miss and warm-up wall
- *               time ("ff_insts", "ckpt_hit", "ff_host_sec")
+ *               prefix length, checkpoint hit/miss, warm-up wall
+ *               time and throughput ("ff_insts", "ckpt_hit",
+ *               "ff_host_sec", "ff_kips")
+ *   MSSR_FUNC_TIER  functional tier for the warm-up prefixes: "fast"
+ *               (default; predecoded basic-block dispatch) or
+ *               "interp" (reference interpreter). Results are
+ *               bit-identical; the choice is recorded as the
+ *               top-level "func_tier" key of BENCH_batch.json
  *
  * Design points are executed by BatchRunner in submission order, so
  * every table printed to stdout is byte-identical to a sequential run
@@ -135,6 +141,7 @@ class Harness
         std::uint64_t ffInsts;
         bool ckptHit;
         double ffHostSec;
+        double ffKips;
         CpiStack cpi;
         ReuseFunnel funnel;
         std::vector<IntervalSample> intervals;
@@ -146,6 +153,7 @@ class Harness
     Cycle statsInterval_ = 0; //!< MSSR_INTERVAL; 0 disables sampling
     bool profile_ = false;    //!< MSSR_PROFILE; per-PC profiler on jobs
     std::uint64_t fastForward_ = 0; //!< MSSR_FF; shared warm-up prefix
+    FuncTier funcTier_ = FuncTier::Fast; //!< MSSR_FUNC_TIER
     BatchRunner runner_;
     WorkloadSet set_;
     std::vector<Record> records_;

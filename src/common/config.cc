@@ -31,4 +31,16 @@ toString(BranchPredictorKind kind)
     return "?";
 }
 
+std::string
+toString(FuncTier tier)
+{
+    switch (tier) {
+      case FuncTier::Fast:
+        return "fast";
+      case FuncTier::Interpreter:
+        return "interp";
+    }
+    return "?";
+}
+
 } // namespace mssr

@@ -27,6 +27,17 @@ enum class BranchPredictorKind
     TageScL,   //!< TAGE-SC-L 64K (Table 3 default)
 };
 
+/**
+ * Which functional-emulation tier executes fast-forward prefixes and
+ * trace captures. Both tiers are architecturally bit-identical
+ * (ctest-enforced cosim); they differ only in host speed.
+ */
+enum class FuncTier
+{
+    Fast,        //!< predecoded basic-block dispatch (sim/fast_emu.hh)
+    Interpreter, //!< reference step interpreter (sim/func_emu.hh)
+};
+
 /** Which squash-reuse mechanism (if any) is attached to the core. */
 enum class ReuseKind
 {
@@ -147,6 +158,16 @@ struct SimConfig
     std::uint64_t fastForwardInsts = 0;
 
     /**
+     * Which functional tier runs the fast-forward prefix (when
+     * SimConfig::checkpoint is null). The fast tier is the default;
+     * the interpreter is the golden reference, selectable for A/B
+     * timing and cross-checks ("mssr_run --func-tier interp"). The
+     * resulting snapshot -- and therefore every downstream statistic
+     * -- is bit-identical either way.
+     */
+    FuncTier funcTier = FuncTier::Fast;
+
+    /**
      * Warm the branch predictor from the checkpoint's recorded
      * branch-outcome history (the prefix's last few thousand control
      * instructions) before the detailed region starts. Off by default:
@@ -197,6 +218,9 @@ std::string toString(ReuseKind kind);
 
 /** Human-readable name for a BranchPredictorKind. */
 std::string toString(BranchPredictorKind kind);
+
+/** Human-readable name for a FuncTier. */
+std::string toString(FuncTier tier);
 
 } // namespace mssr
 

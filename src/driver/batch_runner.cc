@@ -49,6 +49,7 @@ struct PrefixGroup
 {
     const isa::Program *program = nullptr;
     std::uint64_t ffInsts = 0;
+    FuncTier tier = FuncTier::Fast; //!< first member's functional tier
     std::vector<std::size_t> jobIdx; //!< batch indices sharing it
     Checkpoint ckpt;
     bool diskHit = false;            //!< loaded from the checkpoint dir
@@ -88,6 +89,7 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
             groups.emplace_back();
             groups.back().program = jobs[i].program;
             groups.back().ffInsts = configs[i].fastForwardInsts;
+            groups.back().tier = configs[i].funcTier;
         }
         groups[it->second].jobIdx.push_back(i);
     }
@@ -104,7 +106,7 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
             g.ckpt = readCheckpoint(path);
             g.diskHit = true;
         } else {
-            g.ckpt = computeCheckpoint(*g.program, g.ffInsts);
+            g.ckpt = computeCheckpoint(*g.program, g.ffInsts, g.tier);
             if (!path.empty())
                 writeCheckpoint(path, g.ckpt);
         }

@@ -128,9 +128,15 @@ RunResult runSim(const isa::Program &prog, const SimConfig &cfg,
  * byte-identical simulation results. Used by the BatchRunner's shared
  * warm-up cache and by "mssr_run --ckpt-dir" to create checkpoint
  * files.
+ *
+ * @param tier which functional tier executes the prefix. The fast
+ *        predecoded tier (the default) and the reference interpreter
+ *        produce bit-identical checkpoints (ctest-enforced), so the
+ *        choice only affects host-side warm-up time.
  */
 Checkpoint computeCheckpoint(const isa::Program &prog,
-                             std::uint64_t ffInsts);
+                             std::uint64_t ffInsts,
+                             FuncTier tier = FuncTier::Fast);
 
 /** Convenience: baseline configuration (no squash reuse). */
 SimConfig baselineConfig(std::uint64_t max_insts = 0);

@@ -7,11 +7,16 @@ namespace mssr::isa
 {
 
 Program::Program()
-    : codeBase_(DefaultCodeBase),
-      entry_(DefaultCodeBase),
-      dataBase_(DefaultDataBase),
-      dataTop_(DefaultDataBase),
-      stackTop_(DefaultStackTop)
+    : Program(DefaultCodeBase, DefaultDataBase, DefaultStackTop)
+{
+}
+
+Program::Program(Addr code_base, Addr data_base, Addr stack_top)
+    : codeBase_(code_base),
+      entry_(code_base),
+      dataBase_(data_base),
+      dataTop_(data_base),
+      stackTop_(stack_top)
 {
 }
 
@@ -107,8 +112,7 @@ void
 Program::loadInto(Memory &mem) const
 {
     for (const auto &[addr, bytes] : dataChunks_)
-        for (std::size_t i = 0; i < bytes.size(); ++i)
-            mem.write8(addr + i, bytes[i]);
+        mem.writeBlock(addr, bytes.data(), bytes.size());
 }
 
 namespace

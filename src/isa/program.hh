@@ -38,6 +38,15 @@ class Program
 
     Program();
 
+    /**
+     * Constructs an empty program with an explicit memory layout.
+     * Used by trace replay to rebuild a program whose layout was
+     * recorded in an mssr-trace-v1 file; assembled and generated
+     * programs use the default constructor (and thus the Default*
+     * constants).
+     */
+    Program(Addr code_base, Addr data_base, Addr stack_top);
+
     /** @name Code image */
     /// @{
     Addr codeBase() const { return codeBase_; }
@@ -57,6 +66,24 @@ class Program
 
     /** The instruction at @p pc; pc must satisfy hasInst(). */
     const Inst &instAt(Addr pc) const;
+
+    /**
+     * The instruction at @p pc, or nullptr when @p pc does not address
+     * one. A single range/alignment check -- the hot-path alternative
+     * to a hasInst() + instAt() pair, which pays the check twice.
+     */
+    const Inst *
+    tryInstAt(Addr pc) const
+    {
+        const Addr off = pc - codeBase_;
+        if (pc < codeBase_ || off >= insts_.size() * InstBytes ||
+            off % InstBytes != 0)
+            return nullptr;
+        return &insts_[off / InstBytes];
+    }
+
+    /** The whole code image, in PC order from codeBase(). */
+    const std::vector<Inst> &insts() const { return insts_; }
 
     /** Appends an instruction, returning its PC. */
     Addr append(const Inst &inst);
@@ -91,6 +118,13 @@ class Program
 
     /** Copies the data image into @p mem. */
     void loadInto(Memory &mem) const;
+
+    /** The initialised data image as (address, bytes) chunks. */
+    const std::map<Addr, std::vector<std::uint8_t>> &
+    dataChunks() const
+    {
+        return dataChunks_;
+    }
     /// @}
 
     /**

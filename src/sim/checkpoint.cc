@@ -1,6 +1,7 @@
 #include "sim/checkpoint.hh"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
@@ -35,19 +36,24 @@ void
 Checkpoint::captureMemory(const Memory &mem)
 {
     pageRuns.clear();
-    for (const auto &[pageNum, data] : mem.sortedPages()) {
-        if (!pageRuns.empty() &&
-            pageRuns.back().firstPage +
-                    pageRuns.back().data.size() / Memory::PageBytes ==
-                pageNum) {
-            pageRuns.back().data.insert(pageRuns.back().data.end(), data,
-                                        data + Memory::PageBytes);
-        } else {
-            PageRun run;
-            run.firstPage = pageNum;
-            run.data.assign(data, data + Memory::PageBytes);
-            pageRuns.push_back(std::move(run));
-        }
+    const auto pages = mem.sortedPages();
+    // Find each contiguous run's extent first so its storage is
+    // allocated exactly once -- appending page by page re-copies the
+    // run on every vector growth, which hurts on MB-scale images.
+    std::size_t i = 0;
+    while (i < pages.size()) {
+        std::size_t j = i + 1;
+        while (j < pages.size() &&
+               pages[j].first == pages[j - 1].first + 1)
+            ++j;
+        PageRun run;
+        run.firstPage = pages[i].first;
+        run.data.resize((j - i) * Memory::PageBytes);
+        for (std::size_t k = i; k < j; ++k)
+            std::memcpy(run.data.data() + (k - i) * Memory::PageBytes,
+                        pages[k].second, Memory::PageBytes);
+        pageRuns.push_back(std::move(run));
+        i = j;
     }
 }
 

@@ -1,0 +1,337 @@
+#include "sim/exec_trace.hh"
+
+#include <limits>
+
+#include "common/serialize.hh"
+#include "sim/fast_emu.hh"
+#include "sim/memory.hh"
+
+namespace mssr
+{
+
+namespace
+{
+
+constexpr char TraceMagic[9] = "MSSRTRCE";
+constexpr std::uint32_t TraceVersion = 1;
+
+/** Zigzag maps signed deltas onto small unsigned varints. */
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** LEB128: 7 payload bits per byte, high bit = continuation. */
+void
+writeVarint(SerialWriter &w, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        w.u8(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    w.u8(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+readVarint(SerialReader &r)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const std::uint8_t byte = r.u8();
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80))
+            return v;
+    }
+    throw SerializeError("varint longer than 64 bits");
+}
+
+/** Unbounded history: capture keeps every control outcome. */
+BranchHistory
+unboundedHistory()
+{
+    return BranchHistory(std::numeric_limits<std::size_t>::max());
+}
+
+} // namespace
+
+isa::Program
+ExecTrace::reconstructProgram() const
+{
+    isa::Program prog(codeBase, dataBase, stackTop);
+    for (const isa::Inst &inst : code)
+        prog.append(inst);
+    prog.setEntry(entry);
+    for (const auto &[addr, bytes] : dataChunks)
+        prog.initBytes(addr, bytes);
+    if (prog.hash() != programHash)
+        throw SerializeError(
+            "trace program image does not hash to the recorded program "
+            "(corrupt or hand-edited trace)");
+    return prog;
+}
+
+void
+ExecTrace::verify(const isa::Program &prog) const
+{
+    Memory mem;
+    FastEmu emu(prog, mem);
+    BranchHistory hist = unboundedHistory();
+    emu.recordBranches(&hist);
+    std::uint64_t executed = 0;
+    if (instsExecuted > 0)
+        executed = emu.run(instsExecuted);
+    if (executed != instsExecuted)
+        throw SerializeError(
+            "trace replay executed " + std::to_string(executed) +
+            " instructions where the recording has " +
+            std::to_string(instsExecuted));
+    if (emu.halted() != halted || emu.pc() != finalPc)
+        throw SerializeError(
+            "trace replay final state diverges from the recording");
+    const std::vector<BranchOutcome> got = hist.inOrder();
+    if (got.size() != controls.size())
+        throw SerializeError(
+            "trace replay produced " + std::to_string(got.size()) +
+            " control outcomes where the recording has " +
+            std::to_string(controls.size()));
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        if (!(got[i] == controls[i]))
+            throw SerializeError(
+                "trace control stream diverges from replay at record " +
+                std::to_string(i));
+    }
+}
+
+ExecTrace
+captureTrace(const isa::Program &prog, std::uint64_t maxInsts,
+             std::string name)
+{
+    ExecTrace t;
+    t.name = std::move(name);
+    t.programHash = prog.hash();
+    t.codeBase = prog.codeBase();
+    t.entry = prog.entry();
+    t.dataBase = prog.dataBase();
+    t.stackTop = prog.stackTop();
+    t.code = prog.insts();
+    for (const auto &[addr, bytes] : prog.dataChunks())
+        t.dataChunks.emplace_back(addr, bytes);
+
+    Memory mem;
+    FastEmu emu(prog, mem);
+    BranchHistory hist = unboundedHistory();
+    emu.recordBranches(&hist);
+    t.instsExecuted = emu.run(maxInsts);
+    t.finalPc = emu.pc();
+    t.halted = emu.halted();
+    t.controls = hist.inOrder();
+    return t;
+}
+
+void
+writeTrace(const std::string &path, const ExecTrace &trace)
+{
+    SerialWriter w(TraceMagic, TraceVersion);
+
+    w.beginSection("META");
+    w.str(trace.name);
+    w.u64(trace.programHash);
+    w.u64(trace.codeBase);
+    w.u64(trace.entry);
+    w.u64(trace.dataBase);
+    w.u64(trace.stackTop);
+    w.u64(trace.instsExecuted);
+    w.u64(trace.finalPc);
+    w.u8(trace.halted ? 1 : 0);
+    w.u64(trace.controls.size());
+    w.endSection();
+
+    w.beginSection("CODE");
+    w.u64(trace.code.size());
+    for (const isa::Inst &inst : trace.code) {
+        w.u8(static_cast<std::uint8_t>(inst.op));
+        w.u8(inst.rd);
+        w.u8(inst.rs1);
+        w.u8(inst.rs2);
+        w.u64(static_cast<std::uint64_t>(inst.imm));
+    }
+    w.endSection();
+
+    w.beginSection("DATA");
+    w.u64(trace.dataChunks.size());
+    for (const auto &[addr, bytes] : trace.dataChunks) {
+        w.u64(addr);
+        w.u64(bytes.size());
+        w.bytes(bytes.data(), bytes.size());
+    }
+    w.endSection();
+
+    // Delta-encoded control stream. The PC delta is in instruction
+    // slots from the previous control PC (starting at entry), zigzag
+    // LEB128-coded with the taken bit and the indirect (JALR) flag in
+    // the low two bits. Direct targets (cond branch, JAL) are
+    // recomputed from CODE on read; only JALR carries an explicit
+    // next-PC delta (in halfwords: JALR targets are 2-aligned).
+    w.beginSection("BPTH");
+    w.u64(trace.controls.size());
+    Addr prevPc = trace.entry;
+    for (const BranchOutcome &b : trace.controls) {
+        const auto dSlots =
+            static_cast<std::int64_t>(b.pc - prevPc) / InstBytes;
+        const isa::Inst &inst =
+            trace.code[(b.pc - trace.codeBase) / InstBytes];
+        const bool indirect = inst.op == isa::Op::JALR;
+        writeVarint(w, (zigzag(dSlots) << 2) |
+                           (std::uint64_t{b.taken} << 1) |
+                           std::uint64_t{indirect});
+        if (indirect)
+            writeVarint(
+                w, zigzag(static_cast<std::int64_t>(
+                              b.next - (b.pc + InstBytes)) /
+                          2));
+        prevPc = b.pc;
+    }
+    w.endSection();
+
+    w.writeFile(path);
+}
+
+ExecTrace
+readTrace(const std::string &path)
+{
+    SerialReader r(SerialReader::readFile(path), TraceMagic, TraceVersion);
+    ExecTrace t;
+    std::uint64_t metaControls = 0;
+    bool meta = false, code = false, data = false, bpth = false;
+    while (!r.atEnd()) {
+        const std::string tag = r.enterSection();
+        if (tag == "META") {
+            t.name = r.str();
+            t.programHash = r.u64();
+            t.codeBase = r.u64();
+            t.entry = r.u64();
+            t.dataBase = r.u64();
+            t.stackTop = r.u64();
+            t.instsExecuted = r.u64();
+            t.finalPc = r.u64();
+            t.halted = r.u8() != 0;
+            metaControls = r.u64();
+            meta = true;
+        } else if (tag == "CODE") {
+            const std::uint64_t n = r.u64();
+            if (n > r.remaining() / 12) // 4 + 8 bytes per instruction
+                throw SerializeError(
+                    "instruction count exceeds section size");
+            t.code.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                isa::Inst inst;
+                const std::uint8_t op = r.u8();
+                if (op >= static_cast<std::uint8_t>(isa::Op::NumOps))
+                    throw SerializeError("invalid opcode in trace code");
+                inst.op = static_cast<isa::Op>(op);
+                inst.rd = r.u8();
+                inst.rs1 = r.u8();
+                inst.rs2 = r.u8();
+                if (inst.rd >= NumArchRegs || inst.rs1 >= NumArchRegs ||
+                    inst.rs2 >= NumArchRegs)
+                    throw SerializeError(
+                        "register index out of range in trace code");
+                inst.imm = static_cast<std::int64_t>(r.u64());
+                t.code.push_back(inst);
+            }
+            code = true;
+        } else if (tag == "DATA") {
+            const std::uint64_t chunks = r.u64();
+            if (chunks > r.remaining() / 16) // 8 + 8 byte header each
+                throw SerializeError("chunk count exceeds section size");
+            for (std::uint64_t i = 0; i < chunks; ++i) {
+                const Addr addr = r.u64();
+                const std::uint64_t len = r.u64();
+                if (len > r.remaining())
+                    throw SerializeError(
+                        "data chunk length exceeds section size");
+                std::vector<std::uint8_t> bytes(
+                    static_cast<std::size_t>(len));
+                r.bytes(bytes.data(), bytes.size());
+                t.dataChunks.emplace_back(addr, std::move(bytes));
+            }
+            data = true;
+        } else if (tag == "BPTH") {
+            if (!meta || !code)
+                throw SerializeError(
+                    "BPTH section precedes META/CODE (reordered trace)");
+            const std::uint64_t n = r.u64();
+            if (n != metaControls)
+                throw SerializeError(
+                    "control-stream count disagrees with META");
+            if (n > r.remaining()) // every record is at least one byte
+                throw SerializeError(
+                    "control-stream count exceeds section size");
+            t.controls.reserve(static_cast<std::size_t>(n));
+            Addr prevPc = t.entry;
+            const Addr codeEnd =
+                t.codeBase + t.code.size() * InstBytes;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t head = readVarint(r);
+                const bool indirect = head & 1;
+                const bool taken = head & 2;
+                const Addr pc =
+                    prevPc + static_cast<Addr>(unzigzag(head >> 2)) *
+                                 InstBytes;
+                if (pc < t.codeBase || pc >= codeEnd ||
+                    (pc - t.codeBase) % InstBytes != 0)
+                    throw SerializeError(
+                        "control-stream PC outside the code image");
+                const isa::Inst &inst =
+                    t.code[(pc - t.codeBase) / InstBytes];
+                BranchOutcome b;
+                b.pc = pc;
+                b.taken = taken;
+                if (indirect) {
+                    if (inst.op != isa::Op::JALR || !taken)
+                        throw SerializeError(
+                            "indirect control record does not match a "
+                            "taken JALR");
+                    b.next = pc + InstBytes +
+                             static_cast<Addr>(unzigzag(readVarint(r))) *
+                                 2;
+                } else if (inst.op == isa::Op::JAL) {
+                    if (!taken)
+                        throw SerializeError(
+                            "not-taken outcome recorded for a JAL");
+                    b.next = pc + static_cast<Addr>(inst.imm);
+                } else if (inst.isCondBranch()) {
+                    b.next = taken ? pc + static_cast<Addr>(inst.imm)
+                                   : pc + InstBytes;
+                } else {
+                    throw SerializeError(
+                        "control-stream PC addresses a non-control "
+                        "instruction");
+                }
+                t.controls.push_back(b);
+                prevPc = pc;
+            }
+            bpth = true;
+        } else {
+            // v1 has no optional sections: unknown tags are corruption.
+            throw SerializeError("unknown section '" + tag + "'");
+        }
+        r.leaveSection();
+    }
+    if (!meta || !code || !data || !bpth)
+        throw SerializeError("missing trace section (truncated?)");
+    if (t.instsExecuted < t.controls.size())
+        throw SerializeError(
+            "trace records more control outcomes than instructions");
+    return t;
+}
+
+} // namespace mssr

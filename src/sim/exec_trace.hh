@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Binary execution traces: capture a program's functional execution
+ * with the fast tier into a compact `mssr-trace-v1` file, and replay
+ * it to drive the detailed O3 core without the assembler or workload
+ * generators.
+ *
+ * A trace is self-contained: it embeds the full static program image
+ * (code + initialised data + memory layout) plus the dynamic control
+ * stream of the captured run as delta-encoded PCs and branch
+ * outcomes. The simulator is execution-driven -- wrong-path fetch
+ * needs the static program, and detailed stats depend on the
+ * predictor seeing real branches -- so replay reconstructs the
+ * program (hash-checked against the recorded isa::Program::hash())
+ * and feeds the core's frontend from it; the dynamic stream is the
+ * cross-check that the embedded image really reproduces the captured
+ * run (TraceReplaySource::verify() re-executes it on the fast tier
+ * and compares every control outcome). A replayed trace therefore
+ * yields byte-identical detailed-core statistics to a program-driven
+ * run of the same workload.
+ *
+ * On disk a trace is an `mssr-trace-v1` container (common/serialize,
+ * docs/FORMATS.md is normative): magic "MSSRTRCE", version 1,
+ * CRC-protected META/CODE/DATA/BPTH sections. The BPTH section
+ * delta-encodes control-flow PCs (zigzag LEB128 varints of the
+ * instruction-slot delta from the previous control PC) and packs the
+ * taken bit and indirect flag into the low bits; direct targets are
+ * recomputed from CODE, so only JALR records carry an explicit
+ * target delta. Readers validate everything -- magic, version, CRC,
+ * bounds, opcode/register ranges, stream consistency against CODE,
+ * and the program hash -- before any state is handed out; corruption
+ * throws SerializeError.
+ */
+
+#ifndef MSSR_SIM_EXEC_TRACE_HH
+#define MSSR_SIM_EXEC_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/checkpoint.hh"
+
+namespace mssr
+{
+
+/** An execution trace: static program image + dynamic control stream. */
+struct ExecTrace
+{
+    /**
+     * Label of the captured run (workload name / asm file). Replay
+     * reuses it as the run name so replayed statistics files are
+     * byte-identical to program-driven ones.
+     */
+    std::string name;
+
+    /** @name Static program image */
+    /// @{
+    std::uint64_t programHash = 0; //!< isa::Program::hash() at capture
+    Addr codeBase = 0;
+    Addr entry = 0;
+    Addr dataBase = 0;
+    Addr stackTop = 0;
+    std::vector<isa::Inst> code;
+    /** Initialised data chunks, address-ascending. */
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> dataChunks;
+    /// @}
+
+    /** @name Dynamic stream (the captured run) */
+    /// @{
+    std::uint64_t instsExecuted = 0; //!< instructions in the capture
+    Addr finalPc = 0;                //!< PC when the capture stopped
+    bool halted = false;             //!< capture ended at HALT
+    /** Every executed control instruction, oldest first. */
+    std::vector<BranchOutcome> controls;
+    /// @}
+
+    /**
+     * Rebuilds the embedded program and checks its hash against
+     * programHash. Throws SerializeError on mismatch: the image does
+     * not reproduce the program the trace was captured from.
+     */
+    isa::Program reconstructProgram() const;
+
+    /**
+     * Re-executes @p prog for instsExecuted instructions on the fast
+     * tier and compares the final state and every control outcome
+     * against the recorded dynamic stream. Throws SerializeError on
+     * any divergence. @p prog must be the reconstructed program.
+     */
+    void verify(const isa::Program &prog) const;
+
+    bool operator==(const ExecTrace &) const = default;
+};
+
+/**
+ * Captures @p maxInsts instructions (0 = run to HALT) of @p prog on
+ * the fast functional tier, recording the complete (unbounded)
+ * control history. @p name labels the capture (see ExecTrace::name).
+ */
+ExecTrace captureTrace(const isa::Program &prog, std::uint64_t maxInsts = 0,
+                       std::string name = {});
+
+/** @name mssr-trace-v1 file I/O
+ * Both throw SerializeError on I/O failure; readTrace also throws on
+ * bad magic, wrong version, truncation, CRC mismatch, out-of-range
+ * fields or a dynamic stream inconsistent with the embedded code.
+ * writeTrace goes through a temp-file + rename, like checkpoints.
+ */
+/// @{
+void writeTrace(const std::string &path, const ExecTrace &trace);
+ExecTrace readTrace(const std::string &path);
+/// @}
+
+/**
+ * Loads an mssr-trace-v1 file and reconstructs its program so the
+ * detailed core's frontend can fetch from it. Construction performs
+ * all structural validation (including the program-hash check);
+ * verify() additionally replays the dynamic stream on the fast tier
+ * and confirms it matches ("mssr_run --trace-replay" does both).
+ */
+class TraceReplaySource
+{
+  public:
+    explicit TraceReplaySource(const std::string &path)
+        : trace_(readTrace(path)), prog_(trace_.reconstructProgram())
+    {
+    }
+
+    const isa::Program &program() const { return prog_; }
+    const ExecTrace &trace() const { return trace_; }
+
+    /** Cross-checks the dynamic stream against the program. */
+    void verify() const { trace_.verify(prog_); }
+
+  private:
+    ExecTrace trace_;
+    isa::Program prog_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_SIM_EXEC_TRACE_HH

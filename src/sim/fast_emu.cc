@@ -1,0 +1,333 @@
+#include "sim/fast_emu.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "sim/checkpoint.hh"
+
+namespace mssr
+{
+
+FastEmu::FastEmu(const isa::Program &prog, Memory &mem)
+    : prog_(prog), mem_(mem), codeBase_(prog.codeBase()),
+      codeEnd_(prog.codeEnd()), pc_(prog.entry())
+{
+    prog_.loadInto(mem_);
+    regs_[2] = prog_.stackTop(); // sp
+
+    const std::vector<isa::Inst> &insts = prog_.insts();
+    uops_.resize(insts.size());
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const isa::Inst &inst = insts[i];
+        MicroOp &u = uops_[i];
+        u.kind = inst.op;
+        u.rd = inst.rd == 0 ? NumArchRegs : inst.rd;
+        u.rs1 = inst.rs1;
+        u.rs2 = inst.rs2;
+        u.imm = inst.imm;
+        if (inst.isCondBranch() || inst.op == isa::Op::JAL) {
+            u.target = pcAt(static_cast<std::uint32_t>(i)) +
+                       static_cast<Addr>(inst.imm);
+            u.targetIdx = indexOf(u.target);
+        }
+    }
+    // Backward pass: every micro-op learns its basic-block terminator
+    // (the first control/HALT at or after it; the end sentinel when
+    // the block runs off the code image).
+    std::uint32_t term = endIdx();
+    for (std::size_t i = insts.size(); i-- > 0;) {
+        if (insts[i].isControl() || insts[i].isHalt())
+            term = static_cast<std::uint32_t>(i);
+        uops_[i].blockEnd = term;
+    }
+}
+
+std::uint64_t
+FastEmu::run(std::uint64_t maxInsts)
+{
+    using isa::Op;
+    const std::uint64_t budget = maxInsts ? maxInsts : ~std::uint64_t(0);
+    std::uint64_t executed = 0;
+    RegVal *const regs = regs_.data();
+    const MicroOp *const uops = uops_.data();
+    const std::uint32_t end = endIdx();
+    std::uint32_t idx = indexOf(pc_);
+
+    while (!halted_ && executed < budget) {
+        if (idx >= end)
+            fatal("functional emulator: pc 0x", std::hex, pc_,
+                  " outside program code");
+        const std::uint32_t term = uops[idx].blockEnd;
+        const std::uint32_t start = idx;
+        const std::uint64_t left = budget - executed;
+        const std::uint32_t stop =
+            left < term - idx ? idx + static_cast<std::uint32_t>(left)
+                              : term;
+
+        // Straight-line stretch: one flat switch per instruction, no
+        // control or bounds checks until the block terminator.
+        while (idx < stop) {
+            const MicroOp &u = uops[idx];
+            switch (u.kind) {
+              case Op::ADD:
+                regs[u.rd] = regs[u.rs1] + regs[u.rs2];
+                break;
+              case Op::SUB:
+                regs[u.rd] = regs[u.rs1] - regs[u.rs2];
+                break;
+              case Op::AND:
+                regs[u.rd] = regs[u.rs1] & regs[u.rs2];
+                break;
+              case Op::OR:
+                regs[u.rd] = regs[u.rs1] | regs[u.rs2];
+                break;
+              case Op::XOR:
+                regs[u.rd] = regs[u.rs1] ^ regs[u.rs2];
+                break;
+              case Op::SLL:
+                regs[u.rd] = regs[u.rs1] << (regs[u.rs2] & 63);
+                break;
+              case Op::SRL:
+                regs[u.rd] = regs[u.rs1] >> (regs[u.rs2] & 63);
+                break;
+              case Op::SRA:
+                regs[u.rd] = static_cast<RegVal>(
+                    static_cast<std::int64_t>(regs[u.rs1]) >>
+                    (regs[u.rs2] & 63));
+                break;
+              case Op::SLT:
+                regs[u.rd] = static_cast<std::int64_t>(regs[u.rs1]) <
+                                     static_cast<std::int64_t>(regs[u.rs2])
+                                 ? 1
+                                 : 0;
+                break;
+              case Op::SLTU:
+                regs[u.rd] = regs[u.rs1] < regs[u.rs2] ? 1 : 0;
+                break;
+              case Op::MUL:
+                regs[u.rd] = regs[u.rs1] * regs[u.rs2];
+                break;
+              case Op::MULH:
+                regs[u.rd] = static_cast<RegVal>(
+                    (static_cast<__int128>(
+                         static_cast<std::int64_t>(regs[u.rs1])) *
+                     static_cast<__int128>(
+                         static_cast<std::int64_t>(regs[u.rs2]))) >>
+                    64);
+                break;
+              case Op::DIV: {
+                const RegVal a = regs[u.rs1], b = regs[u.rs2];
+                const auto sa = static_cast<std::int64_t>(a);
+                const auto sb = static_cast<std::int64_t>(b);
+                if (b == 0)
+                    regs[u.rd] = ~RegVal(0);
+                else if (sa == INT64_MIN && sb == -1)
+                    regs[u.rd] = a;
+                else
+                    regs[u.rd] = static_cast<RegVal>(sa / sb);
+                break;
+              }
+              case Op::REM: {
+                const RegVal a = regs[u.rs1], b = regs[u.rs2];
+                const auto sa = static_cast<std::int64_t>(a);
+                const auto sb = static_cast<std::int64_t>(b);
+                if (b == 0)
+                    regs[u.rd] = a;
+                else if (sa == INT64_MIN && sb == -1)
+                    regs[u.rd] = 0;
+                else
+                    regs[u.rd] = static_cast<RegVal>(sa % sb);
+                break;
+              }
+              case Op::ADDI:
+                regs[u.rd] = regs[u.rs1] + static_cast<RegVal>(u.imm);
+                break;
+              case Op::ANDI:
+                regs[u.rd] = regs[u.rs1] & static_cast<RegVal>(u.imm);
+                break;
+              case Op::ORI:
+                regs[u.rd] = regs[u.rs1] | static_cast<RegVal>(u.imm);
+                break;
+              case Op::XORI:
+                regs[u.rd] = regs[u.rs1] ^ static_cast<RegVal>(u.imm);
+                break;
+              case Op::SLLI:
+                regs[u.rd] = regs[u.rs1] << (u.imm & 63);
+                break;
+              case Op::SRLI:
+                regs[u.rd] = regs[u.rs1] >> (u.imm & 63);
+                break;
+              case Op::SRAI:
+                regs[u.rd] = static_cast<RegVal>(
+                    static_cast<std::int64_t>(regs[u.rs1]) >> (u.imm & 63));
+                break;
+              case Op::SLTI:
+                regs[u.rd] =
+                    static_cast<std::int64_t>(regs[u.rs1]) < u.imm ? 1 : 0;
+                break;
+              case Op::SLTIU:
+                regs[u.rd] =
+                    regs[u.rs1] < static_cast<RegVal>(u.imm) ? 1 : 0;
+                break;
+              case Op::LI:
+                regs[u.rd] = static_cast<RegVal>(u.imm);
+                break;
+              case Op::LB:
+                regs[u.rd] = static_cast<std::uint64_t>(sext(
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 1),
+                    8));
+                break;
+              case Op::LBU:
+                regs[u.rd] =
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 1);
+                break;
+              case Op::LH:
+                regs[u.rd] = static_cast<std::uint64_t>(sext(
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 2),
+                    16));
+                break;
+              case Op::LHU:
+                regs[u.rd] =
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 2);
+                break;
+              case Op::LW:
+                regs[u.rd] = static_cast<std::uint64_t>(sext(
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 4),
+                    32));
+                break;
+              case Op::LWU:
+                regs[u.rd] =
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 4);
+                break;
+              case Op::LD:
+                regs[u.rd] =
+                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 8);
+                break;
+              case Op::SB:
+                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
+                           regs[u.rs2], 1);
+                break;
+              case Op::SH:
+                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
+                           regs[u.rs2], 2);
+                break;
+              case Op::SW:
+                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
+                           regs[u.rs2], 4);
+                break;
+              case Op::SD:
+                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
+                           regs[u.rs2], 8);
+                break;
+              default: // NOP (control ops never appear mid-block)
+                break;
+            }
+            ++idx;
+        }
+        executed += idx - start;
+        if (idx < term || executed >= budget) {
+            // Budget ran out before the block's terminator: stop with
+            // the PC of the first unexecuted instruction.
+            pc_ = pcAt(idx);
+            break;
+        }
+        if (term == end) {
+            // The block runs off the code image. The next iteration
+            // fatals at pc = codeEnd, exactly when the interpreter
+            // would (only if there is budget left to execute it).
+            pc_ = codeEnd_;
+            idx = end;
+            continue;
+        }
+
+        // Block terminator: control transfer or HALT.
+        const MicroOp &u = uops[idx];
+        const Addr upc = pcAt(idx);
+        ++executed;
+        switch (u.kind) {
+          case Op::HALT:
+            halted_ = true;
+            pc_ = upc;
+            break;
+          case Op::JAL:
+            regs[u.rd] = upc + InstBytes;
+            pc_ = u.target;
+            idx = u.targetIdx;
+            if (branchHist_)
+                branchHist_->note(upc, true, u.target);
+            break;
+          case Op::JALR: {
+            const RegVal a = regs[u.rs1]; // read before the link write
+            regs[u.rd] = upc + InstBytes;
+            const Addr t = (a + static_cast<Addr>(u.imm)) & ~Addr(1);
+            pc_ = t;
+            idx = indexOf(t);
+            if (branchHist_)
+                branchHist_->note(upc, true, t);
+            break;
+          }
+          default: { // conditional branch
+            const RegVal a = regs[u.rs1];
+            const RegVal b = regs[u.rs2];
+            bool taken;
+            switch (u.kind) {
+              case Op::BEQ:
+                taken = a == b;
+                break;
+              case Op::BNE:
+                taken = a != b;
+                break;
+              case Op::BLT:
+                taken = static_cast<std::int64_t>(a) <
+                        static_cast<std::int64_t>(b);
+                break;
+              case Op::BGE:
+                taken = static_cast<std::int64_t>(a) >=
+                        static_cast<std::int64_t>(b);
+                break;
+              case Op::BLTU:
+                taken = a < b;
+                break;
+              default: // BGEU
+                taken = a >= b;
+                break;
+            }
+            if (taken) {
+                pc_ = u.target;
+                idx = u.targetIdx;
+            } else {
+                pc_ = upc + InstBytes;
+                idx = term + 1;
+            }
+            if (branchHist_)
+                branchHist_->note(upc, taken, pc_);
+            break;
+          }
+        }
+    }
+    instret_ += executed;
+    return executed;
+}
+
+void
+FastEmu::saveState(Checkpoint &ckpt) const
+{
+    ckpt.pc = pc_;
+    ckpt.halted = halted_;
+    ckpt.instret = instret_;
+    for (unsigned r = 0; r < NumArchRegs; ++r)
+        ckpt.regs[r] = regs_[r];
+    ckpt.captureMemory(mem_);
+}
+
+void
+FastEmu::restoreState(const Checkpoint &ckpt)
+{
+    pc_ = ckpt.pc;
+    halted_ = ckpt.halted;
+    instret_ = ckpt.instret;
+    for (unsigned r = 0; r < NumArchRegs; ++r)
+        regs_[r] = ckpt.regs[r];
+    ckpt.restoreMemory(mem_);
+}
+
+} // namespace mssr

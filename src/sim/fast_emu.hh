@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Fast functional tier: a predecoded basic-block dispatch cache over
+ * the same architectural semantics as FuncEmu.
+ *
+ * The reference interpreter (sim/func_emu.hh) re-resolves every
+ * dynamic instruction from scratch: a program-map range probe, a
+ * chained isLoad/isStore/isCondBranch/isJump classification, and an
+ * out-of-line evalAlu/evalTarget call per step. FastEmu predecodes
+ * the immutable program once at construction into a dense micro-op
+ * array indexed by (pc - codeBase) / InstBytes:
+ *
+ *  - each MicroOp carries the dense op kind, operand register
+ *    indices (rd = x0 remapped to a write sink so stores to x0 need
+ *    no branch), the immediate, and -- for direct control flow -- the
+ *    pre-resolved target address and target micro-op index;
+ *  - micro-ops are grouped into basic blocks: every record knows the
+ *    index of its block's terminator (the first control/HALT at or
+ *    after it), so the hot loop runs an unchecked straight-line
+ *    stretch with one flat switch per instruction and touches control
+ *    state only at block boundaries;
+ *  - taken branches chain block-to-block through the precomputed
+ *    target index; only JALR resolves its target dynamically.
+ *
+ * Programs are immutable after load, so the cache is never
+ * invalidated. The tier is bit-identical to FuncEmu -- arch
+ * registers, memory, instret, PC, halt behaviour, fatal-on-wild-PC
+ * timing, and the recorded branch history -- which the cosim tests
+ * (tests/test_fast_emu.cc) enforce across every workload and random
+ * programs.
+ */
+
+#ifndef MSSR_SIM_FAST_EMU_HH
+#define MSSR_SIM_FAST_EMU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "sim/memory.hh"
+
+namespace mssr
+{
+
+class BranchHistory;
+struct Checkpoint;
+
+/** Predecoded-dispatch functional emulator (FuncEmu's fast twin). */
+class FastEmu
+{
+  public:
+    /**
+     * Predecodes @p prog and binds to @p mem. Loads the program's
+     * data image and initialises pc = entry and sp = stackTop,
+     * exactly like FuncEmu's constructor.
+     */
+    FastEmu(const isa::Program &prog, Memory &mem);
+
+    /**
+     * Runs until HALT or @p maxInsts executed (0 = unbounded).
+     * @return number of instructions executed by this call.
+     */
+    std::uint64_t run(std::uint64_t maxInsts = 0);
+
+    bool halted() const { return halted_; }
+    Addr pc() const { return pc_; }
+    std::uint64_t instret() const { return instret_; }
+
+    RegVal reg(ArchReg r) const { return regs_[r]; }
+
+    /** The architectural register file (x0..x31). */
+    std::array<RegVal, NumArchRegs>
+    regs() const
+    {
+        std::array<RegVal, NumArchRegs> out;
+        for (unsigned r = 0; r < NumArchRegs; ++r)
+            out[r] = regs_[r];
+        return out;
+    }
+
+    Memory &memory() { return mem_; }
+
+    /** Same contract as FuncEmu::recordBranches. */
+    void recordBranches(BranchHistory *hist) { branchHist_ = hist; }
+
+    /** Same contract as FuncEmu::saveState. */
+    void saveState(Checkpoint &ckpt) const;
+
+    /** Same contract as FuncEmu::restoreState. */
+    void restoreState(const Checkpoint &ckpt);
+
+  private:
+    /** Index of the synthetic "ran off the end of the code image"
+     *  terminator; also the uop count. */
+    std::uint32_t endIdx() const
+    {
+        return static_cast<std::uint32_t>(uops_.size());
+    }
+
+    /** Dense uop index for @p pc, or endIdx() when pc is not a valid
+     *  instruction address of the program. */
+    std::uint32_t
+    indexOf(Addr pc) const
+    {
+        const Addr off = pc - codeBase_;
+        if (pc < codeBase_ || off % InstBytes != 0 ||
+            off / InstBytes >= uops_.size())
+            return endIdx();
+        return static_cast<std::uint32_t>(off / InstBytes);
+    }
+
+    Addr pcAt(std::uint32_t idx) const { return codeBase_ + idx * InstBytes; }
+
+    /**
+     * One predecoded instruction. `kind` is the dense isa::Op value
+     * driving a flat switch; `rd` has x0 remapped to the sink slot
+     * (index NumArchRegs) so destination writes are unconditional;
+     * `target`/`targetIdx` are the pre-resolved taken target of a
+     * conditional branch or JAL (targetIdx is the dense index, or the
+     * end sentinel for a target outside the code image); `blockEnd`
+     * is the index of this micro-op's basic-block terminator: the
+     * first control/HALT micro-op at or after it (== the uop count
+     * when the block falls off the end of the code image).
+     */
+    struct MicroOp
+    {
+        std::int64_t imm = 0;
+        Addr target = 0;
+        std::uint32_t targetIdx = 0;
+        std::uint32_t blockEnd = 0;
+        isa::Op kind = isa::Op::NOP;
+        std::uint8_t rd = 0;
+        std::uint8_t rs1 = 0;
+        std::uint8_t rs2 = 0;
+    };
+
+    const isa::Program &prog_;
+    Memory &mem_;
+    Addr codeBase_;
+    Addr codeEnd_;
+    std::vector<MicroOp> uops_;
+
+    /** x0..x31 plus one sink slot ([NumArchRegs]) absorbing writes of
+     *  rd = x0. The sink is never read: rs1/rs2 are never remapped. */
+    std::array<RegVal, NumArchRegs + 1> regs_{};
+    Addr pc_;
+    bool halted_ = false;
+    std::uint64_t instret_ = 0;
+    BranchHistory *branchHist_ = nullptr; //!< not owned; null = off
+};
+
+} // namespace mssr
+
+#endif // MSSR_SIM_FAST_EMU_HH

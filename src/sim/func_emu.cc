@@ -20,10 +20,11 @@ FuncEmu::step()
     using isa::Op;
     if (halted_)
         return;
-    if (!prog_.hasInst(pc_))
+    const isa::Inst *found = prog_.tryInstAt(pc_);
+    if (!found)
         fatal("functional emulator: pc 0x", std::hex, pc_,
               " outside program code");
-    const isa::Inst &inst = prog_.instAt(pc_);
+    const isa::Inst &inst = *found;
     ++instret_;
 
     const RegVal a = regs_[inst.rs1];

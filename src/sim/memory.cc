@@ -1,6 +1,7 @@
 #include "sim/memory.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "common/log.hh"
@@ -8,33 +9,44 @@
 namespace mssr
 {
 
+namespace
+{
+
+// The architecture is little-endian; on a little-endian host a
+// within-page access is a straight memcpy (a single load/store for
+// the common aligned widths). Big-endian hosts keep the portable
+// byte loop.
+constexpr bool HostIsLittle = std::endian::native == std::endian::little;
+
+} // namespace
+
 const Memory::Page *
 Memory::findPage(Addr addr) const
 {
     const Addr pageNum = addr / PageBytes;
-    if (cachedPage_ && cachedPageNum_ == pageNum)
-        return cachedPage_;
+    TlbEntry &e = tlb_[pageNum & (TlbEntries - 1)];
+    if (e.page && e.pageNum == pageNum)
+        return e.page;
     auto it = pages_.find(pageNum);
     if (it == pages_.end())
         return nullptr;
-    cachedPageNum_ = pageNum;
-    cachedPage_ = it->second.get();
-    return cachedPage_;
+    e = {pageNum, it->second.get()};
+    return e.page;
 }
 
 Memory::Page &
 Memory::touchPage(Addr addr)
 {
     const Addr pageNum = addr / PageBytes;
-    if (cachedPage_ && cachedPageNum_ == pageNum)
-        return *cachedPage_;
+    TlbEntry &e = tlb_[pageNum & (TlbEntries - 1)];
+    if (e.page && e.pageNum == pageNum)
+        return *e.page;
     auto &slot = pages_[pageNum];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
-    cachedPageNum_ = pageNum;
-    cachedPage_ = slot.get();
+    e = {pageNum, slot.get()};
     return *slot;
 }
 
@@ -49,9 +61,13 @@ Memory::read(Addr addr, unsigned n) const
         if (!page)
             return 0;
         std::uint64_t out = 0;
-        for (unsigned i = 0; i < n; ++i)
-            out |= static_cast<std::uint64_t>((*page)[offset + i])
-                   << (8 * i);
+        if constexpr (HostIsLittle) {
+            std::memcpy(&out, page->data() + offset, n);
+        } else {
+            for (unsigned i = 0; i < n; ++i)
+                out |= static_cast<std::uint64_t>((*page)[offset + i])
+                       << (8 * i);
+        }
         return out;
     }
     std::uint64_t out = 0;
@@ -71,14 +87,32 @@ Memory::write(Addr addr, std::uint64_t value, unsigned n)
     const std::size_t offset = addr % PageBytes;
     if (offset + n <= PageBytes) {
         Page &page = touchPage(addr);
-        for (unsigned i = 0; i < n; ++i)
-            page[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        if constexpr (HostIsLittle) {
+            std::memcpy(page.data() + offset, &value, n);
+        } else {
+            for (unsigned i = 0; i < n; ++i)
+                page[offset + i] =
+                    static_cast<std::uint8_t>(value >> (8 * i));
+        }
         return;
     }
     for (unsigned i = 0; i < n; ++i) {
         const Addr a = addr + i;
         touchPage(a)[a % PageBytes] =
             static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+Memory::writeBlock(Addr addr, const std::uint8_t *data, std::size_t n)
+{
+    while (n > 0) {
+        const std::size_t offset = addr % PageBytes;
+        const std::size_t span = std::min(n, PageBytes - offset);
+        std::memcpy(touchPage(addr).data() + offset, data, span);
+        addr += span;
+        data += span;
+        n -= span;
     }
 }
 
@@ -101,8 +135,7 @@ Memory::loadPage(Addr pageNum, const std::uint8_t *data)
     if (!slot)
         slot = std::make_unique<Page>();
     std::memcpy(slot->data(), data, PageBytes);
-    cachedPageNum_ = pageNum;
-    cachedPage_ = slot.get();
+    tlb_[pageNum & (TlbEntries - 1)] = {pageNum, slot.get()};
 }
 
 bool

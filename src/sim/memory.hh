@@ -3,11 +3,12 @@
  * Sparse byte-addressable backing memory for the simulated machine.
  * Pages are allocated on first touch and zero-initialised.
  *
- * A one-entry last-page cache in front of the page map serves the
- * common sequential access pattern (loops marching through arrays,
- * stack traffic) without an unordered_map probe per byte. Page
- * storage is unique_ptr-owned, so the cached raw pointer stays valid
- * across map rehashes.
+ * A small direct-mapped translation cache in front of the page map
+ * serves the common access patterns — sequential marches, stack
+ * traffic, and loops alternating between a handful of arrays (graph
+ * CSR offsets / neighbors / frontier) — without an unordered_map
+ * probe per access. Page storage is unique_ptr-owned, so cached raw
+ * pointers stay valid across map rehashes.
  */
 
 #ifndef MSSR_SIM_MEMORY_HH
@@ -36,6 +37,10 @@ class Memory
 
     /** Writes the low @p n bytes (n <= 8) of @p value at @p addr. */
     void write(Addr addr, std::uint64_t value, unsigned n);
+
+    /** Bulk-writes @p n bytes at @p addr, page-sized memcpy spans --
+     *  the program-image / data-blob installation path. */
+    void writeBlock(Addr addr, const std::uint8_t *data, std::size_t n);
 
     std::uint64_t read64(Addr addr) const { return read(addr, 8); }
     std::uint32_t
@@ -82,11 +87,17 @@ class Memory
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
 
-    // Last-page cache: page number + raw pointer of the most recently
-    // accessed *allocated* page. Never caches absence (a read miss
-    // would otherwise go stale when a later write allocates the page).
-    mutable Addr cachedPageNum_ = 0;
-    mutable Page *cachedPage_ = nullptr;
+    // Direct-mapped page-translation cache, indexed by the low bits
+    // of the page number. Only *allocated* pages are cached — never
+    // absence (a cached read miss would go stale when a later write
+    // allocates the page).
+    static constexpr std::size_t TlbEntries = 64; // power of two
+    struct TlbEntry
+    {
+        Addr pageNum = 0;
+        Page *page = nullptr;
+    };
+    mutable std::array<TlbEntry, TlbEntries> tlb_{};
 };
 
 } // namespace mssr

@@ -1,0 +1,201 @@
+/**
+ * Binary execution traces (mssr-trace-v1): lossless round-trips
+ * through the on-disk container, replay that reproduces the detailed
+ * core's statistics bit-for-bit, and adversarial inputs -- every
+ * truncation length and every flipped byte must raise SerializeError,
+ * never crash and never hand back partially-validated state. Mirrors
+ * the checkpoint corruption suite in test_serialize.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "driver/sim_runner.hh"
+#include "isa/assembler.hh"
+#include "sim/exec_trace.hh"
+#include "workloads/registry.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+workloads::WorkloadScale
+testScale()
+{
+    workloads::WorkloadScale scale;
+    scale.graphScale = 6;
+    scale.iterations = 60;
+    return scale;
+}
+
+/** A small branchy capture exercising every control-record shape. */
+ExecTrace
+sampleTrace()
+{
+    // Conditional branches both ways, a JAL, a taken JALR (the only
+    // explicit-target record shape) and initialised data.
+    isa::Program prog;
+    prog.allocData("arena", 64);
+    isa::assemble(prog, R"(
+        la s2, arena
+        li t0, 0
+        li t1, 5
+    loop:
+        andi t2, t0, 1
+        beqz t2, even
+        sd t0, 0(s2)
+    even:
+        call helper
+        addi t0, t0, 1
+        blt t0, t1, loop
+        halt
+    helper:
+        addi a0, a0, 7
+        ret
+    )");
+    // Pre-initialised bytes so the DATA section is non-trivial.
+    prog.initBytes(prog.label("arena"), {1, 2, 3, 4, 5, 6, 7, 8});
+    return captureTrace(prog, 0, "sample");
+}
+
+} // namespace
+
+TEST(ExecTrace, CaptureRoundTripsThroughDisk)
+{
+    const ExecTrace trace = sampleTrace();
+    EXPECT_TRUE(trace.halted);
+    EXPECT_GT(trace.controls.size(), 10u);
+    EXPECT_FALSE(trace.dataChunks.empty());
+
+    const std::string path = tempPath("trace_roundtrip.trace");
+    writeTrace(path, trace);
+    const ExecTrace back = readTrace(path);
+    std::filesystem::remove(path);
+    EXPECT_TRUE(back == trace);
+}
+
+TEST(ExecTrace, WorkloadCaptureRoundTripsAndVerifies)
+{
+    const isa::Program prog =
+        workloads::buildWorkload("bfs", testScale());
+    const ExecTrace trace = captureTrace(prog, 5000, "bfs");
+    EXPECT_EQ(trace.instsExecuted, 5000u);
+    EXPECT_EQ(trace.programHash, prog.hash());
+
+    const std::string path = tempPath("trace_bfs.trace");
+    writeTrace(path, trace);
+    TraceReplaySource replay(path);
+    std::filesystem::remove(path);
+    EXPECT_TRUE(replay.trace() == trace);
+    EXPECT_EQ(replay.program().hash(), prog.hash());
+    EXPECT_NO_THROW(replay.verify());
+}
+
+TEST(ExecTrace, ReplayedProgramReproducesDetailedStats)
+{
+    // The tentpole guarantee: simulating the reconstructed program
+    // yields the same detailed-core results as the original.
+    const isa::Program prog =
+        workloads::buildWorkload("nested-mispred", testScale());
+    const ExecTrace trace = captureTrace(prog, 0, "nested-mispred");
+    const isa::Program rebuilt = trace.reconstructProgram();
+
+    SimConfig cfg;
+    cfg.reuseKind = ReuseKind::Rgid;
+    cfg.maxInsts = 20000;
+    const RunResult a = runSim(prog, cfg);
+    const RunResult b = runSim(rebuilt, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.insts, b.insts);
+    EXPECT_EQ(a.archRegs, b.archRegs);
+    EXPECT_TRUE(a.stats.scalars() == b.stats.scalars());
+}
+
+TEST(ExecTrace, EveryTruncationThrowsCleanly)
+{
+    const ExecTrace trace = sampleTrace();
+    const std::string path = tempPath("trace_trunc.trace");
+    writeTrace(path, trace);
+    const std::vector<std::uint8_t> img = SerialReader::readFile(path);
+
+    auto writeRaw = [&](const std::vector<std::uint8_t> &data) {
+        std::ofstream os(path, std::ios::binary);
+        os.write(reinterpret_cast<const char *>(data.data()),
+                 static_cast<std::streamsize>(data.size()));
+    };
+    for (std::size_t n = 0; n < img.size(); ++n) {
+        writeRaw({img.begin(), img.begin() + n});
+        EXPECT_THROW(readTrace(path), SerializeError)
+            << "truncated to " << n << " of " << img.size() << " bytes";
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ExecTrace, EveryFlippedByteThrowsCleanly)
+{
+    // Any single corrupted byte -- magic, version, tag, length,
+    // payload or CRC -- must surface as SerializeError before any
+    // state escapes the reader.
+    const ExecTrace trace = sampleTrace();
+    const std::string path = tempPath("trace_flip.trace");
+    writeTrace(path, trace);
+    const std::vector<std::uint8_t> img = SerialReader::readFile(path);
+
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        std::vector<std::uint8_t> bad = img;
+        bad[i] ^= 0x40;
+        std::ofstream os(path, std::ios::binary);
+        os.write(reinterpret_cast<const char *>(bad.data()),
+                 static_cast<std::streamsize>(bad.size()));
+        os.close();
+        EXPECT_THROW(readTrace(path), SerializeError)
+            << "flipped byte " << i;
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ExecTrace, HandEditedProgramImageFailsTheHashCheck)
+{
+    // A structurally valid trace whose code no longer matches the
+    // recorded hash must be rejected at reconstruction: replaying an
+    // edited program against the captured stream would be garbage.
+    ExecTrace trace = sampleTrace();
+    trace.code[1].imm ^= 1;
+    EXPECT_THROW(trace.reconstructProgram(), SerializeError);
+}
+
+TEST(ExecTrace, DivergentDynamicStreamFailsVerify)
+{
+    ExecTrace trace = sampleTrace();
+    const isa::Program prog = trace.reconstructProgram();
+
+    ExecTrace wrongCount = trace;
+    wrongCount.instsExecuted += 1;
+    EXPECT_THROW(wrongCount.verify(prog), SerializeError);
+
+    ExecTrace wrongOutcome = trace;
+    ASSERT_FALSE(wrongOutcome.controls.empty());
+    wrongOutcome.controls.back().taken =
+        !wrongOutcome.controls.back().taken;
+    EXPECT_THROW(wrongOutcome.verify(prog), SerializeError);
+
+    EXPECT_NO_THROW(trace.verify(prog));
+}
+
+TEST(ExecTrace, MissingFileThrows)
+{
+    EXPECT_THROW(readTrace(tempPath("no_such.trace")), SerializeError);
+}

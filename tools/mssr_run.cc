@@ -51,6 +51,25 @@
  *                                on miss; corrupt files exit 2)
  *   --warm-bpu                   pre-train the branch predictor from
  *                                the prefix's recorded branch outcomes
+ *   --func-tier fast|interp      which functional tier runs fast-forward
+ *                                prefixes: the predecoded basic-block
+ *                                dispatch cache (default) or the
+ *                                reference step interpreter. Results are
+ *                                bit-identical; only warm-up speed
+ *                                changes
+ *   --trace-capture FILE         run the workload on the fast functional
+ *                                tier only (bounded by --max-insts) and
+ *                                write the execution as an mssr-trace-v1
+ *                                file; no detailed simulation happens
+ *   --trace-replay FILE          load an mssr-trace-v1 file, verify its
+ *                                dynamic stream against the embedded
+ *                                program, and run the detailed core on
+ *                                it (replaces <workload>/--asm; corrupt
+ *                                files exit 2)
+ *   --stats-host-time            include warm-up host timing (ff_host_sec,
+ *                                ff_kips) in --stats-out JSON. Off by
+ *                                default so stats files stay
+ *                                byte-deterministic across hosts
  *   --list                       list available workloads
  *   --help                       print this flag reference and exit 0
  *
@@ -58,11 +77,13 @@
  * parallel execution and the per-job event streams stay deterministic.
  */
 
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -74,6 +95,7 @@
 #include "common/trace.hh"
 #include "driver/batch_runner.hh"
 #include "isa/assembler.hh"
+#include "sim/exec_trace.hh"
 #include "workloads/registry.hh"
 
 using namespace mssr;
@@ -92,7 +114,9 @@ printUsage(std::ostream &os, const char *argv0)
           "[--trace-out FILE] [--interval K] [--stats-out FILE] "
           "[--all-stats]\n        [--profile-out FILE] "
           "[--fast-forward K] [--ckpt-dir DIR] [--warm-bpu]\n        "
-          "[--compare] (<workload>... | --asm <file.s> | --list)\n";
+          "[--func-tier fast|interp] [--trace-capture FILE] "
+          "[--stats-host-time]\n        [--compare] (<workload>... | "
+          "--asm <file.s> | --trace-replay FILE | --list)\n";
 }
 
 [[noreturn]] void
@@ -143,6 +167,25 @@ help(const char *argv0)
         "file exits 2)\n"
         "  --warm-bpu                pre-train the predictor from the "
         "prefix's branches\n"
+        "  --func-tier fast|interp   functional tier for fast-forward "
+        "prefixes (default\n"
+        "                            fast: predecoded basic-block "
+        "dispatch; interp: the\n"
+        "                            reference interpreter; results are "
+        "bit-identical)\n"
+        "  --trace-capture FILE      capture the workload's functional "
+        "execution (bounded\n"
+        "                            by --max-insts) to an mssr-trace-v1 "
+        "file; skips\n"
+        "                            detailed simulation\n"
+        "  --trace-replay FILE       verify and run an mssr-trace-v1 "
+        "file on the detailed\n"
+        "                            core (replaces <workload>/--asm; "
+        "corrupt file exits 2)\n"
+        "  --stats-host-time         include ff_host_sec/ff_kips in "
+        "--stats-out JSON\n"
+        "                            (off by default: keeps stats files "
+        "byte-deterministic)\n"
         "  --all-stats               dump every counter\n"
         "  --compare                 also run the no-reuse baseline\n"
         "  --asm FILE                assemble and run FILE instead of a "
@@ -211,7 +254,7 @@ jsonEscape(const std::string &s)
  */
 void
 writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
-               const std::vector<RunResult> &results)
+               const std::vector<RunResult> &results, bool host_time)
 {
     os.precision(17); // counters round-trip exactly through stod
     os << "{\n  \"schema\": \"mssr-stats-v1\",\n  \"runs\": [";
@@ -222,8 +265,20 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
            << "\", \"scheme\": \"" << toString(jobs[i].config.reuseKind)
            << "\", \"dispatch_width\": " << r.dispatchWidth
            << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
-           << ", \"ff_insts\": " << r.ffInsts
-           << ", \"ipc\": " << r.ipc << ", \"cpi_slots\": ";
+           << ", \"ff_insts\": " << r.ffInsts;
+        if (host_time) {
+            // Opt-in: host-side numbers vary run to run, so default
+            // stats files stay byte-identical across hosts and
+            // repeats (the documented determinism contract).
+            const double ffKips =
+                r.ffHostSeconds > 0.0
+                    ? static_cast<double>(r.ffInsts) / r.ffHostSeconds /
+                          1e3
+                    : 0.0;
+            os << ", \"ff_host_sec\": " << r.ffHostSeconds
+               << ", \"ff_kips\": " << ffKips;
+        }
+        os << ", \"ipc\": " << r.ipc << ", \"cpi_slots\": ";
         writeJson(os, r.cpi);
         os << ", \"funnel\": ";
         writeJson(os, r.funnel);
@@ -292,9 +347,20 @@ printSummary(const std::string &label, const RunResult &r)
         std::cout << ", reuses " << r.stats.get("reuse.success");
     if (r.stats.has("ri.integrations"))
         std::cout << ", integrations " << r.stats.get("ri.integrations");
-    if (r.ffInsts)
+    if (r.ffInsts) {
         std::cout << " (+" << r.ffInsts << " ff insts, ckpt "
-                  << (r.ckptHit ? "hit" : "miss") << ")";
+                  << (r.ckptHit ? "hit" : "miss");
+        // Warm-up throughput. Only the group owner paid for the prefix
+        // (disk hits and shared-group members carry ~0s), so only it
+        // gets a meaningful rate.
+        if (r.ffHostSeconds > 0.0 && !r.ckptHit)
+            std::cout << ", ff "
+                      << analysis::fixed(static_cast<double>(r.ffInsts) /
+                                             r.ffHostSeconds / 1e3,
+                                         0)
+                      << " kips";
+        std::cout << ")";
+    }
     std::cout << " [" << analysis::fixed(r.hostSeconds, 2) << "s host, "
               << analysis::fixed(r.kips, 0) << " kips]\n";
 }
@@ -313,10 +379,13 @@ main(int argc, char **argv)
     std::string statsOutFile;
     std::string profileOutFile;
     std::string ckptDir;
+    std::string traceCaptureFile;
+    std::string traceReplayFile;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
     bool compare = false;
+    bool statsHostTime = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -369,6 +438,33 @@ main(int argc, char **argv)
             }
         } else if (arg == "--warm-bpu") {
             cfg.warmBpu = true;
+        } else if (arg == "--func-tier") {
+            const std::string v = next();
+            if (v == "fast")
+                cfg.funcTier = FuncTier::Fast;
+            else if (v == "interp")
+                cfg.funcTier = FuncTier::Interpreter;
+            else {
+                std::cerr << "mssr_run: invalid value '" << v
+                          << "' for --func-tier (want fast or interp)\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--trace-capture") {
+            traceCaptureFile = next();
+            if (traceCaptureFile.empty()) {
+                std::cerr << "mssr_run: --trace-capture needs a non-empty "
+                             "file name\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--trace-replay") {
+            traceReplayFile = next();
+            if (traceReplayFile.empty()) {
+                std::cerr << "mssr_run: --trace-replay needs a non-empty "
+                             "file name\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--stats-host-time") {
+            statsHostTime = true;
         } else if (arg == "--scale") {
             scale.graphScale = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--iters") {
@@ -413,8 +509,34 @@ main(int argc, char **argv)
             workloadNames.push_back(arg);
         }
     }
-    if (workloadNames.empty() && asmFile.empty())
+    if (workloadNames.empty() && asmFile.empty() && traceReplayFile.empty())
         usage(argv[0]);
+    if (!traceCaptureFile.empty() && !traceReplayFile.empty()) {
+        std::cerr << "mssr_run: --trace-capture and --trace-replay are "
+                     "mutually exclusive\n";
+        usage(argv[0]);
+    }
+    if (!traceCaptureFile.empty()) {
+        // Capture is functional-only: exactly one program, and the
+        // detailed-simulation knobs have nothing to act on.
+        if (workloadNames.size() + (asmFile.empty() ? 0 : 1) != 1) {
+            std::cerr << "mssr_run: --trace-capture records exactly one "
+                         "workload (or one --asm file)\n";
+            usage(argv[0]);
+        }
+        if (cfg.fastForwardInsts != 0 || compare) {
+            std::cerr << "mssr_run: --trace-capture skips detailed "
+                         "simulation; drop "
+                      << (compare ? "--compare" : "--fast-forward") << "\n";
+            usage(argv[0]);
+        }
+    }
+    if (!traceReplayFile.empty() &&
+        (!workloadNames.empty() || !asmFile.empty())) {
+        std::cerr << "mssr_run: --trace-replay already names the program; "
+                     "drop the workload/--asm arguments\n";
+        usage(argv[0]);
+    }
     if (cfg.fastForwardInsts == 0 && (!ckptDir.empty() || cfg.warmBpu)) {
         std::cerr << "mssr_run: "
                   << (ckptDir.empty() ? "--warm-bpu" : "--ckpt-dir")
@@ -422,16 +544,17 @@ main(int argc, char **argv)
         usage(argv[0]);
     }
 
-    // The three output files must be distinct: the last writer would
+    // The output files must be distinct: the last writer would
     // silently clobber the other's content otherwise.
     {
         const std::pair<const char *, const std::string *> outs[] = {
             {"--trace-out", &traceOutFile},
             {"--stats-out", &statsOutFile},
             {"--profile-out", &profileOutFile},
+            {"--trace-capture", &traceCaptureFile},
         };
-        for (std::size_t a = 0; a < 3; ++a) {
-            for (std::size_t b = a + 1; b < 3; ++b) {
+        for (std::size_t a = 0; a < 4; ++a) {
+            for (std::size_t b = a + 1; b < 4; ++b) {
                 if (!outs[a].second->empty() &&
                     *outs[a].second == *outs[b].second) {
                     std::cerr << "mssr_run: " << outs[a].first << " and "
@@ -461,6 +584,58 @@ main(int argc, char **argv)
         for (const auto &name : workloadNames) {
             labels.push_back(name);
             programs.push_back(workloads::buildWorkload(name, scale));
+        }
+        if (!traceReplayFile.empty()) {
+            // Trace errors (bad magic, CRC, hash mismatch, inconsistent
+            // dynamic stream) are input-validation failures: name the
+            // file class, exit 2.
+            try {
+                TraceReplaySource replay(traceReplayFile);
+                replay.verify();
+                labels.push_back(replay.trace().name.empty()
+                                     ? traceReplayFile
+                                     : replay.trace().name);
+                programs.push_back(replay.program());
+                std::cerr << "trace: replaying " << labels.back() << " ("
+                          << replay.trace().instsExecuted << " insts, "
+                          << replay.trace().controls.size()
+                          << " controls) from " << traceReplayFile << "\n";
+            } catch (const SerializeError &e) {
+                std::cerr << "mssr_run: trace error: " << e.what() << "\n";
+                return 2;
+            }
+        }
+
+        if (!traceCaptureFile.empty()) {
+            // Capture-only mode: run the fast functional tier, write the
+            // mssr-trace-v1 file, and skip detailed simulation entirely.
+            try {
+                const auto t0 = std::chrono::steady_clock::now();
+                const ExecTrace trace =
+                    captureTrace(programs[0], cfg.maxInsts, labels[0]);
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - t0;
+                writeTrace(traceCaptureFile, trace);
+                std::cout << labels[0] << ": captured "
+                          << trace.instsExecuted << " insts, "
+                          << trace.controls.size() << " controls to "
+                          << traceCaptureFile;
+                if (elapsed.count() > 0.0)
+                    std::cout << " ["
+                              << analysis::fixed(elapsed.count(), 2)
+                              << "s host, "
+                              << analysis::fixed(
+                                     static_cast<double>(
+                                         trace.instsExecuted) /
+                                         elapsed.count() / 1e3,
+                                     0)
+                              << " kips]";
+                std::cout << "\n";
+                return 0;
+            } catch (const SerializeError &e) {
+                std::cerr << "mssr_run: trace error: " << e.what() << "\n";
+                return 2;
+            }
         }
 
         // One job per program, plus its baseline when comparing. Each
@@ -508,7 +683,7 @@ main(int argc, char **argv)
             if (prom)
                 writeStatsProm(out, jobs, results);
             else
-                writeStatsJson(out, jobs, results);
+                writeStatsJson(out, jobs, results, statsHostTime);
             std::cerr << "stats: wrote " << results.size() << " run"
                       << (results.size() == 1 ? "" : "s") << " to "
                       << statsOutFile << (prom ? " (prometheus)" : " (json)")

@@ -80,6 +80,9 @@ struct StatsRun
     std::uint64_t cycles = 0;
     std::uint64_t insts = 0;
     double ipc = 0.0;
+    std::uint64_t ffInsts = 0; //!< functional warm-up prefix length
+    double ffHostSec = 0.0;    //!< only with --stats-host-time files
+    double ffKips = 0.0;       //!< only with --stats-host-time files
     CpiStack cpi;
     ReuseFunnel funnel;
     std::map<std::string, double> stats;
@@ -148,6 +151,15 @@ parseRun(const std::string &file, const JsonValue &run)
     out.cycles = u64Field(file, run, "cycles");
     out.insts = u64Field(file, run, "insts");
     out.ipc = field(file, run, "ipc", JsonValue::Number).number;
+
+    // Warm-up telemetry: ff_insts is always emitted; the host-time
+    // pair only when the file was written with --stats-host-time.
+    out.ffInsts = u64Field(file, run, "ff_insts");
+    if (run.object.count("ff_host_sec"))
+        out.ffHostSec =
+            field(file, run, "ff_host_sec", JsonValue::Number).number;
+    if (run.object.count("ff_kips"))
+        out.ffKips = field(file, run, "ff_kips", JsonValue::Number).number;
 
     const JsonValue &cpi = field(file, run, "cpi_slots", JsonValue::Object);
     for (std::size_t i = 0; i < NumCpiCats; ++i) {
@@ -422,7 +434,16 @@ printRun(const StatsRun &r)
     analysis::banner(std::cout, r.name + " (" + r.scheme + ")");
     std::cout << "cycles " << r.cycles << ", insts " << r.insts << ", IPC "
               << analysis::fixed(r.ipc, 4) << ", dispatch width " << r.width
-              << "\n\n";
+              << "\n";
+    if (r.ffInsts) {
+        std::cout << "warm-up: " << r.ffInsts << " ff insts";
+        if (r.ffKips > 0.0)
+            std::cout << " at " << analysis::fixed(r.ffKips, 0)
+                      << " kips (" << analysis::fixed(r.ffHostSec, 3)
+                      << "s host)";
+        std::cout << "\n";
+    }
+    std::cout << "\n";
 
     analysis::Table cpi({"category", "slots", "share", "CPI"});
     for (std::size_t i = 0; i < NumCpiCats; ++i) {
