@@ -29,6 +29,11 @@
  *               "interp" (reference interpreter). Results are
  *               bit-identical; the choice is recorded as the
  *               top-level "func_tier" key of BENCH_batch.json
+ *   MSSR_SAMPLE_PERIOD / MSSR_SAMPLE_WINDOW  sampled-simulation
+ *               checkpoint period and per-window detailed
+ *               instruction count (consumed by sampled_accuracy,
+ *               which compares sampled estimates against full-detail
+ *               ground truth)
  *
  * Design points are executed by BatchRunner in submission order, so
  * every table printed to stdout is byte-identical to a sequential run

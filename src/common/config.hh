@@ -153,7 +153,7 @@ struct SimConfig
      * snapshot; maxInsts/maxCycles then bound the *detailed* region
      * only. Cycle counts, stats and accounting cover the detailed
      * region and are byte-identical whether the snapshot was computed
-     * live, shared in a batch, or reloaded from an mssr-ckpt-v1 file.
+     * live, shared in a batch, or reloaded from an mssr-ckpt-v2 file.
      */
     std::uint64_t fastForwardInsts = 0;
 
@@ -174,6 +174,17 @@ struct SimConfig
      * a cold BPU matches a from-reset detailed run of the region.
      */
     bool warmBpu = false;
+
+    /**
+     * Warm the cache hierarchy from the checkpoint's recorded
+     * data-access history (the prefix's last few ten-thousand loads
+     * and stores) before the detailed region starts; the hierarchy's
+     * stats are reset afterwards so warming never pollutes region
+     * stats. The cache-side counterpart of warmBpu -- without it a
+     * sampled window pays compulsory misses for its whole working set
+     * and reads systematically low IPC.
+     */
+    bool warmCaches = false;
 
     /**
      * Optional pre-computed snapshot for the fast-forward prefix (not
@@ -211,6 +222,24 @@ struct SimConfig
      * counters). 0 disables sampling.
      */
     Cycle statsInterval = 0;
+
+    /**
+     * @name Statistical sampling (SMARTS-style)
+     * When samplePeriod is nonzero, BatchRunner::runSampled() runs the
+     * program end-to-end on the functional tier, drops a checkpoint
+     * every samplePeriod instructions, detail-simulates only the
+     * sampleWindow-instruction window starting at each checkpoint
+     * (with warm-BPU replay), and aggregates the per-window results
+     * into population estimates with 95% confidence intervals.
+     * runSim() itself ignores both knobs: a sampled run is a batch of
+     * ordinary window runs plus deterministic aggregation.
+     * sampleWindow must be in (0, samplePeriod]; the window jobs must
+     * not themselves fast-forward, trace, profile or interval-sample.
+     */
+    /// @{
+    std::uint64_t samplePeriod = 0; //!< insts between window starts (0 = off)
+    std::uint64_t sampleWindow = 0; //!< detailed insts per window
+    /// @}
 };
 
 /** Human-readable name for a ReuseKind. */

@@ -91,6 +91,14 @@ CpiStack::operator-(const CpiStack &other) const
     return out;
 }
 
+CpiStack &
+CpiStack::operator+=(const CpiStack &other)
+{
+    for (std::size_t i = 0; i < NumCpiCats; ++i)
+        slots[i] += other.slots[i];
+    return *this;
+}
+
 std::uint64_t
 ReuseFunnel::stage(std::size_t i) const
 {
@@ -153,6 +161,26 @@ ReuseFunnel::operator-(const ReuseFunnel &other) const
     out.verifyOk = verifyOk - other.verifyOk;
     out.verifyFail = verifyFail - other.verifyFail;
     return out;
+}
+
+ReuseFunnel &
+ReuseFunnel::operator+=(const ReuseFunnel &other)
+{
+    squashed += other.squashed;
+    logged += other.logged;
+    covered += other.covered;
+    tested += other.tested;
+    rgidPass += other.rgidPass;
+    hazardPass += other.hazardPass;
+    reused += other.reused;
+    killKind += other.killKind;
+    killNotExecuted += other.killNotExecuted;
+    killRgid += other.killRgid;
+    killRgidCapacity += other.killRgidCapacity;
+    killBloom += other.killBloom;
+    verifyOk += other.verifyOk;
+    verifyFail += other.verifyFail;
+    return *this;
 }
 
 void

@@ -104,6 +104,9 @@ struct CpiStack
     /** Element-wise difference (interval deltas, A-vs-B diffs). */
     CpiStack operator-(const CpiStack &other) const;
 
+    /** Element-wise accumulation (merging sampled windows). */
+    CpiStack &operator+=(const CpiStack &other);
+
     bool operator==(const CpiStack &) const = default;
 };
 
@@ -166,6 +169,11 @@ struct ReuseFunnel
     bool monotonic() const;
 
     ReuseFunnel operator-(const ReuseFunnel &other) const;
+
+    /** Counter-wise accumulation (merging sampled windows). The sum of
+     *  per-window funnels stays monotonic: each stage's sum is a sum of
+     *  stage-wise dominated terms. */
+    ReuseFunnel &operator+=(const ReuseFunnel &other);
 
     bool operator==(const ReuseFunnel &) const = default;
 };

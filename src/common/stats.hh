@@ -10,6 +10,7 @@
 #define MSSR_COMMON_STATS_HH
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
@@ -83,8 +84,10 @@ class Histogram
     /**
      * Mean of the recorded (clamped) values: overflow samples count
      * as the overflow bucket's index, so the mean is a lower bound
-     * when anything overflowed. 0 when no sample was recorded; panics
-     * on a default-constructed histogram like sample().
+     * when anything overflowed. NaN when no sample was recorded (a
+     * sized-but-empty histogram has no mean; formatters render NaN as
+     * "n/a", and 0.0 would silently read as "every sample was zero").
+     * Panics on a default-constructed histogram like sample().
      */
     double
     mean() const
@@ -92,7 +95,7 @@ class Histogram
         mssr_assert(!buckets_.empty(),
                     "mean() on a default-constructed Histogram");
         if (count_ == 0)
-            return 0.0;
+            return std::numeric_limits<double>::quiet_NaN();
         double sum = 0.0;
         for (std::size_t b = 0; b < buckets_.size(); ++b)
             sum += static_cast<double>(b) * static_cast<double>(buckets_[b]);
@@ -102,26 +105,27 @@ class Histogram
     /**
      * Value at percentile @p p (a fraction in [0, 1]): the smallest
      * bucket index whose cumulative count reaches p x count. Overflow
-     * samples report the overflow bucket's index. 0 when no sample was
-     * recorded; panics on a default-constructed histogram like
-     * sample().
+     * samples report the overflow bucket's index. NaN when no sample
+     * was recorded (same rationale as mean(): an empty distribution
+     * has no percentiles, and formatters render NaN as "n/a"). Panics
+     * on a default-constructed histogram like sample().
      */
-    std::uint64_t
+    double
     percentile(double p) const
     {
         mssr_assert(!buckets_.empty(),
                     "percentile() on a default-constructed Histogram");
         mssr_assert(p >= 0.0 && p <= 1.0, "percentile fraction ", p);
         if (count_ == 0)
-            return 0;
+            return std::numeric_limits<double>::quiet_NaN();
         const double target = p * static_cast<double>(count_);
         std::uint64_t acc = 0;
         for (std::size_t b = 0; b < buckets_.size(); ++b) {
             acc += buckets_[b];
             if (static_cast<double>(acc) >= target && acc > 0)
-                return b;
+                return static_cast<double>(b);
         }
-        return buckets_.size() - 1;
+        return static_cast<double>(buckets_.size() - 1);
     }
 
     void

@@ -70,6 +70,19 @@ O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem,
             bpu_.commitControl(rec.pc, prog_.instAt(rec.pc), rec.taken,
                                rec.next);
     }
+    if (cfg.warmCaches) {
+        // Replay the prefix's recorded data accesses through the
+        // normal access path so the window starts with the prefix's
+        // working set resident, then reset the hierarchy's counters:
+        // warm-up traffic must never appear in window stats.
+        for (const MemAccess &rec : snapshot->memHist) {
+            if (rec.isStore)
+                hierarchy_.storeAccess(rec.addr);
+            else
+                hierarchy_.loadLatency(rec.addr);
+        }
+        hierarchy_.resetStats();
+    }
     bpu_.redirectSimple(snapshot->pc);
     if (snapshot->halted)
         halted_ = true;
@@ -780,7 +793,7 @@ O3Cpu::run()
     // advance cycle_, so its commits land here) -- the interval sums
     // then reconcile exactly with the scalar counters.
     if (cfg_.statsInterval != 0)
-        sampleInterval();
+        sampleInterval(/*flush=*/true);
 }
 
 std::uint64_t
@@ -794,7 +807,7 @@ O3Cpu::reuseHitsNow() const
 }
 
 void
-O3Cpu::sampleInterval()
+O3Cpu::sampleInterval(bool flush)
 {
     IntervalSample s;
     s.cycleEnd = cycle_;
@@ -806,6 +819,28 @@ O3Cpu::sampleInterval()
     if (s.cycles == 0 && s.commits == 0 && s.squashedInsts == 0 &&
         s.squashEvents == 0 && s.reuseHits == 0)
         return; // empty flush: nothing happened since the last boundary
+    if (flush && s.cycles == 0 && !intervals_.empty()) {
+        // The run halted exactly on an interval boundary: the halting
+        // tick committed instructions without advancing cycle_ (tick()
+        // returns before ++cycle_ once halted). Emitting that residue
+        // as its own interval would create a zero-cycle trailing
+        // sample, so fold it into the last real interval instead; the
+        // interval sums still reconcile with the scalar counters.
+        IntervalSample &last = intervals_.back();
+        last.commits += s.commits;
+        last.squashedInsts += s.squashedInsts;
+        last.squashEvents += s.squashEvents;
+        last.reuseHits += s.reuseHits;
+        const CpiStack cpiResidue = cpi_ - intervalMark_.cpi;
+        for (std::size_t i = 0; i < NumCpiCats; ++i)
+            last.cpiSlots[i] += cpiResidue.slots[i];
+        last.ipc = last.cycles == 0 ? 0.0
+                                    : static_cast<double>(last.commits) /
+                                          static_cast<double>(last.cycles);
+        intervalMark_ = IntervalMark{cycle_, commits_, squashedInsts_,
+                                     squashEvents_, reuseHitsNow(), cpi_};
+        return;
+    }
     s.ipc = s.cycles == 0 ? 0.0
                           : static_cast<double>(s.commits) /
                                 static_cast<double>(s.cycles);

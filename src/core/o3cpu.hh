@@ -172,8 +172,11 @@ class O3Cpu
         if (tracer_)
             tracer_->record(stage, inst->seq, inst->pc, reuse, squash, arg);
     }
-    /** Closes the current stats interval (also flushes the final one). */
-    void sampleInterval();
+    /** Closes the current stats interval. @p flush marks the final
+     *  end-of-run call: a zero-cycle residue (the halting tick's
+     *  commits) is folded into the last interval instead of being
+     *  emitted as a bogus zero-cycle trailing interval. */
+    void sampleInterval(bool flush = false);
     /** Reuse successes so far under whichever scheme is active. */
     std::uint64_t reuseHitsNow() const;
     void executeInst(const DynInstPtr &inst);

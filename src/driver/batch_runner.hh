@@ -27,6 +27,8 @@
 namespace mssr
 {
 
+struct SampledRunResult; // driver/sampled_runner.hh
+
 /** One independent simulation point of a sweep. */
 struct BatchJob
 {
@@ -55,7 +57,7 @@ class BatchRunner
 
     /**
      * Enables the on-disk checkpoint layer: shared warm-up snapshots
-     * are loaded from @p dir when a matching mssr-ckpt-v1 file exists
+     * are loaded from @p dir when a matching mssr-ckpt-v2 file exists
      * (load-on-hit) and written there after being computed
      * (save-on-miss). Files are keyed ck_<programHash>_ff<K>.ckpt; a
      * present-but-corrupt file raises SerializeError rather than
@@ -82,6 +84,26 @@ class BatchRunner
      * snapshot came from disk; the other members report ckptHit=true.
      */
     std::vector<RunResult> run(const std::vector<BatchJob> &jobs) const;
+
+    /**
+     * Runs every job in SMARTS-style sampled mode (SimConfig::
+     * samplePeriod / sampleWindow must be set; see
+     * driver/sampled_runner.hh). Per job: one functional scan drops a
+     * checkpoint every samplePeriod instructions (through the
+     * checkpoint directory when set, sharing the --ckpt-dir store),
+     * the sampleWindow-instruction detailed windows are fanned across
+     * the pool alongside every other job's windows, and the results
+     * are merged in window order on the calling thread -- so sampled
+     * results, estimates included, are byte-identical at any worker
+     * count. Jobs sharing (program, period, maxInsts) share one scan;
+     * the first such job carries the scan's wall time.
+     *
+     * Throws std::invalid_argument for configs that cannot be sampled
+     * (zero/oversized window, fast-forward, tracer, profiling,
+     * interval stats, maxCycles or an inspect hook).
+     */
+    std::vector<SampledRunResult>
+    runSampled(const std::vector<BatchJob> &jobs) const;
 
   private:
     unsigned threads_;

@@ -1,0 +1,225 @@
+#include "driver/sampled_runner.hh"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace mssr
+{
+
+double
+tCritical95(std::uint64_t df)
+{
+    // Two-sided 95% Student-t critical values. Exact through df = 30,
+    // then the standard coarse rows; beyond 120 the normal quantile
+    // is correct to three decimals.
+    static const double table[31] = {
+        0.0,   12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306, 2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120, 2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064, 2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    if (df == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    if (df <= 30)
+        return table[df];
+    if (df <= 40)
+        return 2.021;
+    if (df <= 60)
+        return 2.000;
+    if (df <= 120)
+        return 1.980;
+    return 1.960;
+}
+
+SampleEstimate
+estimateFrom(const std::vector<double> &xs)
+{
+    SampleEstimate e;
+    e.n = xs.size();
+    if (e.n == 0)
+        return e; // no observations: everything stays NaN
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    e.mean = sum / static_cast<double>(e.n);
+    if (e.n == 1)
+        return e; // a single observation has no spread estimate
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - e.mean) * (x - e.mean);
+    const double variance = ss / static_cast<double>(e.n - 1);
+    e.stdErr = std::sqrt(variance / static_cast<double>(e.n));
+    e.ci95 = tCritical95(e.n - 1) * e.stdErr;
+    return e;
+}
+
+namespace
+{
+
+/** Rejects a config the sampled mode cannot honor, with a reason the
+ *  CLI can print verbatim. */
+void
+validateSampledJob(const BatchJob &job)
+{
+    const SimConfig &cfg = job.config;
+    auto reject = [&](const std::string &why) {
+        throw std::invalid_argument("sampled job '" + job.name +
+                                    "': " + why);
+    };
+    if (!job.program)
+        reject("no program");
+    if (cfg.samplePeriod == 0)
+        reject("samplePeriod must be nonzero");
+    if (cfg.sampleWindow == 0 || cfg.sampleWindow > cfg.samplePeriod)
+        reject("sampleWindow must be in (0, samplePeriod]");
+    if (cfg.fastForwardInsts != 0 || cfg.checkpoint)
+        reject("sampling already fast-forwards to each window; drop the "
+               "explicit fast-forward/checkpoint");
+    if (cfg.tracer)
+        reject("per-window tracing is not supported");
+    if (cfg.profiling)
+        reject("per-window profiling is not supported");
+    if (cfg.statsInterval != 0)
+        reject("interval stats inside sampled windows are not supported");
+    if (cfg.maxCycles != 0)
+        reject("maxCycles would truncate windows non-architecturally");
+    if (job.inspect)
+        reject("inspect hooks would fire once per window, not per run");
+}
+
+} // namespace
+
+std::vector<SampledRunResult>
+BatchRunner::runSampled(const std::vector<BatchJob> &jobs) const
+{
+    std::vector<SampledRunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+    for (const BatchJob &job : jobs)
+        validateSampledJob(job);
+
+    // Phase 0 -- the functional scans, shared like BatchRunner::run's
+    // warm-up groups: jobs sampling the same program with the same
+    // period over the same bound share one schedule (and therefore
+    // one scan). Sequential on the calling thread; the scan is the
+    // cheap part and scan errors (corrupt store file) should surface
+    // before any detailed work is spent.
+    using ScheduleKey =
+        std::tuple<const isa::Program *, std::uint64_t, std::uint64_t>;
+    std::map<ScheduleKey, SampleSchedule> schedules;
+    std::map<ScheduleKey, std::size_t> scheduleOwner;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimConfig &cfg = jobs[i].config;
+        const ScheduleKey key{jobs[i].program, cfg.samplePeriod,
+                              cfg.maxInsts};
+        if (schedules.count(key))
+            continue;
+        schedules.emplace(key,
+                          buildSampleSchedule(*jobs[i].program,
+                                              cfg.samplePeriod, cfg.funcTier,
+                                              ckptDir_, cfg.maxInsts));
+        scheduleOwner.emplace(key, i);
+    }
+
+    // Phase 1 -- expand each job into its detailed-window jobs. The
+    // whole expansion runs through run() as one batch, so windows of
+    // different jobs interleave freely across the pool.
+    std::vector<BatchJob> windowJobs;
+    std::vector<std::size_t> firstWindowJob(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimConfig &cfg = jobs[i].config;
+        const ScheduleKey key{jobs[i].program, cfg.samplePeriod,
+                              cfg.maxInsts};
+        const SampleSchedule &sched = schedules.at(key);
+        firstWindowJob[i] = windowJobs.size();
+        for (std::uint64_t w = 0; w < sched.windows(); ++w) {
+            const std::uint64_t offset = w * cfg.samplePeriod;
+            BatchJob wj;
+            wj.name = jobs[i].name + "#w" + std::to_string(w);
+            wj.program = jobs[i].program;
+            SimConfig wcfg = cfg;
+            wcfg.samplePeriod = 0;
+            wcfg.sampleWindow = 0;
+            // The window never runs past the modeled program end --
+            // with an unbounded run the program halts there anyway,
+            // with a maxInsts bound the clamp enforces it.
+            wcfg.maxInsts =
+                std::min(cfg.sampleWindow, sched.totalInsts - offset);
+            if (w == 0) {
+                // The reset window: no prefix, nothing to warm from.
+                wcfg.fastForwardInsts = 0;
+                wcfg.checkpoint = nullptr;
+                wcfg.warmBpu = false;
+                wcfg.warmCaches = false;
+            } else {
+                wcfg.fastForwardInsts = offset;
+                wcfg.checkpoint = &sched.checkpoints[w - 1];
+                // History replay (predictor and caches) is the
+                // sampling design's answer to cold-start bias inside
+                // windows: always on.
+                wcfg.warmBpu = true;
+                wcfg.warmCaches = true;
+            }
+            wj.config = wcfg;
+            windowJobs.push_back(std::move(wj));
+        }
+    }
+
+    std::vector<RunResult> windowResults = run(windowJobs);
+
+    // Phase 2 -- deterministic merge, in window order, on this thread.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimConfig &cfg = jobs[i].config;
+        const ScheduleKey key{jobs[i].program, cfg.samplePeriod,
+                              cfg.maxInsts};
+        const SampleSchedule &sched = schedules.at(key);
+        SampledRunResult &out = results[i];
+        out.samplePeriod = cfg.samplePeriod;
+        out.sampleWindow = cfg.sampleWindow;
+        out.windows = sched.windows();
+        out.totalInsts = sched.totalInsts;
+        out.halted = sched.halted;
+        if (scheduleOwner.at(key) == i) {
+            out.scanHostSeconds = sched.hostSeconds;
+            out.scanDiskHits = sched.diskHits;
+        }
+
+        std::vector<double> ipcXs;
+        std::array<std::vector<double>, NumCpiCats> cpiXs;
+        std::vector<double> reuseXs;
+        for (std::uint64_t w = 0; w < sched.windows(); ++w) {
+            RunResult &r = windowResults[firstWindowJob[i] + w];
+            out.cycles += r.cycles;
+            out.insts += r.insts;
+            out.cpi += r.cpi;
+            out.funnel += r.funnel;
+            out.dispatchWidth = r.dispatchWidth;
+            out.hostSeconds += r.hostSeconds;
+            ipcXs.push_back(r.ipc);
+            if (r.insts > 0) {
+                for (std::size_t c = 0; c < NumCpiCats; ++c)
+                    cpiXs[c].push_back(r.cpi.cpiContribution(
+                        static_cast<CpiCat>(c), r.insts, r.dispatchWidth));
+            }
+            if (r.funnel.squashed > 0)
+                reuseXs.push_back(static_cast<double>(r.funnel.reused) /
+                                  static_cast<double>(r.funnel.squashed));
+            out.windowOffsets.push_back(w * cfg.samplePeriod);
+            out.windowResults.push_back(std::move(r));
+        }
+        out.ipc = out.cycles ? static_cast<double>(out.insts) /
+                                   static_cast<double>(out.cycles)
+                             : 0.0;
+        out.ipcEst = estimateFrom(ipcXs);
+        for (std::size_t c = 0; c < NumCpiCats; ++c)
+            out.cpiEst[c] = estimateFrom(cpiXs[c]);
+        out.reuseRateEst = estimateFrom(reuseXs);
+    }
+    return results;
+}
+
+} // namespace mssr

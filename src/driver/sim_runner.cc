@@ -16,20 +16,25 @@ computeCheckpoint(const isa::Program &prog, std::uint64_t ffInsts,
     Checkpoint ckpt;
     Memory ffMem;
     BranchHistory hist;
+    MemHistory memh;
     if (tier == FuncTier::Fast) {
         FastEmu emu(prog, ffMem);
         emu.recordBranches(&hist);
+        emu.recordMem(&memh);
         emu.run(ffInsts);
         emu.saveState(ckpt);
     } else {
         FuncEmu emu(prog, ffMem);
         emu.recordBranches(&hist);
+        emu.recordMem(&memh);
         emu.run(ffInsts);
         emu.saveState(ckpt);
     }
     ckpt.programHash = prog.hash();
     ckpt.ffInsts = ffInsts;
+    ckpt.producerTier = tier;
     ckpt.branchHist = hist.inOrder();
+    ckpt.memHist = memh.inOrder();
     return ckpt;
 }
 

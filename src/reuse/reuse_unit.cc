@@ -603,12 +603,14 @@ ReuseUnit::reportStats(StatSet &stats) const
     stats.set("reuse.bloomInsertions",
               static_cast<double>(bloom_.insertions()));
     // Capture-to-reuse latency (cycles; clamped at 255 by the
-    // histogram's overflow bucket).
-    stats.set("reuse.lagMeanCycles", reuseLag_.mean());
-    stats.set("reuse.lagP50Cycles",
-              static_cast<double>(reuseLag_.percentile(0.5)));
-    stats.set("reuse.lagP90Cycles",
-              static_cast<double>(reuseLag_.percentile(0.9)));
+    // histogram's overflow bucket). A run with zero reuses has no lag
+    // distribution -- mean()/percentile() return NaN, which is not
+    // valid JSON -- so the keys are only emitted when samples exist.
+    if (reuseLag_.count() > 0) {
+        stats.set("reuse.lagMeanCycles", reuseLag_.mean());
+        stats.set("reuse.lagP50Cycles", reuseLag_.percentile(0.5));
+        stats.set("reuse.lagP90Cycles", reuseLag_.percentile(0.9));
+    }
 }
 
 } // namespace mssr

@@ -14,7 +14,20 @@ namespace
 {
 
 constexpr char CkptMagic[9] = "MSSRCKPT";
-constexpr std::uint32_t CkptVersion = 1;
+// v2 added the producer-tier word to META (the file name keys only
+// (program hash, K), so provenance must live inside the container)
+// and the MEMH access-history section for functional cache warming.
+constexpr std::uint32_t CkptVersion = 2;
+
+/** Stable on-disk codes for FuncTier (never reorder the enum blindly). */
+constexpr std::uint64_t TierCodeFast = 0;
+constexpr std::uint64_t TierCodeInterp = 1;
+
+std::uint64_t
+tierCode(FuncTier tier)
+{
+    return tier == FuncTier::Interpreter ? TierCodeInterp : TierCodeFast;
+}
 
 } // namespace
 
@@ -22,6 +35,20 @@ std::vector<BranchOutcome>
 BranchHistory::inOrder() const
 {
     std::vector<BranchOutcome> out;
+    out.reserve(recs_.size());
+    if (recs_.size() < cap_) {
+        out = recs_;
+    } else {
+        for (std::size_t i = 0; i < recs_.size(); ++i)
+            out.push_back(recs_[(head_ + i) % cap_]);
+    }
+    return out;
+}
+
+std::vector<MemAccess>
+MemHistory::inOrder() const
+{
+    std::vector<MemAccess> out;
     out.reserve(recs_.size());
     if (recs_.size() < cap_) {
         out = recs_;
@@ -77,6 +104,7 @@ writeCheckpoint(const std::string &path, const Checkpoint &ckpt)
     w.u64(ckpt.programHash);
     w.u64(ckpt.ffInsts);
     w.u64(ckpt.instret);
+    w.u64(tierCode(ckpt.producerTier));
     w.endSection();
 
     w.beginSection("REGS");
@@ -104,6 +132,15 @@ writeCheckpoint(const std::string &path, const Checkpoint &ckpt)
     }
     w.endSection();
 
+    w.beginSection("MEMH");
+    w.u64(ckpt.memHist.size());
+    // One word per record: the store bit rides in bit 0 under the
+    // left-shifted address (warming is line-granular, so the top
+    // address bit carries no information worth a second field).
+    for (const MemAccess &a : ckpt.memHist)
+        w.u64((a.addr << 1) | (a.isStore ? 1 : 0));
+    w.endSection();
+
     w.writeFile(path);
 }
 
@@ -113,12 +150,23 @@ readCheckpoint(const std::string &path)
     SerialReader r(SerialReader::readFile(path), CkptMagic, CkptVersion);
     Checkpoint ckpt;
     bool meta = false, regs = false, page = false, bhst = false;
+    bool memh = false;
     while (!r.atEnd()) {
         const std::string tag = r.enterSection();
         if (tag == "META") {
             ckpt.programHash = r.u64();
             ckpt.ffInsts = r.u64();
             ckpt.instret = r.u64();
+            const std::uint64_t tier = r.u64();
+            if (tier == TierCodeFast) {
+                ckpt.producerTier = FuncTier::Fast;
+            } else if (tier == TierCodeInterp) {
+                ckpt.producerTier = FuncTier::Interpreter;
+            } else {
+                throw SerializeError(
+                    "unknown producer-tier code " + std::to_string(tier) +
+                    " (file from a newer, incompatible build?)");
+            }
             meta = true;
         } else if (tag == "REGS") {
             ckpt.pc = r.u64();
@@ -155,14 +203,28 @@ readCheckpoint(const std::string &path)
                 ckpt.branchHist.push_back(b);
             }
             bhst = true;
+        } else if (tag == "MEMH") {
+            const std::uint64_t n = r.u64();
+            if (n > r.remaining() / 8)
+                throw SerializeError(
+                    "memory-history count exceeds section size");
+            ckpt.memHist.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint64_t word = r.u64();
+                MemAccess a;
+                a.addr = word >> 1;
+                a.isStore = (word & 1) != 0;
+                ckpt.memHist.push_back(a);
+            }
+            memh = true;
         } else {
-            // Unknown section: forward-compat would skip it, but v1
+            // Unknown section: forward-compat would skip it, but v2
             // has no optional sections, so treat it as corruption.
             throw SerializeError("unknown section '" + tag + "'");
         }
         r.leaveSection();
     }
-    if (!meta || !regs || !page || !bhst)
+    if (!meta || !regs || !page || !bhst || !memh)
         throw SerializeError("missing checkpoint section (truncated?)");
     return ckpt;
 }

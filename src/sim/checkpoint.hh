@@ -6,16 +6,24 @@
  *
  * A checkpoint captures exactly the architectural machine state --
  * registers, PC, instret, halt flag, and the sparse memory image as
- * run-length page records -- plus the branch-outcome history of the
- * prefix (a bounded ring) so a detailed core constructed from the
- * checkpoint can optionally warm its branch predictor by replaying
- * committed control flow (SimConfig::warmBpu).
+ * run-length page records -- plus two bounded history rings of the
+ * prefix: committed branch outcomes, so a detailed core constructed
+ * from the checkpoint can warm its branch predictor by replaying
+ * control flow (SimConfig::warmBpu), and committed data-memory
+ * accesses, so it can warm its cache hierarchy the same way
+ * (SimConfig::warmCaches).
  *
- * On disk a checkpoint is an `mssr-ckpt-v1` container (see
+ * On disk a checkpoint is an `mssr-ckpt-v2` container (see
  * common/serialize.hh and docs/FORMATS.md): magic "MSSRCKPT",
- * version 1, CRC-protected META/REGS/PAGE/BHST sections. Readers
+ * version 2, CRC-protected META/REGS/PAGE/BHST/MEMH sections. Readers
  * validate everything before touching caller state; a corrupt or
- * mismatched file throws SerializeError and restores nothing.
+ * mismatched file throws SerializeError and restores nothing. v2
+ * added the producing functional tier to META: the store file name
+ * keys only (program hash, K), so without the explicit record a
+ * consumer could not tell which tier populated a shared store entry.
+ * Both tiers are bit-identical (ctest-enforced), so any recorded tier
+ * is valid for any consumer -- the field makes that compatibility
+ * explicit and auditable instead of implicit.
  */
 
 #ifndef MSSR_SIM_CHECKPOINT_HH
@@ -26,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.hh"
 #include "common/types.hh"
 
 namespace mssr
@@ -81,6 +90,57 @@ class BranchHistory
     std::vector<BranchOutcome> recs_;
 };
 
+/** One committed data-memory access of the functional prefix. */
+struct MemAccess
+{
+    Addr addr = 0;        //!< byte address (caches use line granularity)
+    bool isStore = false;
+
+    bool operator==(const MemAccess &) const = default;
+};
+
+/**
+ * Bounded ring of the most recent data-memory accesses, the
+ * cache-side analogue of BranchHistory: the functional tiers feed it
+ * during a scan, the checkpoint carries it, and a detailed core can
+ * replay it through its cache hierarchy (SimConfig::warmCaches) so a
+ * sampled window does not start with a compulsorily cold L1/L2. The
+ * capacity bounds checkpoint size and replay cost; it is sized to
+ * cover the default L2 (2MB / 64B lines = 32768 lines) with slack
+ * for line reuse within the window.
+ */
+class MemHistory
+{
+  public:
+    static constexpr std::size_t DefaultCapacity = 65536;
+
+    explicit MemHistory(std::size_t capacity = DefaultCapacity)
+        : cap_(capacity)
+    {
+    }
+
+    void
+    note(Addr addr, bool is_store)
+    {
+        if (recs_.size() < cap_) {
+            recs_.push_back({addr, is_store});
+        } else {
+            recs_[head_] = {addr, is_store};
+            head_ = (head_ + 1) % cap_;
+        }
+    }
+
+    /** Records oldest-to-newest (the replay order). */
+    std::vector<MemAccess> inOrder() const;
+
+    std::size_t size() const { return recs_.size(); }
+
+  private:
+    std::size_t cap_;
+    std::size_t head_ = 0; //!< next overwrite slot once full
+    std::vector<MemAccess> recs_;
+};
+
 /**
  * A saved architectural state. `ffInsts` is the requested prefix
  * length (the cache key, together with `programHash`); `instret` is
@@ -102,11 +162,20 @@ struct Checkpoint
     std::uint64_t programHash = 0; //!< isa::Program::hash() of the program
     std::uint64_t ffInsts = 0;     //!< requested fast-forward length
     std::uint64_t instret = 0;     //!< instructions actually executed
+    /**
+     * Which functional tier produced this snapshot. Provenance, not
+     * identity: the tiers are bit-identical, so equality comparisons
+     * (and hence the cross-tier cosim tests) deliberately ignore it.
+     * Persisted in the v2 META section so a shared --ckpt-dir store
+     * records which tier populated each entry.
+     */
+    FuncTier producerTier = FuncTier::Fast;
     Addr pc = 0;
     bool halted = false;
     std::array<RegVal, NumArchRegs> regs{};
     std::vector<PageRun> pageRuns;        //!< sorted, coalesced pages
     std::vector<BranchOutcome> branchHist; //!< oldest to newest
+    std::vector<MemAccess> memHist;        //!< oldest to newest
 
     /** Writes every page run into @p mem (zero pages stay sparse only
      *  if they were sparse at save time; content is what matters). */
@@ -115,14 +184,23 @@ struct Checkpoint
     /** Builds the run-length page records from @p mem. */
     void captureMemory(const Memory &mem);
 
-    bool operator==(const Checkpoint &) const = default;
+    /** Architectural equality: every field except producerTier (two
+     *  bit-identical snapshots from different tiers compare equal). */
+    bool
+    operator==(const Checkpoint &o) const
+    {
+        return programHash == o.programHash && ffInsts == o.ffInsts &&
+               instret == o.instret && pc == o.pc && halted == o.halted &&
+               regs == o.regs && pageRuns == o.pageRuns &&
+               branchHist == o.branchHist && memHist == o.memHist;
+    }
 };
 
-/** @name mssr-ckpt-v1 file I/O
+/** @name mssr-ckpt-v2 file I/O
  * Both throw SerializeError on I/O failure; readCheckpoint also
- * throws on bad magic, wrong version, truncation or CRC mismatch.
- * writeCheckpoint goes through a temp-file + rename so readers never
- * observe a torn file.
+ * throws on bad magic, wrong version, truncation, CRC mismatch or an
+ * unknown producer-tier code. writeCheckpoint goes through a
+ * temp-file + rename so readers never observe a torn file.
  */
 /// @{
 void writeCheckpoint(const std::string &path, const Checkpoint &ckpt);

@@ -171,53 +171,86 @@ FastEmu::run(std::uint64_t maxInsts)
               case Op::LI:
                 regs[u.rd] = static_cast<RegVal>(u.imm);
                 break;
-              case Op::LB:
-                regs[u.rd] = static_cast<std::uint64_t>(sext(
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 1),
-                    8));
-                break;
-              case Op::LBU:
+              case Op::LB: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
                 regs[u.rd] =
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 1);
+                    static_cast<std::uint64_t>(sext(mem_.read(a, 1), 8));
                 break;
-              case Op::LH:
-                regs[u.rd] = static_cast<std::uint64_t>(sext(
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 2),
-                    16));
+              }
+              case Op::LBU: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
+                regs[u.rd] = mem_.read(a, 1);
                 break;
-              case Op::LHU:
+              }
+              case Op::LH: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
                 regs[u.rd] =
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 2);
+                    static_cast<std::uint64_t>(sext(mem_.read(a, 2), 16));
                 break;
-              case Op::LW:
-                regs[u.rd] = static_cast<std::uint64_t>(sext(
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 4),
-                    32));
+              }
+              case Op::LHU: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
+                regs[u.rd] = mem_.read(a, 2);
                 break;
-              case Op::LWU:
+              }
+              case Op::LW: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
                 regs[u.rd] =
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 4);
+                    static_cast<std::uint64_t>(sext(mem_.read(a, 4), 32));
                 break;
-              case Op::LD:
-                regs[u.rd] =
-                    mem_.read(regs[u.rs1] + static_cast<Addr>(u.imm), 8);
+              }
+              case Op::LWU: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
+                regs[u.rd] = mem_.read(a, 4);
                 break;
-              case Op::SB:
-                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
-                           regs[u.rs2], 1);
+              }
+              case Op::LD: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, false);
+                regs[u.rd] = mem_.read(a, 8);
                 break;
-              case Op::SH:
-                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
-                           regs[u.rs2], 2);
+              }
+              case Op::SB: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, true);
+                mem_.write(a, regs[u.rs2], 1);
                 break;
-              case Op::SW:
-                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
-                           regs[u.rs2], 4);
+              }
+              case Op::SH: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, true);
+                mem_.write(a, regs[u.rs2], 2);
                 break;
-              case Op::SD:
-                mem_.write(regs[u.rs1] + static_cast<Addr>(u.imm),
-                           regs[u.rs2], 8);
+              }
+              case Op::SW: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, true);
+                mem_.write(a, regs[u.rs2], 4);
                 break;
+              }
+              case Op::SD: {
+                const Addr a = regs[u.rs1] + static_cast<Addr>(u.imm);
+                if (memHist_)
+                    memHist_->note(a, true);
+                mem_.write(a, regs[u.rs2], 8);
+                break;
+              }
               default: // NOP (control ops never appear mid-block)
                 break;
             }

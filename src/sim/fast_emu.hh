@@ -45,6 +45,7 @@ namespace mssr
 {
 
 class BranchHistory;
+class MemHistory;
 struct Checkpoint;
 
 /** Predecoded-dispatch functional emulator (FuncEmu's fast twin). */
@@ -84,6 +85,9 @@ class FastEmu
 
     /** Same contract as FuncEmu::recordBranches. */
     void recordBranches(BranchHistory *hist) { branchHist_ = hist; }
+
+    /** Same contract as FuncEmu::recordMem. */
+    void recordMem(MemHistory *hist) { memHist_ = hist; }
 
     /** Same contract as FuncEmu::saveState. */
     void saveState(Checkpoint &ckpt) const;
@@ -149,6 +153,7 @@ class FastEmu
     bool halted_ = false;
     std::uint64_t instret_ = 0;
     BranchHistory *branchHist_ = nullptr; //!< not owned; null = off
+    MemHistory *memHist_ = nullptr;       //!< not owned; null = off
 };
 
 } // namespace mssr

@@ -38,6 +38,8 @@ FuncEmu::step()
         // nothing
     } else if (inst.isLoad()) {
         const Addr addr = isa::evalMemAddr(inst, a);
+        if (memHist_)
+            memHist_->note(addr, false);
         const unsigned n = inst.memBytes();
         std::uint64_t raw = mem_.read(addr, n);
         if (inst.memSigned())
@@ -45,6 +47,8 @@ FuncEmu::step()
         setReg(inst.rd, raw);
     } else if (inst.isStore()) {
         const Addr addr = isa::evalMemAddr(inst, a);
+        if (memHist_)
+            memHist_->note(addr, true);
         mem_.write(addr, b, inst.memBytes());
     } else if (inst.isCondBranch()) {
         const bool taken = isa::evalCondBranch(inst, a, b);

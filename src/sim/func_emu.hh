@@ -20,6 +20,7 @@ namespace mssr
 {
 
 class BranchHistory;
+class MemHistory;
 struct Checkpoint;
 
 /** Architectural machine state plus a step interpreter. */
@@ -65,6 +66,13 @@ class FuncEmu
     void recordBranches(BranchHistory *hist) { branchHist_ = hist; }
 
     /**
+     * Attaches a data-memory access recorder: every executed load or
+     * store appends its (address, is-store) to @p hist. Null detaches.
+     * The cache-warming counterpart of recordBranches.
+     */
+    void recordMem(MemHistory *hist) { memHist_ = hist; }
+
+    /**
      * Fills @p ckpt with the current architectural state: registers,
      * PC, halt flag, instret and the full sparse memory image. Does
      * not touch programHash/ffInsts/branchHist (the caller owns the
@@ -88,6 +96,7 @@ class FuncEmu
     bool halted_ = false;
     std::uint64_t instret_ = 0;
     BranchHistory *branchHist_ = nullptr; //!< not owned; null = off
+    MemHistory *memHist_ = nullptr;       //!< not owned; null = off
 };
 
 } // namespace mssr

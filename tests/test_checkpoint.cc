@@ -1,7 +1,7 @@
 /**
  * Fast-forward / checkpoint engine: a detailed run whose functional
  * prefix was computed live, shared across a batch, or reloaded from an
- * mssr-ckpt-v1 file must produce byte-identical results -- cycles,
+ * mssr-ckpt-v2 file must produce byte-identical results -- cycles,
  * stats, CPI stack, funnel, intervals, profile and architectural
  * registers -- at any worker count. Also covers the warm-BPU replay
  * path, cache-key validation and the BatchRunner's shared warm-up

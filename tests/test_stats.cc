@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/stats.hh"
@@ -90,16 +91,29 @@ TEST(Histogram, DefaultConstructedPanicsOnMeanAndPercentile)
     EXPECT_THROW(h.percentile(0.5), SimPanic);
 
     // A sized-but-unsampled histogram is a legitimate "nothing
-    // happened" distribution and keeps reading as zero.
+    // happened" distribution -- e.g. a sampled window with no reuse
+    // lag entries -- but it has no mean and no percentiles. Both read
+    // as NaN (rendered "n/a" by the formatters, like percent()/
+    // fixed()); 0.0 would silently claim "every sample was zero".
     Histogram sized(4);
-    EXPECT_DOUBLE_EQ(sized.mean(), 0.0);
-    EXPECT_EQ(sized.percentile(0.5), 0u);
+    EXPECT_TRUE(std::isnan(sized.mean()));
+    EXPECT_TRUE(std::isnan(sized.percentile(0.0)));
+    EXPECT_TRUE(std::isnan(sized.percentile(0.5)));
+    EXPECT_TRUE(std::isnan(sized.percentile(1.0)));
+    // One sample flips both from NaN to defined values.
+    sized.sample(2);
+    EXPECT_DOUBLE_EQ(sized.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(sized.percentile(0.5), 2.0);
+    // reset() returns the histogram to the no-distribution state.
+    sized.reset();
+    EXPECT_TRUE(std::isnan(sized.mean()));
+    EXPECT_TRUE(std::isnan(sized.percentile(0.5)));
 }
 
 TEST(Histogram, Mean)
 {
     Histogram h(8);
-    EXPECT_DOUBLE_EQ(h.mean(), 0.0); // empty
+    EXPECT_TRUE(std::isnan(h.mean())); // empty: no distribution
     h.sample(2);
     h.sample(4);
     EXPECT_DOUBLE_EQ(h.mean(), 3.0);
@@ -114,17 +128,17 @@ TEST(Histogram, Percentile)
     Histogram h(10);
     for (std::uint64_t v : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 9u})
         h.sample(v);
-    EXPECT_EQ(h.percentile(0.5), 5u);
-    EXPECT_EQ(h.percentile(0.9), 9u);
-    EXPECT_EQ(h.percentile(1.0), 9u);
-    EXPECT_EQ(h.percentile(0.0), 1u); // smallest non-empty bucket
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 9.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0); // smallest non-empty bucket
     EXPECT_THROW(h.percentile(1.5), SimPanic);
 
     Histogram empty(4);
-    EXPECT_EQ(empty.percentile(0.5), 0u);
+    EXPECT_TRUE(std::isnan(empty.percentile(0.5)));
 
     // Overflow samples report the overflow bucket's index.
     Histogram o(4);
     o.sample(99);
-    EXPECT_EQ(o.percentile(1.0), 4u);
+    EXPECT_DOUBLE_EQ(o.percentile(1.0), 4.0);
 }

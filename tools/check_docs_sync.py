@@ -11,8 +11,10 @@ Two checks keep the documentation and the binaries honest:
    command that no longer works fails the test.
 
 2. Fresh JSON artifacts are generated with the built binaries
-   (mssr-stats-v1 incl. a regint run, mssr-profile-v1, Chrome trace,
-   BENCH_batch.json with intervals/profile/fast-forward enabled) and
+   (mssr-stats-v1 incl. a regint run and a sampled run with its
+   per-window file, mssr-profile-v1, Chrome trace, BENCH_batch.json
+   with intervals/profile/fast-forward enabled plus the
+   sampled_accuracy variant) and
    every key that appears anywhere in them — recursively — must be
    spelled as a backtick literal somewhere in docs/FORMATS.md. An
    emitted key the format reference does not document fails the test,
@@ -114,18 +116,30 @@ def generate_fixtures(build, scratch):
         # Prometheus variant
         "%s %s --reuse rgid --stats-out sync_s.prom nested-mispred"
         % (run, small),
+        # sampled run: "sampling" block (with the host-time scan pair)
+        # plus the per-window stats file
+        "%s %s --reuse rgid --sample-period 2000 --sample-window 500 "
+        "--stats-host-time --stats-out sync_sampled.json "
+        "--sample-windows-out sync_sampled_w.json nested-mispred"
+        % (run, small),
     ]
     env = dict(os.environ)
     env.update({"MSSR_JSON": "1", "MSSR_INTERVAL": "2000",
                 "MSSR_PROFILE": "1", "MSSR_FF": "2000", "MSSR_JOBS": "1",
                 "MSSR_SCALE": "6", "MSSR_ITERS": "200"})
     cmds.append(os.path.join(build, "bench", "bench_smoke"))
+    # sampled_accuracy also writes BENCH_batch.json -- run it in a
+    # subdirectory so the two reports don't collide.
+    cmds.append("mkdir -p sampled && cd sampled && "
+                "MSSR_SAMPLE_PERIOD=2000 MSSR_SAMPLE_WINDOW=500 %s"
+                % os.path.join(build, "bench", "sampled_accuracy"))
     for cmd in cmds:
         subprocess.run(cmd, shell=True, cwd=scratch, env=env, check=True,
                        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
                        timeout=240)
     return ["sync_s.json", "sync_ri.json", "sync_p.json", "sync_t.json",
-            "BENCH_batch.json"]
+            "sync_sampled.json", "sync_sampled_w.json",
+            "BENCH_batch.json", os.path.join("sampled", "BENCH_batch.json")]
 
 
 def check_formats_doc(repo, build, scratch):

@@ -47,7 +47,7 @@
  *                                (--max-insts then bounds the detailed
  *                                region only)
  *   --ckpt-dir DIR               cache fast-forward snapshots in DIR as
- *                                mssr-ckpt-v1 files (load on hit, save
+ *                                mssr-ckpt-v2 files (load on hit, save
  *                                on miss; corrupt files exit 2)
  *   --warm-bpu                   pre-train the branch predictor from
  *                                the prefix's recorded branch outcomes
@@ -70,6 +70,22 @@
  *                                ff_kips) in --stats-out JSON. Off by
  *                                default so stats files stay
  *                                byte-deterministic across hosts
+ *   --sample-period N            SMARTS-style sampled simulation: run the
+ *                                program end-to-end on the functional
+ *                                tier, checkpoint every N insts, and
+ *                                detail-simulate only the --sample-window
+ *                                insts from each checkpoint (warm-BPU
+ *                                replay). Reports per-metric population
+ *                                estimates with 95% confidence intervals;
+ *                                --stats-out gains a "sampling" block.
+ *                                Requires --sample-window; composes with
+ *                                --ckpt-dir (the scan shares the store)
+ *                                and --compare; excludes --fast-forward,
+ *                                --interval, --trace*, --profile-out
+ *   --sample-window K            detailed instructions per window
+ *                                (0 < K <= N)
+ *   --sample-windows-out FILE    also write every per-window run as an
+ *                                mssr-stats-v1 file (one run per window)
  *   --list                       list available workloads
  *   --help                       print this flag reference and exit 0
  *
@@ -94,6 +110,7 @@
 #include "common/serialize.hh"
 #include "common/trace.hh"
 #include "driver/batch_runner.hh"
+#include "driver/sampled_runner.hh"
 #include "isa/assembler.hh"
 #include "sim/exec_trace.hh"
 #include "workloads/registry.hh"
@@ -115,7 +132,9 @@ printUsage(std::ostream &os, const char *argv0)
           "[--all-stats]\n        [--profile-out FILE] "
           "[--fast-forward K] [--ckpt-dir DIR] [--warm-bpu]\n        "
           "[--func-tier fast|interp] [--trace-capture FILE] "
-          "[--stats-host-time]\n        [--compare] (<workload>... | "
+          "[--stats-host-time]\n        [--sample-period N "
+          "--sample-window K] [--sample-windows-out FILE]\n        "
+          "[--compare] (<workload>... | "
           "--asm <file.s> | --trace-replay FILE | --list)\n";
 }
 
@@ -162,7 +181,7 @@ help(const char *argv0)
         "                            the remainder in detail from the "
         "snapshot\n"
         "  --ckpt-dir DIR            cache fast-forward snapshots in DIR "
-        "(mssr-ckpt-v1;\n"
+        "(mssr-ckpt-v2;\n"
         "                            load on hit, save on miss, corrupt "
         "file exits 2)\n"
         "  --warm-bpu                pre-train the predictor from the "
@@ -186,6 +205,18 @@ help(const char *argv0)
         "--stats-out JSON\n"
         "                            (off by default: keeps stats files "
         "byte-deterministic)\n"
+        "  --sample-period N         sampled simulation: checkpoint the "
+        "functional run\n"
+        "                            every N insts and detail-simulate "
+        "only the\n"
+        "                            --sample-window insts from each "
+        "checkpoint, with\n"
+        "                            95% confidence intervals on the "
+        "estimates\n"
+        "  --sample-window K         detailed instructions per window "
+        "(0 < K <= N)\n"
+        "  --sample-windows-out FILE write the per-window runs as "
+        "mssr-stats-v1 JSON\n"
         "  --all-stats               dump every counter\n"
         "  --compare                 also run the no-reuse baseline\n"
         "  --asm FILE                assemble and run FILE instead of a "
@@ -295,6 +326,113 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
 }
 
 /**
+ * One {"n", "mean", "stderr", "ci95"} estimate object. NaN is not
+ * valid JSON, so each field appears only once it is defined: "mean"
+ * needs one window, "stderr"/"ci95" need two (a single observation
+ * has no spread estimate). Consumers render absent fields as "n/a".
+ */
+void
+writeEstimateJson(std::ostream &os, const SampleEstimate &e)
+{
+    os << "{\"n\": " << e.n;
+    if (e.n >= 1)
+        os << ", \"mean\": " << e.mean;
+    if (e.n >= 2)
+        os << ", \"stderr\": " << e.stdErr << ", \"ci95\": " << e.ci95;
+    os << "}";
+}
+
+/**
+ * Sampled variant of writeStatsJson: the same mssr-stats-v1 run shape
+ * (so every existing consumer still parses it), with the merged
+ * window totals in the headline fields and a "sampling" object
+ * carrying the design point and the per-metric population estimates.
+ * ff_insts reports the instructions NOT simulated in detail, so
+ * insts + ff_insts == sampling.total_insts. The merged "stats" map is
+ * empty: scalar counters mix rates and counts, so pooling them
+ * blindly would be wrong -- use --sample-windows-out for the
+ * per-window counter sets. scan_host_sec/scan_disk_hits depend on the
+ * host and the checkpoint-store state, so like ff_host_sec they are
+ * emitted only under --stats-host-time, keeping default sampled
+ * stats files byte-deterministic.
+ */
+void
+writeSampledStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
+                      const std::vector<SampledRunResult> &results,
+                      bool host_time)
+{
+    os.precision(17);
+    os << "{\n  \"schema\": \"mssr-stats-v1\",\n  \"runs\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SampledRunResult &r = results[i];
+        os << (i ? ",\n    " : "\n    ")
+           << "{\"name\": \"" << jsonEscape(jobs[i].name)
+           << "\", \"scheme\": \"" << toString(jobs[i].config.reuseKind)
+           << "\", \"dispatch_width\": " << r.dispatchWidth
+           << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
+           << ", \"ff_insts\": " << r.totalInsts - r.insts;
+        if (host_time) {
+            const double scanKips =
+                r.scanHostSeconds > 0.0
+                    ? static_cast<double>(r.totalInsts) /
+                          r.scanHostSeconds / 1e3
+                    : 0.0;
+            os << ", \"ff_host_sec\": " << r.scanHostSeconds
+               << ", \"ff_kips\": " << scanKips;
+        }
+        os << ", \"ipc\": " << r.ipc << ", \"cpi_slots\": ";
+        writeJson(os, r.cpi);
+        os << ", \"funnel\": ";
+        writeJson(os, r.funnel);
+        os << ", \"stats\": {}, \"sampling\": {\"sample_period\": "
+           << r.samplePeriod << ", \"sample_window\": " << r.sampleWindow
+           << ", \"windows\": " << r.windows
+           << ", \"total_insts\": " << r.totalInsts
+           << ", \"halted\": " << (r.halted ? "true" : "false");
+        if (host_time)
+            os << ", \"scan_host_sec\": " << r.scanHostSeconds
+               << ", \"scan_disk_hits\": " << r.scanDiskHits;
+        os << ", \"estimates\": {\"ipc\": ";
+        writeEstimateJson(os, r.ipcEst);
+        os << ", \"reuse_rate\": ";
+        writeEstimateJson(os, r.reuseRateEst);
+        for (std::size_t c = 0; c < NumCpiCats; ++c) {
+            os << ", \"cpi_" << cpiCatKey(static_cast<CpiCat>(c))
+               << "\": ";
+            writeEstimateJson(os, r.cpiEst[c]);
+        }
+        os << "}}}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+/**
+ * --sample-windows-out: every detailed window as a full mssr-stats-v1
+ * run named "<job>#w<i>" (window i's detailed region starts at
+ * instruction i x sample_period; the run's own ff_insts records that
+ * offset). Same format as writeStatsJson, so mssr_stats and every
+ * other consumer work on window files unchanged.
+ */
+void
+writeSampledWindowsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
+                        const std::vector<SampledRunResult> &results,
+                        bool host_time)
+{
+    std::vector<BatchJob> windowJobs;
+    std::vector<RunResult> windowResults;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        for (std::size_t w = 0; w < results[i].windowResults.size(); ++w) {
+            BatchJob wj;
+            wj.name = jobs[i].name + "#w" + std::to_string(w);
+            wj.config = jobs[i].config;
+            windowJobs.push_back(std::move(wj));
+            windowResults.push_back(results[i].windowResults[w]);
+        }
+    }
+    writeStatsJson(os, windowJobs, windowResults, host_time);
+}
+
+/**
  * mssr-profile-v1: one object per executed run carrying the identity
  * and the full per-PC attribution (branch records sorted by PC,
  * reconvergence-point records sorted by PC). tools/mssr_stats
@@ -365,6 +503,26 @@ printSummary(const std::string &label, const RunResult &r)
               << analysis::fixed(r.kips, 0) << " kips]\n";
 }
 
+void
+printSampledSummary(const std::string &label, const SampledRunResult &r)
+{
+    std::cout << label << ": sampled " << r.windows << " windows x "
+              << r.sampleWindow << " insts (period " << r.samplePeriod
+              << "; " << r.insts << " of " << r.totalInsts
+              << " insts in detail), IPC " << analysis::fixed(r.ipc, 4);
+    if (r.ipcEst.n >= 2)
+        std::cout << ", est " << analysis::fixed(r.ipcEst.mean, 4)
+                  << " +/- " << analysis::fixed(r.ipcEst.ci95, 4)
+                  << " (95% CI, n=" << r.ipcEst.n << ")";
+    std::cout << " [" << analysis::fixed(r.hostSeconds, 2)
+              << "s detail + " << analysis::fixed(r.scanHostSeconds, 2)
+              << "s scan";
+    if (r.scanDiskHits)
+        std::cout << ", " << r.scanDiskHits << " store hit"
+                  << (r.scanDiskHits == 1 ? "" : "s");
+    std::cout << "]\n";
+}
+
 } // namespace
 
 int
@@ -381,6 +539,7 @@ main(int argc, char **argv)
     std::string ckptDir;
     std::string traceCaptureFile;
     std::string traceReplayFile;
+    std::string sampleWindowsOutFile;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
@@ -465,6 +624,17 @@ main(int argc, char **argv)
             }
         } else if (arg == "--stats-host-time") {
             statsHostTime = true;
+        } else if (arg == "--sample-period") {
+            cfg.samplePeriod = numValue(argv[0], arg, next(), 1);
+        } else if (arg == "--sample-window") {
+            cfg.sampleWindow = numValue(argv[0], arg, next(), 1);
+        } else if (arg == "--sample-windows-out") {
+            sampleWindowsOutFile = next();
+            if (sampleWindowsOutFile.empty()) {
+                std::cerr << "mssr_run: --sample-windows-out needs a "
+                             "non-empty file name\n";
+                usage(argv[0]);
+            }
         } else if (arg == "--scale") {
             scale.graphScale = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--iters") {
@@ -537,10 +707,59 @@ main(int argc, char **argv)
                      "drop the workload/--asm arguments\n";
         usage(argv[0]);
     }
-    if (cfg.fastForwardInsts == 0 && (!ckptDir.empty() || cfg.warmBpu)) {
+    if (cfg.samplePeriod != 0 || cfg.sampleWindow != 0 ||
+        !sampleWindowsOutFile.empty()) {
+        // Sampled mode owns the whole run shape: it fast-forwards to
+        // every window itself, always replays the prefix branches into
+        // the predictor, and reports estimates instead of a single
+        // exact stream -- so the knobs that assume one contiguous
+        // detailed region are rejected up front rather than silently
+        // reinterpreted.
+        auto reject = [&](const std::string &why) {
+            std::cerr << "mssr_run: " << why << "\n";
+            usage(argv[0]);
+        };
+        if (cfg.samplePeriod == 0 || cfg.sampleWindow == 0)
+            reject(sampleWindowsOutFile.empty()
+                       ? std::string("--sample-period and --sample-window "
+                                     "go together")
+                       : std::string("--sample-windows-out requires "
+                                     "--sample-period and --sample-window"));
+        if (cfg.sampleWindow > cfg.samplePeriod)
+            reject("--sample-window must be <= --sample-period");
+        if (!traceReplayFile.empty())
+            reject("--trace-replay streams one fixed execution; sampled "
+                   "simulation re-runs the program, drop --sample-*");
+        if (!traceCaptureFile.empty())
+            reject("--trace-capture skips detailed simulation; drop "
+                   "--sample-*");
+        if (cfg.fastForwardInsts != 0)
+            reject("sampling fast-forwards to each window itself; drop "
+                   "--fast-forward");
+        if (cfg.statsInterval != 0)
+            reject("--interval is not supported inside sampled windows");
+        if (traceOn)
+            reject("per-window tracing is not supported; drop "
+                   "--trace/--trace-out");
+        if (!profileOutFile.empty())
+            reject("per-window profiling is not supported; drop "
+                   "--profile-out");
+        if (cfg.warmBpu)
+            reject("sampled windows always warm the predictor from the "
+                   "prefix; drop --warm-bpu");
+        if (statsOutFile.size() >= 5 &&
+            statsOutFile.compare(statsOutFile.size() - 5, 5, ".prom") == 0)
+            reject("sampled stats are JSON-only; --stats-out cannot be "
+                   "a .prom file");
+    }
+    if (cfg.fastForwardInsts == 0 && cfg.samplePeriod == 0 &&
+        (!ckptDir.empty() || cfg.warmBpu)) {
         std::cerr << "mssr_run: "
-                  << (ckptDir.empty() ? "--warm-bpu" : "--ckpt-dir")
-                  << " requires --fast-forward K\n";
+                  << (ckptDir.empty()
+                          ? "--warm-bpu requires --fast-forward K"
+                          : "--ckpt-dir requires --fast-forward K or "
+                            "--sample-period N")
+                  << "\n";
         usage(argv[0]);
     }
 
@@ -552,9 +771,11 @@ main(int argc, char **argv)
             {"--stats-out", &statsOutFile},
             {"--profile-out", &profileOutFile},
             {"--trace-capture", &traceCaptureFile},
+            {"--sample-windows-out", &sampleWindowsOutFile},
         };
-        for (std::size_t a = 0; a < 4; ++a) {
-            for (std::size_t b = a + 1; b < 4; ++b) {
+        const std::size_t numOuts = sizeof(outs) / sizeof(outs[0]);
+        for (std::size_t a = 0; a < numOuts; ++a) {
+            for (std::size_t b = a + 1; b < numOuts; ++b) {
                 if (!outs[a].second->empty() &&
                     *outs[a].second == *outs[b].second) {
                     std::cerr << "mssr_run: " << outs[a].first << " and "
@@ -662,6 +883,11 @@ main(int argc, char **argv)
                 // prefix through the BatchRunner cache.
                 baseCfg.fastForwardInsts = cfg.fastForwardInsts;
                 baseCfg.warmBpu = cfg.warmBpu;
+                // Sampled compare: same (program, period, bound) key,
+                // so the pair shares one functional scan too.
+                baseCfg.samplePeriod = cfg.samplePeriod;
+                baseCfg.sampleWindow = cfg.sampleWindow;
+                baseCfg.funcTier = cfg.funcTier;
                 addJob(labels[i] + "/baseline", &programs[i], baseCfg);
             }
         }
@@ -670,6 +896,59 @@ main(int argc, char **argv)
             std::filesystem::create_directories(ckptDir);
             runner.setCheckpointDir(ckptDir);
         }
+
+        if (cfg.samplePeriod != 0) {
+            // Sampled mode: one functional scan per program drops
+            // periodic checkpoints, the detailed windows fan out
+            // across the pool, and the merge happens in window order
+            // -- results are byte-identical at any --jobs count.
+            const std::vector<SampledRunResult> sampled =
+                runner.runSampled(jobs);
+            if (!statsOutFile.empty()) {
+                std::ofstream out(statsOutFile);
+                if (!out)
+                    fatal("cannot write stats file '", statsOutFile, "'");
+                writeSampledStatsJson(out, jobs, sampled, statsHostTime);
+                std::cerr << "stats: wrote " << sampled.size()
+                          << " sampled run"
+                          << (sampled.size() == 1 ? "" : "s") << " to "
+                          << statsOutFile << " (json)\n";
+            }
+            if (!sampleWindowsOutFile.empty()) {
+                std::ofstream out(sampleWindowsOutFile);
+                if (!out)
+                    fatal("cannot write window stats file '",
+                          sampleWindowsOutFile, "'");
+                writeSampledWindowsJson(out, jobs, sampled, statsHostTime);
+                std::size_t windows = 0;
+                for (const SampledRunResult &r : sampled)
+                    windows += r.windowResults.size();
+                std::cerr << "stats: wrote " << windows
+                          << " window runs to " << sampleWindowsOutFile
+                          << " (json)\n";
+            }
+            std::size_t point = 0;
+            for (std::size_t i = 0; i < programs.size(); ++i) {
+                if (programs.size() > 1)
+                    std::cout << "== " << labels[i] << " ==\n";
+                const SampledRunResult &r = sampled[point++];
+                printSampledSummary(toString(cfg.reuseKind), r);
+                if (compare) {
+                    const SampledRunResult &base = sampled[point++];
+                    printSampledSummary("none", base);
+                    std::cout << "IPC improvement: "
+                              << analysis::percent(
+                                     base.ipc > 0.0
+                                         ? (r.ipc - base.ipc) / base.ipc
+                                         : 0.0)
+                              << "\n";
+                }
+                // --all-stats is a no-op here: the merged counter map
+                // is intentionally empty (see writeSampledStatsJson).
+            }
+            return 0;
+        }
+
         const std::vector<RunResult> results = runner.run(jobs);
 
         if (!statsOutFile.empty()) {

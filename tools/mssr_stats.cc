@@ -36,9 +36,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -71,6 +73,41 @@ usage()
     std::exit(2);
 }
 
+/**
+ * One population estimate from a sampled run's "sampling.estimates"
+ * block. The writer omits fields that are undefined (NaN is not valid
+ * JSON): "mean" needs one window, "stderr"/"ci95" need two -- absent
+ * fields stay NaN here and render as "n/a".
+ */
+struct StatsEstimate
+{
+    std::uint64_t n = 0;
+    double mean = std::numeric_limits<double>::quiet_NaN();
+    double stdErr = std::numeric_limits<double>::quiet_NaN();
+    double ci95 = std::numeric_limits<double>::quiet_NaN();
+
+    /** True when a 95% CI exists and @p value lies inside it. */
+    bool
+    covers(double value) const
+    {
+        return !std::isnan(ci95) && value >= mean - ci95 &&
+               value <= mean + ci95;
+    }
+};
+
+/** The "sampling" block a sampled mssr_run writes per merged run. */
+struct StatsSampling
+{
+    std::uint64_t samplePeriod = 0;
+    std::uint64_t sampleWindow = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t totalInsts = 0;
+    bool halted = false;
+    StatsEstimate ipc;
+    StatsEstimate reuseRate;
+    std::array<StatsEstimate, NumCpiCats> cpi;
+};
+
 /** One run parsed back out of an mssr-stats-v1 file. */
 struct StatsRun
 {
@@ -86,6 +123,7 @@ struct StatsRun
     CpiStack cpi;
     ReuseFunnel funnel;
     std::map<std::string, double> stats;
+    std::optional<StatsSampling> sampling; //!< sampled runs only
 };
 
 [[noreturn]] void
@@ -138,6 +176,53 @@ parseFunnel(const std::string &file, const JsonValue &funnel)
     return out;
 }
 
+StatsEstimate
+parseEstimate(const std::string &file, const JsonValue &est)
+{
+    StatsEstimate out;
+    out.n = u64Field(file, est, "n");
+    if (est.object.count("mean"))
+        out.mean = field(file, est, "mean", JsonValue::Number).number;
+    if (est.object.count("stderr"))
+        out.stdErr = field(file, est, "stderr", JsonValue::Number).number;
+    if (est.object.count("ci95"))
+        out.ci95 = field(file, est, "ci95", JsonValue::Number).number;
+    // The writer's contract: mean exists from one window on, the
+    // spread pair from two. A file that breaks the ladder was not
+    // produced by mssr_run.
+    if ((out.n >= 1) != !std::isnan(out.mean) ||
+        (out.n >= 2) != !std::isnan(out.ci95))
+        malformed(file, "estimate fields inconsistent with its n");
+    return out;
+}
+
+StatsSampling
+parseSampling(const std::string &file, const JsonValue &sampling)
+{
+    StatsSampling out;
+    out.samplePeriod = u64Field(file, sampling, "sample_period");
+    out.sampleWindow = u64Field(file, sampling, "sample_window");
+    out.windows = u64Field(file, sampling, "windows");
+    out.totalInsts = u64Field(file, sampling, "total_insts");
+    out.halted =
+        field(file, sampling, "halted", JsonValue::Bool).number != 0.0;
+    const JsonValue &ests =
+        field(file, sampling, "estimates", JsonValue::Object);
+    out.ipc =
+        parseEstimate(file, field(file, ests, "ipc", JsonValue::Object));
+    out.reuseRate = parseEstimate(
+        file, field(file, ests, "reuse_rate", JsonValue::Object));
+    for (std::size_t i = 0; i < NumCpiCats; ++i) {
+        const std::string key =
+            std::string("cpi_") + cpiCatKey(static_cast<CpiCat>(i));
+        out.cpi[i] =
+            parseEstimate(file, field(file, ests, key, JsonValue::Object));
+    }
+    if (out.sampleWindow == 0 || out.sampleWindow > out.samplePeriod)
+        malformed(file, "sampling window not in (0, period]");
+    return out;
+}
+
 StatsRun
 parseRun(const std::string &file, const JsonValue &run)
 {
@@ -176,6 +261,10 @@ parseRun(const std::string &file, const JsonValue &run)
             malformed(file, "stats scalar '" + key + "' is not a number");
         out.stats[key] = value.number;
     }
+
+    if (run.object.count("sampling"))
+        out.sampling = parseSampling(
+            file, field(file, run, "sampling", JsonValue::Object));
 
     // Re-verify the accounting invariants: a file that fails them was
     // not produced by a correct simulator build.
@@ -443,6 +532,14 @@ printRun(const StatsRun &r)
                       << "s host)";
         std::cout << "\n";
     }
+    if (r.sampling) {
+        const StatsSampling &s = *r.sampling;
+        std::cout << "sampled: " << s.windows << " windows x "
+                  << s.sampleWindow << " insts, period " << s.samplePeriod
+                  << ", " << s.totalInsts << " total insts ("
+                  << (s.halted ? "ran to halt" : "instruction-bounded")
+                  << ")\n";
+    }
     std::cout << "\n";
 
     analysis::Table cpi({"category", "slots", "share", "CPI"});
@@ -479,6 +576,27 @@ printRun(const StatsRun &r)
               << r.funnel.killBloom << "\n";
     std::cout << "reused-load verification: " << r.funnel.verifyOk
               << " ok, " << r.funnel.verifyFail << " fail\n";
+
+    if (r.sampling) {
+        // analysis::fixed renders NaN as "n/a", so single-window (no
+        // spread) and zero-observation estimates degrade gracefully.
+        std::cout << "\npopulation estimates (95% CI over "
+                  << r.sampling->windows << " windows):\n";
+        analysis::Table est({"metric", "n", "mean", "stderr", "ci95"});
+        auto addEstimate = [&](const std::string &metric,
+                               const StatsEstimate &e) {
+            est.addRow({metric, count(e.n), analysis::fixed(e.mean, 4),
+                        analysis::fixed(e.stdErr, 4),
+                        analysis::fixed(e.ci95, 4)});
+        };
+        addEstimate("ipc", r.sampling->ipc);
+        addEstimate("reuse_rate", r.sampling->reuseRate);
+        for (std::size_t i = 0; i < NumCpiCats; ++i)
+            addEstimate(std::string("cpi_") +
+                            cpiCatKey(static_cast<CpiCat>(i)),
+                        r.sampling->cpi[i]);
+        est.print(std::cout);
+    }
 }
 
 const StatsRun *
@@ -513,6 +631,28 @@ printDiff(const StatsRun &base, const StatsRun &mssr)
         std::cout << " (" << analysis::percent(mssr.ipc / base.ipc - 1.0)
                   << ")";
     std::cout << "\n";
+
+    if (base.sampling.has_value() != mssr.sampling.has_value()) {
+        // Exactly one side is sampled: this is an accuracy check, not
+        // an A-vs-B scheme comparison. Report how far the sampled IPC
+        // estimate lands from the full-detail truth and whether the
+        // truth falls inside the estimate's 95% confidence interval.
+        const StatsRun &sampled = base.sampling ? base : mssr;
+        const StatsRun &full = base.sampling ? mssr : base;
+        const StatsEstimate &e = sampled.sampling->ipc;
+        std::cout << "sampled-vs-full IPC: full " << analysis::fixed(
+                         full.ipc, 4) << ", sampled estimate "
+                  << analysis::fixed(e.mean, 4);
+        if (!std::isnan(e.mean) && full.ipc > 0.0)
+            std::cout << " (error "
+                      << analysis::percent(e.mean / full.ipc - 1.0) << ")";
+        if (!std::isnan(e.ci95))
+            std::cout << "; full IPC "
+                      << (e.covers(full.ipc) ? "inside" : "OUTSIDE")
+                      << " the 95% CI +/- " << analysis::fixed(e.ci95, 4)
+                      << " (n=" << e.n << ")";
+        std::cout << "\n";
+    }
     if (base.insts != mssr.insts)
         std::cout << "note: committed-instruction counts differ (" <<
             base.insts << " vs " << mssr.insts
