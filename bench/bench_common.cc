@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/argparse.hh"
+#include "common/build_info.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
 
@@ -88,24 +89,23 @@ Harness::Harness(int argc, char **argv, std::string benchName,
                  Baselines baselines)
     : benchName_(std::move(benchName)), set_(names)
 {
-    json_ = std::getenv("MSSR_JSON") != nullptr;
+    // MSSR_JSON predates the boolean contract: an empty value still
+    // means "on" (legacy presence semantics); any other value follows
+    // the strict 0/1/true/false contract.
+    if (const char *s = std::getenv("MSSR_JSON"))
+        json_ = std::string(s).empty() || envFlag("MSSR_JSON");
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--json")
             json_ = true;
     }
-    if (const char *s = std::getenv("MSSR_INTERVAL")) {
-        if (const auto v = parseU64(s))
-            statsInterval_ = *v;
-        else
-            warn("ignoring invalid MSSR_INTERVAL='", s, "'");
-    }
-    profile_ = std::getenv("MSSR_PROFILE") != nullptr;
-    if (const char *s = std::getenv("MSSR_FF")) {
-        if (const auto v = parseU64(s))
-            fastForward_ = *v;
-        else
-            warn("ignoring invalid MSSR_FF='", s, "'");
-    }
+    statsInterval_ = envU64("MSSR_INTERVAL", 0);
+    profile_ = envFlag("MSSR_PROFILE");
+    fastForward_ = envU64("MSSR_FF", 0);
+    runner_.setProgressEvery(
+        static_cast<double>(envU64("MSSR_PROGRESS_EVERY", 0)));
+    if (const char *s = std::getenv("MSSR_METRICS_OUT"))
+        runner_.setMetricsOut(s);
+    runner_.setProgressLabel(benchName_);
     if (const char *s = std::getenv("MSSR_FUNC_TIER")) {
         const std::string v = s;
         if (v == "fast")
@@ -129,8 +129,8 @@ Harness::Harness(int argc, char **argv, std::string benchName,
 
 Harness::~Harness()
 {
-    std::cerr << "[batch: " << records_.size() << " jobs on " << threads()
-              << " threads, " << wallSeconds_ << " s wall]\n";
+    logInfo("bench", "batch: ", records_.size(), " jobs on ", threads(),
+            " threads, ", wallSeconds_, " s wall");
     if (json_)
         writeJson();
 }
@@ -202,7 +202,8 @@ Harness::runBatch(const std::vector<BatchJob> &jobs)
                             results[i].hostSeconds, results[i].kips,
                             results[i].dispatchWidth, results[i].ffInsts,
                             results[i].ckptHit, results[i].ffHostSeconds,
-                            ffKips, results[i].cpi,
+                            ffKips, results[i].phases,
+                            results[i].peakRssKb, results[i].cpi,
                             results[i].funnel, results[i].intervals,
                             topBranches(results[i].profile, 5)});
     }
@@ -232,13 +233,16 @@ Harness::writeJson() const
     const char *path = "BENCH_batch.json";
     std::ofstream os(path);
     if (!os) {
-        std::cerr << "warn: cannot write " << path << "\n";
+        warn("cannot write ", path);
         return;
     }
     os << "{\n";
     os << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n";
     os << "  \"threads\": " << threads() << ",\n";
     os << "  \"func_tier\": \"" << toString(funcTier_) << "\",\n";
+    os << "  \"build_info\": {\"git\": \"" << jsonEscape(buildGitRevision())
+       << "\", \"compiler\": \"" << jsonEscape(buildCompiler())
+       << "\", \"build_type\": \"" << jsonEscape(buildType()) << "\"},\n";
     os << "  \"jobs\": " << records_.size() << ",\n";
     os << "  \"wall_sec\": " << wallSeconds_ << ",\n";
     os << "  \"results\": [";
@@ -254,6 +258,11 @@ Harness::writeJson() const
            << ", \"ckpt_hit\": " << (r.ckptHit ? "true" : "false")
            << ", \"ff_host_sec\": " << r.ffHostSec
            << ", \"ff_kips\": " << r.ffKips
+           << ", \"phase_warm_sec\": " << r.phases.warm
+           << ", \"phase_build_sec\": " << r.phases.build
+           << ", \"phase_detail_sec\": " << r.phases.detail
+           << ", \"phase_serialize_sec\": " << r.phases.serialize
+           << ", \"peak_rss_kb\": " << r.peakRssKb
            << ", \"cpi\": ";
         mssr::writeJson(os, r.cpi);
         os << ", \"funnel\": ";
@@ -288,7 +297,7 @@ Harness::writeJson() const
         os << "]}";
     }
     os << "\n  ]\n}\n";
-    std::cerr << "[wrote " << path << "]\n";
+    logInfo("bench", "wrote ", path);
 }
 
 } // namespace mssr::bench

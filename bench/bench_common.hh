@@ -34,6 +34,17 @@
  *               instruction count (consumed by sampled_accuracy,
  *               which compares sampled estimates against full-detail
  *               ground truth)
+ *   MSSR_PROGRESS_EVERY  emit a one-line progress report (done/total,
+ *               ETA, aggregate kips) every K seconds while a batch
+ *               runs (0/unset disables)
+ *   MSSR_METRICS_OUT  atomically rewrite this Prometheus textfile
+ *               with the live metrics snapshot on every heartbeat and
+ *               at batch completion
+ *   MSSR_LOG / MSSR_LOG_OUT  structured-logger level
+ *               (error|warn|info|debug) and JSONL sink (common/log.hh)
+ *
+ * All telemetry is host-side only: enabling any of it leaves every
+ * simulated result byte-identical (ctest-enforced).
  *
  * Design points are executed by BatchRunner in submission order, so
  * every table printed to stdout is byte-identical to a sequential run
@@ -147,6 +158,8 @@ class Harness
         bool ckptHit;
         double ffHostSec;
         double ffKips;
+        RunResult::HostPhaseSeconds phases;
+        std::int64_t peakRssKb;
         CpiStack cpi;
         ReuseFunnel funnel;
         std::vector<IntervalSample> intervals;

@@ -23,6 +23,8 @@
 #include <fstream>
 
 #include "bench_common.hh"
+#include "common/argparse.hh"
+#include "common/build_info.hh"
 #include "driver/sampled_runner.hh"
 
 using namespace mssr;
@@ -30,15 +32,6 @@ using namespace mssr::analysis;
 
 namespace
 {
-
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (!v || !*v)
-        return fallback;
-    return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
-}
 
 /** Conditional-field estimate JSON, same contract as mssr_run. */
 void
@@ -174,7 +167,11 @@ main(int argc, char **argv)
         std::ofstream os("BENCH_batch.json");
         os.precision(17);
         os << "{\n  \"bench\": \"sampled_accuracy\",\n  \"threads\": "
-           << runner.threads() << ",\n  \"sample_period\": " << period
+           << runner.threads()
+           << ",\n  \"build_info\": {\"git\": \"" << buildGitRevision()
+           << "\", \"compiler\": \"" << buildCompiler()
+           << "\", \"build_type\": \"" << buildType() << "\"}"
+           << ",\n  \"sample_period\": " << period
            << ",\n  \"sample_window\": " << window
            << ",\n  \"jobs\": " << points.size() * 2
            << ",\n  \"wall_sec\": " << wall.count()
@@ -196,8 +193,8 @@ main(int argc, char **argv)
             os << "}";
         }
         os << "\n  ]\n}\n";
-        std::cerr << "[wrote BENCH_batch.json: " << points.size()
-                  << " sampled-accuracy points]\n";
+        logInfo("bench", "wrote BENCH_batch.json: ", points.size(),
+                " sampled-accuracy points");
     }
     return 0;
 }

@@ -17,6 +17,8 @@
 #include <optional>
 #include <string>
 
+#include "common/log.hh"
+
 namespace mssr
 {
 
@@ -46,6 +48,49 @@ parseU32(const std::string &s)
     if (!v || *v > std::numeric_limits<unsigned>::max())
         return std::nullopt;
     return static_cast<unsigned>(*v);
+}
+
+/**
+ * Environment knob with the strict warn-and-fallback contract: an
+ * unset variable silently yields @p fallback; a set-but-invalid value
+ * (garbage, out of [min, max]) warns once with the offending text and
+ * yields @p fallback rather than being half-parsed. This is the
+ * MSSR_JOBS contract, shared by every numeric MSSR_* knob.
+ */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback, std::uint64_t min = 0,
+       std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+{
+    const char *raw = std::getenv(name);
+    if (!raw)
+        return fallback;
+    const auto v = parseU64(raw);
+    if (v && *v >= min && *v <= max)
+        return *v;
+    warn("ignoring invalid ", name, "='", raw, "' (want integer in [", min,
+         ", ", max, "]); using ", fallback);
+    return fallback;
+}
+
+/**
+ * Boolean environment knob: "1"/"true"/"yes"/"on" enable,
+ * "0"/"false"/"no"/"off"/"" (and unset) disable, anything else warns
+ * and falls back to disabled.
+ */
+inline bool
+envFlag(const char *name)
+{
+    const char *raw = std::getenv(name);
+    if (!raw)
+        return false;
+    const std::string s(raw);
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off" || s.empty())
+        return false;
+    warn("ignoring invalid ", name, "='", s,
+         "' (want 0/1/true/false); treating as unset");
+    return false;
 }
 
 } // namespace mssr

@@ -1,0 +1,301 @@
+#include "common/metrics.hh"
+
+#include <sys/resource.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mssr
+{
+
+void
+HistogramMetric::observe(double v)
+{
+    const auto b = bounds();
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        if (v <= b[i]) {
+            buckets_[i].fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // C++20 guarantees lock-free double CAS via the bit pattern.
+    std::uint64_t old = sumBits_.load(std::memory_order_relaxed);
+    for (;;) {
+        const double updated = std::bit_cast<double>(old) + v;
+        if (sumBits_.compare_exchange_weak(old,
+                                           std::bit_cast<std::uint64_t>(
+                                               updated),
+                                           std::memory_order_relaxed))
+            break;
+    }
+}
+
+double
+HistogramMetric::sum() const
+{
+    return std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+}
+
+std::uint64_t
+HistogramMetric::cumulative(std::size_t i) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t j = 0; j <= i && j < buckets_.size(); ++j)
+        total += buckets_[j].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+HistogramMetric::resetForTest()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumBits_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const auto [it, fresh] = entries_.try_emplace(
+        name, Entry{Kind::Counter, counters_.size(), help});
+    if (fresh)
+        counters_.emplace_back();
+    else if (it->second.kind != Kind::Counter)
+        panic("metric '", name, "' already registered with another kind");
+    return counters_[it->second.index];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const auto [it, fresh] =
+        entries_.try_emplace(name, Entry{Kind::Gauge, gauges_.size(), help});
+    if (fresh)
+        gauges_.emplace_back();
+    else if (it->second.kind != Kind::Gauge)
+        panic("metric '", name, "' already registered with another kind");
+    return gauges_[it->second.index];
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    const auto [it, fresh] = entries_.try_emplace(
+        name, Entry{Kind::Histogram, histograms_.size(), help});
+    if (fresh)
+        histograms_.emplace_back();
+    else if (it->second.kind != Kind::Histogram)
+        panic("metric '", name, "' already registered with another kind");
+    return histograms_[it->second.index];
+}
+
+void
+MetricsRegistry::writeProm(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    os.precision(17);
+    for (const auto &[name, entry] : entries_) {
+        os << "# HELP " << name << ' ' << entry.help << '\n';
+        switch (entry.kind) {
+          case Kind::Counter:
+            os << "# TYPE " << name << " counter\n"
+               << name << ' ' << counters_[entry.index].value() << '\n';
+            break;
+          case Kind::Gauge:
+            os << "# TYPE " << name << " gauge\n"
+               << name << ' ' << gauges_[entry.index].value() << '\n';
+            break;
+          case Kind::Histogram: {
+            const HistogramMetric &h = histograms_[entry.index];
+            os << "# TYPE " << name << " histogram\n";
+            const auto b = HistogramMetric::bounds();
+            for (std::size_t i = 0; i < b.size(); ++i)
+                os << name << "_bucket{le=\"" << b[i] << "\"} "
+                   << h.cumulative(i) << '\n';
+            os << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+               << name << "_sum " << h.sum() << '\n'
+               << name << "_count " << h.count() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+bool
+MetricsRegistry::writePromFile(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::out | std::ios::trunc);
+        if (!os) {
+            warn("cannot write metrics file ", tmp);
+            return false;
+        }
+        writeProm(os);
+        os.flush();
+        if (!os) {
+            warn("error writing metrics file ", tmp);
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot rename ", tmp, " to ", path);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+MetricsRegistry::resetForTest()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &c : counters_)
+        c.resetForTest();
+    for (auto &g : gauges_)
+        g.resetForTest();
+    for (auto &h : histograms_)
+        h.resetForTest();
+}
+
+std::int64_t
+peakRssKb()
+{
+    struct rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return static_cast<std::int64_t>(ru.ru_maxrss); // KiB on Linux
+}
+
+namespace
+{
+
+std::string
+humanSeconds(double s)
+{
+    char buf[32];
+    if (s >= 3600.0)
+        std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+    else if (s >= 60.0)
+        std::snprintf(buf, sizeof(buf), "%.1fm", s / 60.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fs", s);
+    return buf;
+}
+
+} // namespace
+
+ProgressReporter::ProgressReporter(ProgressOptions opts)
+    : opts_(std::move(opts)),
+      start_(std::chrono::steady_clock::now()),
+      jobsDone_(MetricsRegistry::global().counter(
+          "mssr_batch_jobs_done_total", "Simulation jobs completed")),
+      insts_(MetricsRegistry::global().counter(
+          "mssr_batch_insts_total",
+          "Instructions committed in detailed simulation")),
+      jobsDoneAtStart_(jobsDone_.value()),
+      instsAtStart_(insts_.value())
+{
+    MetricsRegistry::global().gauge("mssr_host_peak_rss_kb",
+                                    "Peak resident set size (KiB)");
+    MetricsRegistry::global().gauge(
+        "mssr_batch_kips",
+        "Aggregate simulated kilo-instructions per host-second");
+    if (opts_.everySeconds > 0.0)
+        thread_ = std::thread([this] { heartbeat(); });
+}
+
+ProgressReporter::~ProgressReporter()
+{
+    finish();
+}
+
+void
+ProgressReporter::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (finished_)
+            return;
+        finished_ = true;
+        stop_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    report(true);
+}
+
+void
+ProgressReporter::heartbeat()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto period = std::chrono::duration<double>(opts_.everySeconds);
+    while (!stop_) {
+        if (wake_.wait_for(lock, period, [this] { return stop_; }))
+            return; // finish() emits the final report
+        lock.unlock();
+        report(false);
+        lock.lock();
+    }
+}
+
+void
+ProgressReporter::report(bool final)
+{
+    MetricsRegistry &reg = MetricsRegistry::global();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    const std::uint64_t done = jobsDone_.value() - jobsDoneAtStart_;
+    const std::uint64_t insts = insts_.value() - instsAtStart_;
+    const double kips = elapsed.count() > 0.0
+                            ? static_cast<double>(insts) /
+                                  elapsed.count() / 1e3
+                            : 0.0;
+    reg.gauge("mssr_host_peak_rss_kb", "").set(peakRssKb());
+    reg.gauge("mssr_batch_kips", "").set(static_cast<std::int64_t>(kips));
+
+    if (opts_.everySeconds > 0.0) {
+        std::ostringstream line;
+        line.precision(1);
+        line.setf(std::ios::fixed);
+        line << opts_.label << ": " << done << '/' << opts_.totalJobs
+             << " jobs";
+        if (opts_.totalJobs > 0)
+            line << " (" << 100.0 * static_cast<double>(done) /
+                                static_cast<double>(opts_.totalJobs)
+                 << "%)";
+        line << ", elapsed " << humanSeconds(elapsed.count());
+        if (!final && done > 0 && opts_.totalJobs > done) {
+            const double eta = elapsed.count() /
+                               static_cast<double>(done) *
+                               static_cast<double>(opts_.totalJobs - done);
+            line << ", eta " << humanSeconds(eta);
+        }
+        line << ", " << kips << " kips";
+        if (final)
+            line << ", done";
+        logInfo("progress", line.str());
+    }
+    if (!opts_.metricsPath.empty())
+        reg.writePromFile(opts_.metricsPath);
+}
+
+} // namespace mssr

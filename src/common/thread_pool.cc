@@ -1,9 +1,42 @@
 #include "common/thread_pool.hh"
 
+#include <stdexcept>
 #include <utility>
+
+#include "common/metrics.hh"
 
 namespace mssr
 {
+
+namespace
+{
+
+struct PoolMetrics
+{
+    Gauge &workers;
+    Gauge &busy;
+    Gauge &queueDepth;
+    Counter &tasks;
+
+    static PoolMetrics &
+    get()
+    {
+        MetricsRegistry &reg = MetricsRegistry::global();
+        static PoolMetrics m{
+            reg.gauge("mssr_pool_workers",
+                      "Worker threads across live thread pools"),
+            reg.gauge("mssr_pool_busy_workers",
+                      "Workers currently executing a task"),
+            reg.gauge("mssr_pool_queue_depth",
+                      "Tasks queued but not yet started"),
+            reg.counter("mssr_pool_tasks_total",
+                        "Tasks submitted to any thread pool"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
 {
@@ -12,17 +45,28 @@ ThreadPool::ThreadPool(unsigned threads)
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    PoolMetrics::get().workers.add(threads);
 }
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
         stopping_ = true;
     }
     workAvailable_.notify_all();
     for (auto &w : workers_)
         w.join();
+    PoolMetrics::get().workers.sub(
+        static_cast<std::int64_t>(workers_.size()));
 }
 
 void
@@ -30,17 +74,28 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw std::logic_error("ThreadPool::submit after shutdown");
         queue_.push_back(std::move(task));
         ++submitted_;
     }
+    PoolMetrics::get().tasks.inc();
+    PoolMetrics::get().queueDepth.add(1);
     workAvailable_.notify_one();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allIdle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allIdle_.wait(lock,
+                      [this] { return queue_.empty() && running_ == 0; });
+        std::swap(error, firstError_);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 std::uint64_t
@@ -63,8 +118,18 @@ ThreadPool::workerLoop()
         queue_.pop_front();
         ++running_;
         lock.unlock();
-        task();
+        PoolMetrics::get().queueDepth.sub(1);
+        PoolMetrics::get().busy.add(1);
+        std::exception_ptr error;
+        try {
+            task();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        PoolMetrics::get().busy.sub(1);
         lock.lock();
+        if (error && !firstError_)
+            firstError_ = error;
         --running_;
         if (queue_.empty() && running_ == 0)
             allIdle_.notify_all();

@@ -5,6 +5,15 @@
  * thread-safe and wait() blocks until every submitted task has
  * finished. The pool is intentionally minimal: no futures, no task
  * priorities -- the BatchRunner layers result ordering on top.
+ *
+ * Error contract: a task that throws does not kill the worker (the
+ * pool keeps draining the queue); the first uncaught exception is
+ * captured and rethrown by the next wait() on the calling thread. An
+ * error that is never observed by wait() is dropped at destruction.
+ *
+ * The pool exports utilization gauges (mssr_pool_workers,
+ * mssr_pool_busy_workers, mssr_pool_queue_depth) and a lifetime task
+ * counter (mssr_pool_tasks_total) into the global MetricsRegistry.
  */
 
 #ifndef MSSR_COMMON_THREAD_POOL_HH
@@ -14,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,17 +39,31 @@ class ThreadPool
     /** Spawns @p threads workers (at least one). */
     explicit ThreadPool(unsigned threads);
 
-    /** Drains the queue, then joins all workers. */
+    /** Equivalent to shutdown(): drains the queue, joins all workers. */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueues @p task; runs on some worker in FIFO order. */
+    /**
+     * Enqueues @p task; runs on some worker in FIFO order.
+     * Throws std::logic_error after shutdown().
+     */
     void submit(std::function<void()> task);
 
-    /** Blocks until the queue is empty and all workers are idle. */
+    /**
+     * Blocks until the queue is empty and all workers are idle, then
+     * rethrows the first exception any task raised since the previous
+     * wait() (clearing it, so the pool stays usable afterwards).
+     */
     void wait();
+
+    /**
+     * Drains the queue and joins all workers. Idempotent; afterwards
+     * submit() throws and wait() returns immediately. Called by the
+     * destructor, which additionally drops any unobserved task error.
+     */
+    void shutdown();
 
     unsigned numThreads() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -57,6 +81,7 @@ class ThreadPool
     unsigned running_ = 0; //!< tasks currently executing
     std::uint64_t submitted_ = 0;
     bool stopping_ = false;
+    std::exception_ptr firstError_; //!< first task exception since wait()
 };
 
 } // namespace mssr

@@ -8,15 +8,69 @@
 #include <filesystem>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/argparse.hh"
 #include "common/log.hh"
+#include "common/metrics.hh"
 #include "common/thread_pool.hh"
 
 namespace mssr
 {
+
+namespace
+{
+
+/** Lazily-registered batch/checkpoint-store instrumentation. */
+struct BatchMetrics
+{
+    Counter &jobsTotal;
+    Counter &jobsDone;
+    Counter &insts;
+    Counter &ckptHits;
+    Gauge &jobsRunning;
+    HistogramMetric &jobSeconds;
+    Counter &storeHits;
+    Counter &storeMisses;
+    Counter &storeBytesRead;
+    Counter &storeBytesWritten;
+
+    static BatchMetrics &
+    get()
+    {
+        MetricsRegistry &reg = MetricsRegistry::global();
+        static BatchMetrics m{
+            reg.counter("mssr_batch_jobs_total",
+                        "Simulation jobs queued into batches"),
+            reg.counter("mssr_batch_jobs_done_total",
+                        "Simulation jobs completed"),
+            reg.counter("mssr_batch_insts_total",
+                        "Instructions committed in detailed simulation"),
+            reg.counter("mssr_batch_ckpt_hits_total",
+                        "Completed jobs whose warm-up came from a "
+                        "pre-computed checkpoint"),
+            reg.gauge("mssr_batch_jobs_running",
+                      "Jobs currently in detailed simulation"),
+            reg.histogram("mssr_job_host_seconds",
+                          "Per-job detailed-simulation wall time"),
+            reg.counter("mssr_ckpt_store_hits_total",
+                        "Warm-up prefixes loaded from the on-disk "
+                        "checkpoint store"),
+            reg.counter("mssr_ckpt_store_misses_total",
+                        "Warm-up prefixes computed because the store "
+                        "had no match"),
+            reg.counter("mssr_ckpt_store_bytes_read_total",
+                        "Bytes read from the checkpoint store"),
+            reg.counter("mssr_ckpt_store_bytes_written_total",
+                        "Bytes written to the checkpoint store"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 BatchRunner::BatchRunner(unsigned threads)
     : threads_(threads ? threads : defaultThreads())
@@ -65,6 +119,21 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
     if (jobs.empty())
         return results;
 
+    // Telemetry is observational only: every counter bump and
+    // progress line happens outside the simulated machine, so results
+    // are byte-identical with it on or off (ctest-enforced).
+    BatchMetrics &metrics = BatchMetrics::get();
+    metrics.jobsTotal.inc(jobs.size());
+    std::optional<ProgressReporter> progress;
+    if (progressEvery_ > 0.0 || !metricsOut_.empty()) {
+        ProgressOptions opts;
+        opts.everySeconds = progressEvery_;
+        opts.metricsPath = metricsOut_;
+        opts.label = progressLabel_;
+        opts.totalJobs = jobs.size();
+        progress.emplace(std::move(opts));
+    }
+
     // Phase 0 -- shared warm-up. Group jobs that fast-forward the same
     // program by the same instruction count (and don't already carry a
     // snapshot), then take each group's functional prefix exactly
@@ -105,10 +174,21 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
             // silently recomputed.
             g.ckpt = readCheckpoint(path);
             g.diskHit = true;
+            metrics.storeHits.inc();
+            const auto bytes = std::filesystem::file_size(path);
+            metrics.storeBytesRead.inc(bytes);
+            logDebug("ckpt", "store hit ", path, " (", bytes, " bytes, ",
+                     g.jobIdx.size(), " job(s))");
         } else {
             g.ckpt = computeCheckpoint(*g.program, g.ffInsts, g.tier);
-            if (!path.empty())
+            if (!path.empty()) {
                 writeCheckpoint(path, g.ckpt);
+                metrics.storeMisses.inc();
+                const auto bytes = std::filesystem::file_size(path);
+                metrics.storeBytesWritten.inc(bytes);
+                logDebug("ckpt", "store miss, wrote ", path, " (", bytes,
+                         " bytes, ", g.jobIdx.size(), " job(s))");
+            }
         }
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - t0;
@@ -120,10 +200,23 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
     // Phase 1 -- the detailed runs.
     // Sequential fast path: no pool, no synchronization. Results are
     // identical either way; this is the timing baseline.
-    if (threads_ == 1 || jobs.size() == 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+    const auto runOne = [&](std::size_t i) {
+        metrics.jobsRunning.add(1);
+        try {
             results[i] = runSim(*jobs[i].program, configs[i], nullptr,
                                 jobs[i].inspect);
+        } catch (...) {
+            metrics.jobsRunning.sub(1);
+            throw;
+        }
+        metrics.jobsRunning.sub(1);
+        metrics.jobsDone.inc();
+        metrics.insts.inc(results[i].insts);
+        metrics.jobSeconds.observe(results[i].hostSeconds);
+    };
+    if (threads_ == 1 || jobs.size() == 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
     } else {
         std::exception_ptr firstError;
         std::mutex errorMutex;
@@ -132,8 +225,7 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
             for (std::size_t i = 0; i < jobs.size(); ++i) {
                 pool.submit([&, i] {
                     try {
-                        results[i] = runSim(*jobs[i].program, configs[i],
-                                            nullptr, jobs[i].inspect);
+                        runOne(i);
                     } catch (...) {
                         std::lock_guard<std::mutex> lock(errorMutex);
                         if (!firstError)
@@ -157,6 +249,15 @@ BatchRunner::run(const std::vector<BatchJob> &jobs) const
         owner.ckptHit = g.diskHit;
         owner.ffHostSeconds = g.hostSeconds;
     }
+    // Count checkpoint hits only after attribution so the counter
+    // reconciles exactly with the ckpt_hit flags downstream consumers
+    // (BENCH_batch.json) will see.
+    std::uint64_t hits = 0;
+    for (const RunResult &r : results)
+        hits += r.ckptHit ? 1 : 0;
+    metrics.ckptHits.inc(hits);
+    if (progress)
+        progress->finish(); // final progress line + final textfile
     return results;
 }
 

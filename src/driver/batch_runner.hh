@@ -68,6 +68,27 @@ class BatchRunner
     const std::string &checkpointDir() const { return ckptDir_; }
 
     /**
+     * @name Live telemetry (host-side only; results stay byte-identical)
+     * With a period > 0, run()/runSampled() start a heartbeat that
+     * every @p seconds logs a one-line progress report (done/total,
+     * ETA, aggregate kips). With a metrics path set, the global
+     * MetricsRegistry snapshot is atomically rewritten there as a
+     * Prometheus textfile on every heartbeat and once more at batch
+     * completion (so the file exists even without a heartbeat).
+     */
+    /// @{
+    void setProgressEvery(double seconds) { progressEvery_ = seconds; }
+    double progressEvery() const { return progressEvery_; }
+    void setMetricsOut(std::string path) { metricsOut_ = std::move(path); }
+    const std::string &metricsOut() const { return metricsOut_; }
+    /** Job-source tag shown in progress lines (default "batch"). */
+    void setProgressLabel(std::string label)
+    {
+        progressLabel_ = std::move(label);
+    }
+    /// @}
+
+    /**
      * Runs all @p jobs and returns results in submission order.
      * A job that throws (bad config/program) aborts the batch: the
      * first exception is rethrown on the calling thread once all
@@ -108,6 +129,9 @@ class BatchRunner
   private:
     unsigned threads_;
     std::string ckptDir_;
+    double progressEvery_ = 0.0;
+    std::string metricsOut_;
+    std::string progressLabel_ = "batch";
 };
 
 } // namespace mssr

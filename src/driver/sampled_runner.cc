@@ -7,6 +7,8 @@
 #include <tuple>
 #include <utility>
 
+#include "common/metrics.hh"
+
 namespace mssr
 {
 
@@ -170,6 +172,13 @@ BatchRunner::runSampled(const std::vector<BatchJob> &jobs) const
     }
 
     std::vector<RunResult> windowResults = run(windowJobs);
+    // Window jobs ran through run() above, so the batch counters
+    // (jobs done, insts) already include them; this counter tracks
+    // sampled-window completions specifically.
+    MetricsRegistry::global()
+        .counter("mssr_sampled_windows_done_total",
+                 "Detailed sample windows completed")
+        .inc(windowResults.size());
 
     // Phase 2 -- deterministic merge, in window order, on this thread.
     for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/metrics.hh"
 #include "common/serialize.hh"
 #include "sim/fast_emu.hh"
 #include "sim/func_emu.hh"
@@ -81,11 +82,19 @@ runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
         out.ffInsts = cfg.fastForwardInsts;
         snapshot->restoreMemory(mem);
     }
+    const auto warmDone = std::chrono::steady_clock::now();
+    out.phases.warm =
+        std::chrono::duration<double>(warmDone - start).count();
 
     O3Cpu cpu(cfg, prog, mem, snapshot);
+    const auto buildDone = std::chrono::steady_clock::now();
+    out.phases.build =
+        std::chrono::duration<double>(buildDone - warmDone).count();
     cpu.run();
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
+    const auto detailDone = std::chrono::steady_clock::now();
+    out.phases.detail =
+        std::chrono::duration<double>(detailDone - buildDone).count();
+    const std::chrono::duration<double> elapsed = detailDone - start;
 
     out.hostSeconds = elapsed.count();
     out.cycles = cpu.cycles();
@@ -106,6 +115,11 @@ runSim(const isa::Program &prog, const SimConfig &cfg, Memory *mem_out,
         out.archRegs[r] = cpu.archReg(static_cast<ArchReg>(r));
     if (inspect)
         inspect(cpu);
+    out.phases.serialize =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      detailDone)
+            .count();
+    out.peakRssKb = peakRssKb();
     return out;
 }
 

@@ -81,6 +81,26 @@ struct RunResult
     double kips = 0.0;        //!< simulated kilo-instructions / host second
 
     /**
+     * Where hostSeconds went, phase by phase: `warm` is the
+     * functional prefix (compute or checkpoint validate + memory
+     * restore), `build` is core construction, `detail` is the
+     * detailed cpu.run() loop, `serialize` is result extraction
+     * (stats, CPI stack, profile, inspect hook). hostSeconds ==
+     * warm + build + detail by construction; serialize happens after
+     * the hostSeconds clock stops, matching its historical meaning.
+     */
+    struct HostPhaseSeconds
+    {
+        double warm = 0.0;
+        double build = 0.0;
+        double detail = 0.0;
+        double serialize = 0.0;
+    };
+    HostPhaseSeconds phases;
+    /** Peak resident set size of the process so far, in KiB. */
+    std::int64_t peakRssKb = 0;
+
+    /**
      * Speedup of this run over @p baseline (by cycles). NaN when either
      * run is degenerate (zero cycles): a 0-cycle run has no defined
      * speedup, and 0.0 would silently read as "baseline infinitely

@@ -1,7 +1,9 @@
 #include "workloads/registry.hh"
 
 #include <cstdlib>
+#include <limits>
 
+#include "common/argparse.hh"
 #include "common/log.hh"
 #include "workloads/gap_kernels.hh"
 #include "workloads/graph.hh"
@@ -14,13 +16,16 @@ namespace mssr::workloads
 WorkloadScale
 WorkloadScale::fromEnv()
 {
+    // Strict warn-and-fallback parses (the MSSR_JOBS contract): the
+    // seed version fed these through atoi, so "12x" ran at scale 12
+    // and "abc" silently ran at scale 0.
     WorkloadScale scale;
-    if (const char *s = std::getenv("MSSR_SCALE"))
-        scale.graphScale = static_cast<unsigned>(std::atoi(s));
-    if (const char *s = std::getenv("MSSR_ITERS"))
-        scale.iterations = static_cast<unsigned>(std::atoi(s));
-    if (const char *s = std::getenv("MSSR_SEED"))
-        scale.seed = static_cast<std::uint64_t>(std::atoll(s));
+    scale.graphScale = static_cast<unsigned>(
+        envU64("MSSR_SCALE", scale.graphScale, 1, 30));
+    scale.iterations = static_cast<unsigned>(envU64(
+        "MSSR_ITERS", scale.iterations, 1,
+        std::numeric_limits<unsigned>::max()));
+    scale.seed = envU64("MSSR_SEED", scale.seed);
     return scale;
 }
 

@@ -1,0 +1,217 @@
+/**
+ * MetricsRegistry / structured logger: metric arithmetic (counters,
+ * gauges, the fixed-bucket host-time histogram), idempotent
+ * registration with kind-clash panics, the Prometheus text rendering
+ * and its atomic textfile writer, and the Logger's level gating, text
+ * format and JSONL mirroring. All host-side only -- nothing here may
+ * touch simulated state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/metrics.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+TEST(MetricsTest, CounterGaugeBasics)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("t_counter", "help");
+    EXPECT_EQ(0u, c.value());
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(42u, c.value());
+
+    Gauge &g = reg.gauge("t_gauge", "help");
+    g.set(10);
+    g.add(5);
+    g.sub(20);
+    EXPECT_EQ(-5, g.value());
+}
+
+TEST(MetricsTest, RegistrationIsIdempotent)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("t_same", "help");
+    Counter &b = reg.counter("t_same", "help");
+    EXPECT_EQ(&a, &b) << "same name must return the same instance";
+    a.inc();
+    EXPECT_EQ(1u, b.value());
+}
+
+TEST(MetricsTest, KindClashPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("t_clash", "help");
+    EXPECT_THROW(reg.gauge("t_clash", "help"), SimPanic);
+    EXPECT_THROW(reg.histogram("t_clash", "help"), SimPanic);
+}
+
+TEST(MetricsTest, HistogramBucketsAreCumulative)
+{
+    MetricsRegistry reg;
+    HistogramMetric &h = reg.histogram("t_hist", "help");
+    // Bounds are {0.01, 0.1, 1, 10, 60, 300}.
+    h.observe(0.005); // bucket 0
+    h.observe(0.05);  // bucket 1
+    h.observe(0.5);   // bucket 2
+    h.observe(5.0);   // bucket 3
+    h.observe(1000.0); // beyond every bound: only +Inf (count)
+    EXPECT_EQ(5u, h.count());
+    EXPECT_DOUBLE_EQ(0.005 + 0.05 + 0.5 + 5.0 + 1000.0, h.sum());
+    EXPECT_EQ(1u, h.cumulative(0));
+    EXPECT_EQ(2u, h.cumulative(1));
+    EXPECT_EQ(3u, h.cumulative(2));
+    EXPECT_EQ(4u, h.cumulative(3));
+    EXPECT_EQ(4u, h.cumulative(4));
+    EXPECT_EQ(4u, h.cumulative(5));
+}
+
+TEST(MetricsTest, CountersAreThreadSafe)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("t_mt", "help");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.inc();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(40000u, c.value());
+}
+
+TEST(MetricsTest, PromRenderingShape)
+{
+    MetricsRegistry reg;
+    reg.counter("t_jobs_total", "Jobs done").inc(3);
+    reg.gauge("t_depth", "Queue depth").set(7);
+    reg.histogram("t_sec", "Seconds").observe(0.5);
+
+    std::ostringstream os;
+    reg.writeProm(os);
+    const std::string out = os.str();
+
+    EXPECT_NE(std::string::npos, out.find("# HELP t_jobs_total Jobs done"));
+    EXPECT_NE(std::string::npos, out.find("# TYPE t_jobs_total counter"));
+    EXPECT_NE(std::string::npos, out.find("t_jobs_total 3"));
+    EXPECT_NE(std::string::npos, out.find("# TYPE t_depth gauge"));
+    EXPECT_NE(std::string::npos, out.find("t_depth 7"));
+    EXPECT_NE(std::string::npos, out.find("# TYPE t_sec histogram"));
+    EXPECT_NE(std::string::npos, out.find("t_sec_bucket{le=\"1\"} 1"));
+    EXPECT_NE(std::string::npos, out.find("t_sec_bucket{le=\"+Inf\"} 1"));
+    EXPECT_NE(std::string::npos, out.find("t_sec_count 1"));
+}
+
+TEST(MetricsTest, WritePromFileReplacesAtomically)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("t_file_total", "help");
+    c.inc(5);
+    const std::string path = "test_metrics_out.prom";
+    ASSERT_TRUE(reg.writePromFile(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(std::string::npos, ss.str().find("t_file_total 5"));
+    // The temporary must be gone after the rename.
+    EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+    c.inc();
+    ASSERT_TRUE(reg.writePromFile(path));
+    std::ifstream in2(path);
+    std::stringstream ss2;
+    ss2 << in2.rdbuf();
+    EXPECT_NE(std::string::npos, ss2.str().find("t_file_total 6"));
+    std::remove(path.c_str());
+}
+
+TEST(MetricsTest, GlobalRegistryResetForTest)
+{
+    Counter &c =
+        MetricsRegistry::global().counter("t_global_reset_total", "help");
+    c.inc(9);
+    MetricsRegistry::global().resetForTest();
+    EXPECT_EQ(0u, c.value());
+}
+
+TEST(LoggerTest, LevelGatesRecords)
+{
+    Logger logger;
+    EXPECT_EQ(LogLevel::Info, logger.level()) << "default level is info";
+    EXPECT_TRUE(logger.enabled(LogLevel::Error));
+    EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+    EXPECT_TRUE(logger.enabled(LogLevel::Info));
+    EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+
+    logger.setLevel(LogLevel::Error);
+    EXPECT_FALSE(logger.enabled(LogLevel::Warn));
+    logger.setLevel(LogLevel::Debug);
+    EXPECT_TRUE(logger.enabled(LogLevel::Debug));
+}
+
+TEST(LoggerTest, TextFormatKeepsWarnPrefix)
+{
+    // Scripts and ctest regexes grep for the literal "warn: " prefix;
+    // the structured logger must preserve it.
+    testing::internal::CaptureStderr();
+    Logger logger;
+    logger.log(LogLevel::Warn, {}, "plain message");
+    logger.log(LogLevel::Info, "bench", "tagged message");
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(std::string::npos, err.find("warn: plain message\n"));
+    EXPECT_NE(std::string::npos, err.find("info: [bench] tagged message\n"));
+}
+
+TEST(LoggerTest, JsonlSinkEmitsValidRecords)
+{
+    const std::string path = "test_logger_out.jsonl";
+    {
+        testing::internal::CaptureStderr();
+        Logger logger;
+        ASSERT_TRUE(logger.openJsonl(path));
+        logger.log(LogLevel::Info, "bench", "hello \"quoted\"\npayload");
+        logger.closeJsonl();
+        testing::internal::GetCapturedStderr();
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(std::string::npos, line.find("\"level\": \"info\""));
+    EXPECT_NE(std::string::npos, line.find("\"subsys\": \"bench\""));
+    EXPECT_NE(std::string::npos,
+              line.find("\"msg\": \"hello \\\"quoted\\\"\\npayload\""));
+    EXPECT_NE(std::string::npos, line.find("\"ts\": "));
+    // Exactly one record, no raw newline inside it.
+    EXPECT_FALSE(std::getline(in, line));
+    std::remove(path.c_str());
+}
+
+TEST(LoggerTest, ParseLogLevelRoundTrips)
+{
+    LogLevel level;
+    ASSERT_TRUE(parseLogLevel("error", level));
+    EXPECT_EQ(LogLevel::Error, level);
+    ASSERT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(LogLevel::Debug, level);
+    EXPECT_FALSE(parseLogLevel("verbose", level));
+    EXPECT_FALSE(parseLogLevel("", level));
+    EXPECT_STREQ("warn", toString(LogLevel::Warn));
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * ThreadPool error contract and lifecycle: a task exception must not
+ * kill its worker (the queue keeps draining), the first exception is
+ * rethrown by the next wait() on the calling thread and then cleared
+ * (the pool stays usable), submit() after shutdown() throws instead
+ * of deadlocking, and FIFO ordering / saturation hold at every pool
+ * size. test_batch_runner.cc covers the happy-path batch semantics;
+ * this file covers the edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+using namespace mssr;
+
+namespace
+{
+
+TEST(ThreadPoolTest, TaskExceptionRethrownByWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_THROW(
+        {
+            try {
+                pool.wait();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ("task boom", e.what());
+                throw;
+            }
+        },
+        std::runtime_error);
+    // The throwing task did not take its worker down: every other
+    // task still ran.
+    EXPECT_EQ(8, ran.load());
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("first"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The error was cleared by the wait() that reported it.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(1, ran.load());
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsKept)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("one"); });
+    pool.submit([] { throw std::logic_error("two"); });
+    // One worker drains in FIFO order, so "one" is first.
+    EXPECT_THROW(
+        {
+            try {
+                pool.wait();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ("one", e.what());
+                throw;
+            }
+        },
+        std::runtime_error);
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.shutdown();
+    EXPECT_EQ(1, ran.load()) << "shutdown() must drain the queue";
+    EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent)
+{
+    ThreadPool pool(2);
+    pool.submit([] {});
+    pool.shutdown();
+    EXPECT_NO_THROW(pool.shutdown());
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(1u, pool.tasksSubmitted());
+}
+
+TEST(ThreadPoolTest, SaturationCompletesEveryTask)
+{
+    // Far more tasks than workers: all must run exactly once even
+    // when the queue is deeply backed up.
+    ThreadPool pool(3);
+    const int n = 500;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < n; ++i) {
+        pool.submit([&ran] {
+            std::this_thread::sleep_for(std::chrono::microseconds(10));
+            ran.fetch_add(1);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(n, ran.load());
+    EXPECT_EQ(static_cast<std::uint64_t>(n), pool.tasksSubmitted());
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(32u, order.size());
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(i, order[i]);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.numThreads(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran.store(true); });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+} // namespace

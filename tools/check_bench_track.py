@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Self-test for mssr_bench_track (the bench_track_roundtrip ctest).
+
+Synthesizes a fast and a 2x-slower BENCH_batch.json in a scratch
+directory and drives the tracker end to end:
+
+  1. `append` the fast report; the history gains one
+     mssr-bench-history-v1 line whose aggregates match the report.
+  2. `check` the same report against the history -> exit 0 (no drift).
+  3. `check` the slow report -> exit 1 (wall_sec and agg_kips both
+     regress past the threshold), and `--warn-only` turns that into
+     exit 0 with the regression still reported.
+  4. `check` an unknown bench name -> exit 0 (no baseline; seeds).
+
+Usage: check_bench_track.py --tracker PATH_TO_mssr_bench_track
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def make_report(path, bench, wall, per_job_host):
+    results = [
+        {"name": "%s/job%d" % (bench, i), "insts": 100000,
+         "host_sec": per_job_host, "ckpt_hit": i == 0,
+         "phase_warm_sec": per_job_host * 0.1,
+         "phase_build_sec": per_job_host * 0.1,
+         "phase_detail_sec": per_job_host * 0.8,
+         "phase_serialize_sec": 0.001, "peak_rss_kb": 5000 + i}
+        for i in range(4)
+    ]
+    report = {"bench": bench, "threads": 2, "jobs": len(results),
+              "wall_sec": wall,
+              "build_info": {"git": "testrev", "compiler": "test",
+                             "build_type": "Release"},
+              "results": results}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f)
+
+
+def run(tracker, argv, cwd):
+    proc = subprocess.run([sys.executable, tracker] + argv, cwd=cwd,
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                          timeout=60)
+    return proc.returncode, proc.stdout.decode(errors="replace")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tracker", required=True)
+    args = ap.parse_args()
+    tracker = os.path.abspath(args.tracker)
+
+    failures = []
+
+    def expect(label, want_rc, got_rc, output, want_substr=None):
+        if got_rc != want_rc:
+            failures.append("%s: exit %d (wanted %d)\n%s"
+                            % (label, got_rc, want_rc, output))
+        elif want_substr and want_substr not in output:
+            failures.append("%s: output lacks %r\n%s"
+                            % (label, want_substr, output))
+
+    with tempfile.TemporaryDirectory(prefix="mssr_bench_track_") as scratch:
+        make_report(os.path.join(scratch, "fast.json"), "smoke", 2.0, 0.5)
+        make_report(os.path.join(scratch, "slow.json"), "smoke", 4.0, 1.0)
+        make_report(os.path.join(scratch, "other.json"), "newbench", 1.0, 0.2)
+
+        rc, out = run(tracker, ["append", "fast.json",
+                                "--history", "hist.jsonl"], scratch)
+        expect("append", 0, rc, out, "appended smoke @ testrev")
+
+        with open(os.path.join(scratch, "hist.jsonl")) as f:
+            lines = [json.loads(l) for l in f if l.strip()]
+        if len(lines) != 1:
+            failures.append("append: history has %d lines, wanted 1"
+                            % len(lines))
+        else:
+            entry = lines[0]
+            want = {"schema": "mssr-bench-history-v1", "bench": "smoke",
+                    "jobs": 4, "wall_sec": 2.0, "total_insts": 400000,
+                    "host_sec_sum": 2.0, "agg_kips": 200.0}
+            for k, v in want.items():
+                if entry.get(k) != v:
+                    failures.append("append: entry[%r] == %r, wanted %r"
+                                    % (k, entry.get(k), v))
+
+        rc, out = run(tracker, ["check", "fast.json",
+                                "--against", "hist.jsonl"], scratch)
+        expect("check same", 0, rc, out, "bench-track: OK")
+
+        rc, out = run(tracker, ["check", "slow.json",
+                                "--against", "hist.jsonl"], scratch)
+        expect("check regression", 1, rc, out, "REGRESSION: wall_sec")
+        if rc == 1 and "REGRESSION: agg_kips" not in out:
+            failures.append("check regression: agg_kips regression not "
+                            "reported\n" + out)
+
+        rc, out = run(tracker, ["check", "slow.json", "--against",
+                                "hist.jsonl", "--warn-only"], scratch)
+        expect("check warn-only", 0, rc, out, "--warn-only set; not failing")
+
+        rc, out = run(tracker, ["check", "other.json",
+                                "--against", "hist.jsonl"], scratch)
+        expect("check no baseline", 0, rc, out, "no baseline for 'newbench'")
+
+    if failures:
+        print("bench-track self-test failed (%d):" % len(failures))
+        for f in failures:
+            print("  - " + f.replace("\n", "\n    "))
+        return 1
+    print("bench-track roundtrip ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

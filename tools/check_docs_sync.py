@@ -14,11 +14,12 @@ Two checks keep the documentation and the binaries honest:
    (mssr-stats-v1 incl. a regint run and a sampled run with its
    per-window file, mssr-profile-v1, Chrome trace, BENCH_batch.json
    with intervals/profile/fast-forward enabled plus the
-   sampled_accuracy variant) and
-   every key that appears anywhere in them — recursively — must be
-   spelled as a backtick literal somewhere in docs/FORMATS.md. An
-   emitted key the format reference does not document fails the test,
-   as does a `.prom` gauge name missing from the reference.
+   sampled_accuracy variant, the structured-log JSONL, the
+   --metrics-out Prometheus textfile and an mssr_bench_track history
+   entry) and every key that appears anywhere in them — recursively —
+   must be spelled as a backtick literal somewhere in docs/FORMATS.md.
+   An emitted key the format reference does not document fails the
+   test, as does a `.prom` metric name missing from the reference.
 
 Usage: check_docs_sync.py --repo REPO_DIR --build BUILD_DIR
 """
@@ -106,10 +107,15 @@ def generate_fixtures(build, scratch):
     run = os.path.join(build, "tools", "mssr_run")
     small = "--scale 6 --iters 150"
     cmds = [
-        # stats (rgid + baseline via --compare, with ff), profile, trace
+        # stats (rgid + baseline via --compare, with ff), profile, trace,
+        # plus the telemetry artifacts: JSONL log and metrics textfile
         "%s %s --compare --reuse rgid --interval 500 --fast-forward 2000 "
         "--stats-out sync_s.json --profile-out sync_p.json "
-        "--trace-out sync_t.json nested-mispred" % (run, small),
+        "--trace-out sync_t.json --log-level debug --log-out sync_log.jsonl "
+        "--metrics-out sync_m.prom nested-mispred" % (run, small),
+        # non-sampled host-time stats: the host_phases/peak_rss_kb keys
+        "%s %s --reuse rgid --stats-host-time "
+        "--stats-out sync_ht.json nested-mispred" % (run, small),
         # regint run for the ri.* counter family
         "%s %s --reuse regint --stats-out sync_ri.json nested-mispred"
         % (run, small),
@@ -137,8 +143,14 @@ def generate_fixtures(build, scratch):
         subprocess.run(cmd, shell=True, cwd=scratch, env=env, check=True,
                        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
                        timeout=240)
-    return ["sync_s.json", "sync_ri.json", "sync_p.json", "sync_t.json",
-            "sync_sampled.json", "sync_sampled_w.json",
+    # mssr_bench_track output: one mssr-bench-history-v1 entry.
+    subprocess.run(
+        "%s %s append BENCH_batch.json --history sync_hist.jsonl"
+        % (sys.executable, os.path.join(build, "tools", "mssr_bench_track")),
+        shell=True, cwd=scratch, env=env, check=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, timeout=240)
+    return ["sync_s.json", "sync_ri.json", "sync_ht.json", "sync_p.json",
+            "sync_t.json", "sync_sampled.json", "sync_sampled_w.json",
             "BENCH_batch.json", os.path.join("sampled", "BENCH_batch.json")]
 
 
@@ -154,6 +166,14 @@ def check_formats_doc(repo, build, scratch):
         ks = set()
         json_keys(json.load(open(os.path.join(scratch, fixture))), ks)
         keys[fixture] = ks
+    # JSONL artifacts: one JSON object per line (structured log,
+    # bench history); every key must be documented like any other.
+    for fixture in ["sync_log.jsonl", "sync_hist.jsonl"]:
+        ks = set()
+        for line in open(os.path.join(scratch, fixture), encoding="utf-8"):
+            if line.strip():
+                json_keys(json.loads(line), ks)
+        keys[fixture] = ks
     all_keys = set().union(*keys.values())
     for key in sorted(all_keys):
         if key not in documented:
@@ -164,12 +184,14 @@ def check_formats_doc(repo, build, scratch):
     print("formats: %d distinct emitted JSON keys, all checked against %s"
           % (len(all_keys), FORMATS_DOC))
 
-    prom = open(os.path.join(scratch, "sync_s.prom"), encoding="utf-8").read()
-    for gauge in sorted(set(re.findall(r"^# TYPE (\w+)", prom, re.M))):
-        if gauge not in documented:
-            failures.append(
-                "%s: Prometheus gauge `%s` is not documented"
-                % (FORMATS_DOC, gauge))
+    for prom_file in ["sync_s.prom", "sync_m.prom"]:
+        prom = open(os.path.join(scratch, prom_file),
+                    encoding="utf-8").read()
+        for name in sorted(set(re.findall(r"^# TYPE (\w+)", prom, re.M))):
+            if name not in documented:
+                failures.append(
+                    "%s: Prometheus metric `%s` (in %s) is not documented"
+                    % (FORMATS_DOC, name, prom_file))
     return failures
 
 

@@ -86,6 +86,22 @@
  *                                (0 < K <= N)
  *   --sample-windows-out FILE    also write every per-window run as an
  *                                mssr-stats-v1 file (one run per window)
+ *   --log-level error|warn|info|debug  structured-logger threshold
+ *                                (default info; MSSR_LOG is the env
+ *                                equivalent, the flag wins)
+ *   --log-out FILE               mirror every emitted log record to FILE
+ *                                as JSON lines (MSSR_LOG_OUT equivalent)
+ *   --progress-every N           while a batch runs, log a one-line
+ *                                progress report (done/total, ETA,
+ *                                aggregate kips) every N seconds
+ *   --metrics-out FILE           atomically rewrite FILE as a Prometheus
+ *                                textfile of the live host metrics on
+ *                                every progress heartbeat and at batch
+ *                                completion. All telemetry is host-side
+ *                                only: simulated results stay
+ *                                byte-identical with it on or off
+ *   --version                    print build provenance (git revision,
+ *                                compiler, build type) and exit 0
  *   --list                       list available workloads
  *   --help                       print this flag reference and exit 0
  *
@@ -106,7 +122,9 @@
 
 #include "analysis/report.hh"
 #include "common/argparse.hh"
+#include "common/build_info.hh"
 #include "common/cpi_stack.hh"
+#include "common/log.hh"
 #include "common/serialize.hh"
 #include "common/trace.hh"
 #include "driver/batch_runner.hh"
@@ -134,6 +152,8 @@ printUsage(std::ostream &os, const char *argv0)
           "[--func-tier fast|interp] [--trace-capture FILE] "
           "[--stats-host-time]\n        [--sample-period N "
           "--sample-window K] [--sample-windows-out FILE]\n        "
+          "[--log-level error|warn|info|debug] [--log-out FILE]\n        "
+          "[--progress-every N] [--metrics-out FILE] [--version]\n        "
           "[--compare] (<workload>... | "
           "--asm <file.s> | --trace-replay FILE | --list)\n";
 }
@@ -217,6 +237,20 @@ help(const char *argv0)
         "(0 < K <= N)\n"
         "  --sample-windows-out FILE write the per-window runs as "
         "mssr-stats-v1 JSON\n"
+        "  --log-level LVL           structured-logger threshold: error, "
+        "warn, info\n"
+        "                            (default) or debug; overrides "
+        "MSSR_LOG\n"
+        "  --log-out FILE            mirror log records to FILE as JSON "
+        "lines\n"
+        "  --progress-every N        log batch progress (done/total, ETA, "
+        "kips) every\n"
+        "                            N seconds\n"
+        "  --metrics-out FILE        atomically rewrite FILE as a "
+        "Prometheus textfile\n"
+        "                            of the live host metrics (heartbeat "
+        "+ completion)\n"
+        "  --version                 print build provenance and exit 0\n"
         "  --all-stats               dump every counter\n"
         "  --compare                 also run the no-reuse baseline\n"
         "  --asm FILE                assemble and run FILE instead of a "
@@ -278,6 +312,19 @@ jsonEscape(const std::string &s)
 }
 
 /**
+ * Top-level "build_info" provenance block. Constant for a build tree,
+ * so stats files from one binary stay byte-identical; like ckpt_hit
+ * it is host-side metadata, excluded from cross-build comparisons.
+ */
+void
+writeBuildInfoJson(std::ostream &os)
+{
+    os << "  \"build_info\": {\"git\": \"" << jsonEscape(buildGitRevision())
+       << "\", \"compiler\": \"" << jsonEscape(buildCompiler())
+       << "\", \"build_type\": \"" << jsonEscape(buildType()) << "\"},\n";
+}
+
+/**
  * mssr-stats-v1: one object per executed run carrying the identity
  * (name/scheme/width), the headline numbers, the full CPI stack and
  * reuse funnel, and every scalar counter. tools/mssr_stats consumes
@@ -288,7 +335,9 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
                const std::vector<RunResult> &results, bool host_time)
 {
     os.precision(17); // counters round-trip exactly through stod
-    os << "{\n  \"schema\": \"mssr-stats-v1\",\n  \"runs\": [";
+    os << "{\n  \"schema\": \"mssr-stats-v1\",\n";
+    writeBuildInfoJson(os);
+    os << "  \"runs\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const RunResult &r = results[i];
         os << (i ? ",\n    " : "\n    ")
@@ -307,7 +356,12 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
                           1e3
                     : 0.0;
             os << ", \"ff_host_sec\": " << r.ffHostSeconds
-               << ", \"ff_kips\": " << ffKips;
+               << ", \"ff_kips\": " << ffKips
+               << ", \"host_phases\": {\"warm\": " << r.phases.warm
+               << ", \"build\": " << r.phases.build
+               << ", \"detail\": " << r.phases.detail
+               << ", \"serialize\": " << r.phases.serialize << "}"
+               << ", \"peak_rss_kb\": " << r.peakRssKb;
         }
         os << ", \"ipc\": " << r.ipc << ", \"cpi_slots\": ";
         writeJson(os, r.cpi);
@@ -362,7 +416,9 @@ writeSampledStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
                       bool host_time)
 {
     os.precision(17);
-    os << "{\n  \"schema\": \"mssr-stats-v1\",\n  \"runs\": [";
+    os << "{\n  \"schema\": \"mssr-stats-v1\",\n";
+    writeBuildInfoJson(os);
+    os << "  \"runs\": [";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SampledRunResult &r = results[i];
         os << (i ? ",\n    " : "\n    ")
@@ -540,6 +596,9 @@ main(int argc, char **argv)
     std::string traceCaptureFile;
     std::string traceReplayFile;
     std::string sampleWindowsOutFile;
+    std::string logOutFile;
+    std::string metricsOutFile;
+    std::uint64_t progressEvery = 0;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
@@ -635,6 +694,35 @@ main(int argc, char **argv)
                              "non-empty file name\n";
                 usage(argv[0]);
             }
+        } else if (arg == "--log-level") {
+            const std::string v = next();
+            LogLevel level;
+            if (!parseLogLevel(v, level)) {
+                std::cerr << "mssr_run: invalid value '" << v
+                          << "' for --log-level (want error|warn|info|"
+                             "debug)\n";
+                usage(argv[0]);
+            }
+            Logger::global().setLevel(level);
+        } else if (arg == "--log-out") {
+            logOutFile = next();
+            if (logOutFile.empty()) {
+                std::cerr << "mssr_run: --log-out needs a non-empty file "
+                             "name\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--progress-every") {
+            progressEvery = numValue(argv[0], arg, next());
+        } else if (arg == "--metrics-out") {
+            metricsOutFile = next();
+            if (metricsOutFile.empty()) {
+                std::cerr << "mssr_run: --metrics-out needs a non-empty "
+                             "file name\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--version") {
+            std::cout << "mssr_run " << buildInfoLine() << "\n";
+            return 0;
         } else if (arg == "--scale") {
             scale.graphScale = u32Value(argv[0], arg, next(), 1);
         } else if (arg == "--iters") {
@@ -772,6 +860,8 @@ main(int argc, char **argv)
             {"--profile-out", &profileOutFile},
             {"--trace-capture", &traceCaptureFile},
             {"--sample-windows-out", &sampleWindowsOutFile},
+            {"--log-out", &logOutFile},
+            {"--metrics-out", &metricsOutFile},
         };
         const std::size_t numOuts = sizeof(outs) / sizeof(outs[0]);
         for (std::size_t a = 0; a < numOuts; ++a) {
@@ -787,6 +877,12 @@ main(int argc, char **argv)
                 }
             }
         }
+    }
+
+    if (!logOutFile.empty() && !Logger::global().openJsonl(logOutFile)) {
+        std::cerr << "mssr_run: cannot open --log-out file '" << logOutFile
+                  << "'\n";
+        return 1;
     }
 
     try {
@@ -896,6 +992,9 @@ main(int argc, char **argv)
             std::filesystem::create_directories(ckptDir);
             runner.setCheckpointDir(ckptDir);
         }
+        runner.setProgressEvery(static_cast<double>(progressEvery));
+        runner.setMetricsOut(metricsOutFile);
+        runner.setProgressLabel("mssr_run");
 
         if (cfg.samplePeriod != 0) {
             // Sampled mode: one functional scan per program drops

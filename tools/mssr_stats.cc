@@ -50,6 +50,7 @@
 
 #include "analysis/report.hh"
 #include "common/argparse.hh"
+#include "common/build_info.hh"
 #include "common/cpi_stack.hh"
 #include "common/mini_json.hh"
 #include "isa/program.hh"
@@ -67,6 +68,7 @@ usage()
     std::cerr << "usage: mssr_stats [--topn N] FILE\n"
                  "       mssr_stats [--topn N] --diff BASELINE MSSR\n"
                  "       mssr_stats --annotate PROG FILE\n"
+                 "       mssr_stats --version\n"
                  "FILEs are mssr-stats-v1 JSON from mssr_run --stats-out\n"
                  "or mssr-profile-v1 JSON from mssr_run --profile-out\n"
                  "(--annotate and per-branch --diff need profile files).\n";
@@ -972,6 +974,9 @@ main(int argc, char **argv)
                 std::min<std::uint64_t>(*n, 1u << 20));
         } else if (arg == "--annotate") {
             annotateProg = next();
+        } else if (arg == "--version") {
+            std::cout << "mssr_stats " << buildInfoLine() << "\n";
+            return 0;
         } else if (arg[0] == '-') {
             usage();
         } else {
