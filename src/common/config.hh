@@ -17,6 +17,7 @@ namespace mssr
 {
 
 class Tracer;
+class PipeView;
 struct Checkpoint;
 
 /** Which main conditional branch predictor the frontend uses. */
@@ -204,6 +205,19 @@ struct SimConfig
      * cost of one pointer test per site.
      */
     Tracer *tracer = nullptr;
+
+    /**
+     * Optional per-instruction lifecycle recorder (common/pipeview.hh):
+     * when set, the core and reuse unit stamp the cycle of every
+     * pipeline step (fetch/decode/rename/issue/complete/commit/squash)
+     * plus the squash-reuse lanes (logged/covered/tested/reused/
+     * salvaged) per dynamic instruction, exportable as a Kanata log
+     * for the Konata visualizer ("mssr_run --pipeview-out" uses
+     * this). Not owned; one recorder instruments exactly one core.
+     * Null disables recording at the cost of one pointer test per
+     * site -- simulated results are bit-identical either way.
+     */
+    PipeView *pipeview = nullptr;
 
     /**
      * Per-PC hot-spot profiling (common/profile.hh): when true, the

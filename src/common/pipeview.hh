@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Per-instruction pipeline lifecycle recorder with squash-reuse lanes
+ * and a Kanata (Konata visualizer) exporter.
+ *
+ * Where the Tracer (common/trace.hh) captures a bounded ring of
+ * *events*, the PipeView keeps one record per fetched *instruction*
+ * and stamps the cycle of every lifecycle step: fetch, decode-done,
+ * rename (== dispatch in this core), issue, complete, commit, squash —
+ * plus the MSSR-specific reuse lanes that make the paper's central
+ * mechanism visible per instruction:
+ *
+ *   - logged:  the squashed instruction was appended to the squash log
+ *   - covered: a later reconvergence detection covered its entry
+ *   - tested:  the rename-side reuse test ran against its entry, with
+ *              the verdict (reused / rgid kill / hazard kill / ...)
+ *   - reused:  its value was adopted by a corrected-path instruction
+ *   - salvage: adopter-side marker — the instruction was completed at
+ *              rename by reuse and visibly skips the issue/complete
+ *              stages (no re-execution)
+ *
+ * Cores hold a `PipeView *` (SimConfig::pipeview, not owned); null
+ * disables recording entirely, so the disabled-mode cost is one
+ * pointer test per instrumentation site and simulated results are
+ * bit-identical with the viewer on or off (ctest-enforced).
+ *
+ * Output bounding: setWindow(start, end) selects instructions by
+ * *fetch cycle* (end-exclusive); selected instructions are then
+ * recorded through retirement so every emitted lifecycle is complete.
+ * The lifecycle counters below count every hook call regardless of
+ * the window, so they reconcile exactly with the core/ReuseFunnel
+ * counters even when record storage is gated.
+ *
+ * Export is the Kanata 0004 text format understood by Konata
+ * (https://github.com/shioyadan/Konata), preceded by a
+ * `# mssr-pipeview-v1 {...}` header comment carrying build_info,
+ * config, the gating window and the lifecycle counters
+ * (docs/FORMATS.md section 11). Everything recorded depends only on
+ * simulated state, so the exported file is byte-identical at any
+ * MSSR_JOBS worker count.
+ */
+
+#ifndef MSSR_COMMON_PIPEVIEW_HH
+#define MSSR_COMMON_PIPEVIEW_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "common/types.hh"
+
+namespace mssr
+{
+
+/**
+ * Per-instruction lifecycle recorder. One PipeView instruments exactly
+ * one core (one BatchJob); it is not thread-safe and must not be
+ * shared across concurrent jobs.
+ */
+class PipeView
+{
+  public:
+    /** Sentinel cycle meaning "stage never reached". */
+    static constexpr Cycle NoStamp = ~Cycle(0);
+
+    /** Lifecycle of one dynamic instruction. */
+    struct Record
+    {
+        SeqNum seq = 0;
+        Addr pc = 0;
+        Cycle fetch = NoStamp;    //!< entered the frontend pipe
+        Cycle decode = NoStamp;   //!< decode done (rename-ready)
+        Cycle rename = NoStamp;   //!< renamed + dispatched (one stage here)
+        Cycle issue = NoStamp;    //!< selected for execution
+        Cycle complete = NoStamp; //!< result written back
+        Cycle commit = NoStamp;   //!< retired
+        Cycle squash = NoStamp;   //!< flushed (reason below)
+        SquashReason squashReason = SquashReason::None;
+
+        // Squash-log (donor) lanes: this instruction was squashed and
+        // its result lived on in the squash log.
+        Cycle logged = NoStamp;   //!< appended to the squash log
+        Cycle covered = NoStamp;  //!< reconvergence detection covered it
+        Cycle tested = NoStamp;   //!< reuse test ran (verdict below)
+        Cycle reuseDone = NoStamp; //!< value adopted by `adopterSeq`
+        ReuseOutcome verdict = ReuseOutcome::None;
+        SeqNum adopterSeq = 0;    //!< corrected-path adopter (when reused)
+
+        // Salvage (adopter) lane: this instruction was completed at
+        // rename by adopting `donorSeq`'s squashed result, so its
+        // lifecycle has no issue/complete stamps (no re-execution),
+        // except verify loads which re-issue as a verification op.
+        Cycle salvage = NoStamp;
+        SeqNum donorSeq = 0;
+        bool needVerify = false;
+    };
+
+    /**
+     * Lifecycle counters: every hook call counts here, window or not,
+     * so each field reconciles exactly with the matching core /
+     * ReuseFunnel counter (see tests/test_pipeview.cc).
+     */
+    struct Counts
+    {
+        std::uint64_t fetched = 0;
+        std::uint64_t renamed = 0;
+        std::uint64_t issued = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t committed = 0;        //!< == core.committedInsts
+        std::uint64_t squashed = 0;         //!< == core.squashedInsts
+        std::uint64_t logged = 0;           //!< == funnel.logged
+        std::uint64_t covered = 0;          //!< == funnel.covered
+        std::uint64_t tested = 0;           //!< == funnel.tested
+        std::uint64_t killKind = 0;         //!< == reuse.killKind
+        std::uint64_t killNotExecuted = 0;  //!< == reuse.killNotExecuted
+        std::uint64_t killRgid = 0;         //!< == reuse.killRgid
+        std::uint64_t killRgidCapacity = 0; //!< == reuse.killRgidCapacity
+        std::uint64_t killBloom = 0;        //!< == reuse.killBloom
+        std::uint64_t reused = 0;           //!< == funnel.reused
+    };
+
+    PipeView() = default;
+
+    /** Simulated cycle stamped on subsequent hook calls. */
+    void setCycle(Cycle c) { cycle_ = c; }
+    Cycle cycle() const { return cycle_; }
+
+    /**
+     * Bounds record storage to instructions fetched in
+     * [@p start, @p end) (end-exclusive). An empty range keeps the
+     * counters running but stores no records. Call before the run.
+     */
+    void
+    setWindow(Cycle start, Cycle end)
+    {
+        winStart_ = start;
+        winEnd_ = end;
+    }
+    Cycle windowStart() const { return winStart_; }
+    Cycle windowEnd() const { return winEnd_; }
+
+    /** @name Core lifecycle hooks (O3Cpu) */
+    /// @{
+    /** New instruction entered the frontend pipe. @p decode_ready is
+     *  the cycle its decode completes (fetch + frontendStages). */
+    void
+    fetch(SeqNum seq, Addr pc, Cycle decode_ready)
+    {
+        ++counts_.fetched;
+        if (slotBySeq_.empty())
+            firstSeq_ = seq;
+        slotBySeq_.push_back(kNoRecord);
+        if (cycle_ < winStart_ || cycle_ >= winEnd_)
+            return;
+        slotBySeq_.back() = static_cast<std::uint32_t>(records_.size());
+        Record r;
+        r.seq = seq;
+        r.pc = pc;
+        r.fetch = cycle_;
+        r.decode = decode_ready;
+        records_.push_back(r);
+    }
+
+    void
+    rename(SeqNum seq)
+    {
+        ++counts_.renamed;
+        if (Record *r = find(seq))
+            r->rename = cycle_;
+    }
+
+    void
+    issue(SeqNum seq)
+    {
+        ++counts_.issued;
+        if (Record *r = find(seq))
+            r->issue = cycle_;
+    }
+
+    void
+    complete(SeqNum seq)
+    {
+        ++counts_.completed;
+        if (Record *r = find(seq))
+            r->complete = cycle_;
+    }
+
+    void
+    commit(SeqNum seq)
+    {
+        ++counts_.committed;
+        if (Record *r = find(seq))
+            r->commit = cycle_;
+    }
+
+    void
+    squash(SeqNum seq, SquashReason reason)
+    {
+        ++counts_.squashed;
+        if (Record *r = find(seq)) {
+            r->squash = cycle_;
+            r->squashReason = reason;
+        }
+    }
+    /// @}
+
+    /** @name Squash-reuse lane hooks (ReuseUnit), keyed by the
+     *  squashed donor instruction's seq. */
+    /// @{
+    void
+    laneLogged(SeqNum donor_seq)
+    {
+        ++counts_.logged;
+        if (Record *r = find(donor_seq))
+            r->logged = cycle_;
+    }
+
+    void
+    laneCovered(SeqNum donor_seq)
+    {
+        ++counts_.covered;
+        if (Record *r = find(donor_seq))
+            r->covered = cycle_;
+    }
+
+    /** First reuse test of the donor's log entry resolved with
+     *  @p verdict (Reused*, or one of the Fail* kills). */
+    void laneTested(SeqNum donor_seq, ReuseOutcome verdict);
+
+    /** The donor's value was adopted by corrected-path instruction
+     *  @p adopter_seq (salvaged: it skips re-execution, except verify
+     *  loads which re-issue as a verification op). */
+    void
+    laneReused(SeqNum donor_seq, SeqNum adopter_seq, bool need_verify)
+    {
+        ++counts_.reused;
+        if (Record *r = find(donor_seq)) {
+            r->reuseDone = cycle_;
+            r->adopterSeq = adopter_seq;
+        }
+        if (Record *r = find(adopter_seq)) {
+            r->salvage = cycle_;
+            r->donorSeq = donor_seq;
+            r->needVerify = need_verify;
+        }
+    }
+    /// @}
+
+    const Counts &counts() const { return counts_; }
+    std::size_t numRecords() const { return records_.size(); }
+    const Record &record(std::size_t i) const { return records_[i]; }
+    /** Record for @p seq, or null when absent (outside the window). */
+    const Record *
+    findRecord(SeqNum seq) const
+    {
+        return const_cast<PipeView *>(this)->find(seq);
+    }
+
+    /**
+     * Writes the Kanata 0004 log: `Kanata` version line, the
+     * `# mssr-pipeview-v1` header comment, then I/L/S/E/R/W records
+     * grouped by non-decreasing cycle (C=/C records). @p meta_fields
+     * is an optional pre-rendered JSON fragment (e.g. `"build_info":
+     * {...}, "config": {...}`) spliced into the header object.
+     */
+    void writeKanata(std::ostream &os,
+                     const std::string &meta_fields = "") const;
+
+  private:
+    static constexpr std::uint32_t kNoRecord = 0xffffffffu;
+
+    Record *
+    find(SeqNum seq)
+    {
+        if (slotBySeq_.empty() || seq < firstSeq_)
+            return nullptr;
+        const std::uint64_t idx = seq - firstSeq_;
+        if (idx >= slotBySeq_.size() || slotBySeq_[idx] == kNoRecord)
+            return nullptr;
+        return &records_[slotBySeq_[idx]];
+    }
+
+    std::vector<Record> records_;
+    /** seq - firstSeq_ -> index into records_, kNoRecord if gated. */
+    std::vector<std::uint32_t> slotBySeq_;
+    SeqNum firstSeq_ = 0;
+    Counts counts_;
+    Cycle cycle_ = 0;
+    Cycle winStart_ = 0;
+    Cycle winEnd_ = NoStamp;
+};
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_PIPEVIEW_HH

@@ -180,7 +180,12 @@ writeChromeJson(
             writeChromeEvent(os, t.event(i), static_cast<unsigned>(pid));
         }
     }
-    os << "\n  ]\n}\n";
+    // Ring-wraparound losses per job (pid order): readers of a partial
+    // trace can tell how many older events were overwritten.
+    os << "\n  ],\n  \"dropped_events\": [";
+    for (std::size_t pid = 0; pid < jobs.size(); ++pid)
+        os << (pid == 0 ? "" : ", ") << jobs[pid].second->dropped();
+    os << "]\n}\n";
 }
 
 void
@@ -193,6 +198,8 @@ Tracer::writeJsonl(std::ostream &os) const
         writeEventArgs(os, e);
         os << "}\n";
     }
+    // Trailing marker: ring-wraparound losses (0 when none).
+    os << "{\"dropped_events\": " << dropped() << "}\n";
 }
 
 void

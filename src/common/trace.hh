@@ -117,6 +117,20 @@ class Tracer
     void setCycle(Cycle c) { cycle_ = c; }
     Cycle cycle() const { return cycle_; }
 
+    /**
+     * Restricts recording to cycles in [@p start, @p end)
+     * (end-exclusive): events outside the window are discarded before
+     * they touch the ring, so they count neither as recorded nor as
+     * dropped ("mssr_run --view-start-cycle/--view-cycles" uses
+     * this). The default window is unbounded.
+     */
+    void
+    setWindow(Cycle start, Cycle end)
+    {
+        winStart_ = start;
+        winEnd_ = end;
+    }
+
     /** Records one event; overwrites the oldest when full. Never
      *  allocates. */
     void
@@ -124,6 +138,8 @@ class Tracer
            ReuseOutcome reuse = ReuseOutcome::None,
            SquashReason squash = SquashReason::None, std::uint64_t arg = 0)
     {
+        if (cycle_ < winStart_ || cycle_ >= winEnd_)
+            return;
         TraceEvent &e = ring_[next_];
         e.cycle = cycle_;
         e.seq = seq;
@@ -161,13 +177,16 @@ class Tracer
     /// @{
     /**
      * Chrome trace_event JSON ("X" complete events, ts = cycle in us,
-     * one tid lane per pipeline stage). Load the file in
-     * chrome://tracing or https://ui.perfetto.dev.
+     * one tid lane per pipeline stage, plus a top-level
+     * `dropped_events` array reporting ring-wraparound losses per
+     * job). Load the file in chrome://tracing or
+     * https://ui.perfetto.dev.
      */
     void writeChromeJson(std::ostream &os,
                          const std::string &label = "sim") const;
 
-    /** One JSON object per line, oldest first. */
+    /** One JSON object per line, oldest first, terminated by a
+     *  `{"dropped_events": N}` marker reporting ring losses. */
     void writeJsonl(std::ostream &os) const;
 
     /**
@@ -182,6 +201,8 @@ class Tracer
     std::size_t next_ = 0;         //!< ring slot the next event goes to
     std::uint64_t recorded_ = 0;
     Cycle cycle_ = 0;
+    Cycle winStart_ = 0;           //!< record() window, end-exclusive
+    Cycle winEnd_ = ~Cycle(0);
 };
 
 /**

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "common/pipeview.hh"
 #include "sim/checkpoint.hh"
 
 namespace mssr
@@ -27,10 +28,12 @@ O3Cpu::O3Cpu(const SimConfig &cfg, const isa::Program &prog, Memory &mem,
     mssr_assert(cfg.core.physRegs > NumArchRegs,
                 "need more physical than architectural registers");
     tracer_ = cfg.tracer;
+    pipeview_ = cfg.pipeview;
     switch (cfg.reuseKind) {
       case ReuseKind::Rgid:
         reuse_ = std::make_unique<ReuseUnit>(cfg.reuse, freeList_);
         reuse_->setTracer(tracer_);
+        reuse_->setPipeView(pipeview_);
         break;
       case ReuseKind::RegInt:
         ri_ = std::make_unique<IntegrationTable>(cfg.regint, freeList_);
@@ -173,6 +176,8 @@ O3Cpu::commitStage()
 
         if (inst->si.isHalt()) {
             record(TraceStage::Commit, inst);
+            if (pipeview_)
+                pipeview_->commit(inst->seq);
             ++commits_;
             halted_ = true;
             lastCommitCycle_ = cycle_;
@@ -203,6 +208,8 @@ O3Cpu::commitStage()
         record(TraceStage::Commit, inst,
                inst->reused ? ReuseOutcome::Reused : ReuseOutcome::None,
                SquashReason::None, inst->result);
+        if (pipeview_)
+            pipeview_->commit(inst->seq);
         ftq_.retireUpTo(inst->ftqId);
         rob_.popHead();
         ++commits_;
@@ -262,6 +269,8 @@ O3Cpu::writebackStage()
         inst->completed = true;
         record(TraceStage::Writeback, inst, ReuseOutcome::None,
                SquashReason::None, inst->result);
+        if (pipeview_)
+            pipeview_->complete(inst->seq);
         if (inst->si.hasRd())
             regs_.write(inst->dst, inst->result);
         if (inst->isLoad())
@@ -363,6 +372,8 @@ O3Cpu::executeInst(const DynInstPtr &inst)
     inst->issued = true;
     record(TraceStage::Issue, inst, ReuseOutcome::None, SquashReason::None,
            inst->verifyPending ? 1 : 0);
+    if (pipeview_)
+        pipeview_->issue(inst->seq);
     if (inst->isControl()) {
         executeBranch(inst);
     } else if (inst->isLoad()) {
@@ -559,6 +570,8 @@ O3Cpu::renameOne(const DynInstPtr &inst)
                                : ReuseOutcome::Reused)
                         : ReuseOutcome::None,
            SquashReason::None, inst->dst);
+    if (pipeview_)
+        pipeview_->rename(inst->seq);
     rob_.push(inst);
     return RenameOutcome::Renamed;
 }
@@ -650,6 +663,9 @@ O3Cpu::fetchStage()
         }
         ftq_.advanceFetch(1);
         record(TraceStage::Fetch, inst);
+        if (pipeview_)
+            pipeview_->fetch(inst->seq, pc,
+                             cycle_ + cfg_.core.frontendStages);
         frontPipe_.push_back(inst);
         frontPipeReady_.push_back(cycle_ + cfg_.core.frontendStages);
         ++fetched_;
@@ -701,6 +717,14 @@ O3Cpu::applySquash()
     lsq_.squashAfter(squash.afterSeq);
 
     // 3. Frontend pipe: everything in flight is younger than the ROB.
+    // The viewer stamps both squashed populations (ROB walk + frontend
+    // pipe) so its squash records reconcile with squashedInsts_.
+    if (pipeview_) {
+        for (const auto &inst : squashed)
+            pipeview_->squash(inst->seq, squash.reason);
+        for (const auto &inst : frontPipe_)
+            pipeview_->squash(inst->seq, squash.reason);
+    }
     squashedInsts_ += squashed.size() + frontPipe_.size();
     if (profile_)
         profile_->onSquash(squash.cause->pc, squash.reason,
@@ -762,6 +786,8 @@ O3Cpu::tick()
 {
     if (tracer_)
         tracer_->setCycle(cycle_);
+    if (pipeview_)
+        pipeview_->setCycle(cycle_);
     commitStage();
     if (halted_)
         return;

@@ -220,6 +220,7 @@ class O3Cpu
 
     // Observability.
     Tracer *tracer_ = nullptr;             //!< from SimConfig (not owned)
+    PipeView *pipeview_ = nullptr;         //!< from SimConfig (not owned)
     std::vector<IntervalSample> intervals_;
     struct IntervalMark
     {

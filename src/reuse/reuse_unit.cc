@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/pipeview.hh"
 
 namespace mssr
 {
@@ -127,6 +128,7 @@ ReuseUnit::onBranchSquash(SeqNum branch_seq,
     // executed instructions keep their physical registers.
     for (const auto &inst : squashed) {
         SquashLogEntry entry;
+        entry.seq = inst->seq;
         entry.pc = inst->pc;
         entry.op = inst->si.op;
         entry.numSrcs = 0;
@@ -149,6 +151,8 @@ ReuseUnit::onBranchSquash(SeqNum branch_seq,
             ++funnelLogged_;
             if (profile_)
                 profile_->onLogged(branch_pc);
+            if (pipeview_)
+                pipeview_->laneLogged(inst->seq);
         }
         const bool reusable = logged && entry.hasDest && entry.executed &&
                               !entry.isStore && !entry.isControl &&
@@ -243,6 +247,8 @@ ReuseUnit::detect(Addr start_pc, Addr end_pc)
                 logStream.entries[i].covered = true;
                 ++funnelCovered_;
                 ++newlyCovered;
+                if (pipeview_)
+                    pipeview_->laneCovered(logStream.entries[i].seq);
             }
         }
         if (profile_) {
@@ -483,17 +489,21 @@ ReuseUnit::processRename(const DynInstPtr &inst,
             advice.dstRgid = entry.dstRgid;
             advice.memAddr = entry.memAddr;
             advice.memSize = entry.memSize;
+            if (pipeview_)
+                pipeview_->laneReused(entry.seq, inst->seq,
+                                      advice.needVerify);
         } else if (entry.reserved && !entry.consumed) {
             // Policy (3): a failed reuse test releases the reservation.
             freeList_.release(entry.destPreg);
             entry.consumed = true;
         }
-        if (tracer_) {
-            if (ok && advice.needVerify)
-                outcome = ReuseOutcome::ReusedNeedVerify;
+        if (ok && advice.needVerify)
+            outcome = ReuseOutcome::ReusedNeedVerify;
+        if (tracer_)
             tracer_->record(TraceStage::ReuseTest, inst->seq, inst->pc,
                             outcome, SquashReason::None, entry.destPreg);
-        }
+        if (pipeview_ && firstTest)
+            pipeview_->laneTested(entry.seq, outcome);
 
         if (exhausted)
             endFrontSession();

@@ -132,6 +132,15 @@ class ReuseUnit
      */
     void setProfile(PcProfile *profile) { profile_ = profile; }
 
+    /**
+     * Attaches the owning core's per-instruction lifecycle recorder
+     * (or null): squash-log appends, coverage hits, first reuse tests
+     * and adoptions are stamped onto the donor instruction's record,
+     * and adopters are marked salvaged (common/pipeview.hh). The
+     * recorder carries the current cycle.
+     */
+    void setPipeView(PipeView *pipeview) { pipeview_ = pipeview; }
+
     /** Successful reuses so far (interval stats). */
     std::uint64_t successCount() const { return reuseSuccess_; }
 
@@ -189,6 +198,7 @@ class ReuseUnit
     FreeList &freeList_;
     Tracer *tracer_ = nullptr; //!< owning core's event sink (not owned)
     PcProfile *profile_ = nullptr; //!< per-PC attribution (not owned)
+    PipeView *pipeview_ = nullptr; //!< per-inst lifecycle sink (not owned)
     Wpb wpb_;
     SquashLog log_;
     RgidAllocator rgids_;

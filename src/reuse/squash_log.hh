@@ -36,6 +36,14 @@ struct SquashLogEntry
     // stream is covered by more than one session over its lifetime.
     bool covered = false;       //!< a detected reconvergence covered this
     bool tested = false;        //!< the rename-side reuse test reached this
+    /**
+     * Dynamic sequence number of the squashed instruction this entry
+     * was populated from. Not hardware state: carried so the
+     * pipeline viewer (common/pipeview.hh) can attribute squash-log
+     * lifecycle events (logged/covered/tested/reused) back to the
+     * donor instruction's lifecycle record.
+     */
+    SeqNum seq = 0;
     Addr pc = 0;
     isa::Op op = isa::Op::NOP;
     std::uint8_t numSrcs = 0;

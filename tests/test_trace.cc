@@ -170,19 +170,32 @@ TEST(Tracer, ChromeJsonParsesBack)
     for (const JsonValue &e : mroot.object.at("traceEvents").array)
         pids.insert(e.object.at("pid").number);
     EXPECT_EQ(pids, (std::set<double>{0.0, 1.0}));
+    // Ring-wraparound accounting: one entry per job, pid order.
+    const auto mdrops = mroot.object.find("dropped_events");
+    ASSERT_NE(mdrops, mroot.object.end());
+    ASSERT_EQ(mdrops->second.array.size(), 2u);
+    EXPECT_EQ(mdrops->second.array[0].number,
+              static_cast<double>(tracer.dropped()));
+    EXPECT_EQ(mdrops->second.array[1].number,
+              static_cast<double>(other.dropped()));
 
-    // JSONL: one parseable object per line.
+    // JSONL: one parseable object per line, with a trailing
+    // dropped_events marker.
     std::ostringstream jsonl;
     tracer.writeJsonl(jsonl);
     std::istringstream lines(jsonl.str());
     std::string line;
     std::size_t parsed = 0;
+    JsonValue last;
     while (std::getline(lines, line)) {
-        const JsonValue v = JsonParser(line).parse();
-        EXPECT_EQ(v.kind, JsonValue::Object);
+        last = JsonParser(line).parse();
+        EXPECT_EQ(last.kind, JsonValue::Object);
         ++parsed;
     }
-    EXPECT_EQ(parsed, tracer.size());
+    EXPECT_EQ(parsed, tracer.size() + 1);
+    const auto jdrops = last.object.find("dropped_events");
+    ASSERT_NE(jdrops, last.object.end());
+    EXPECT_EQ(jdrops->second.number, static_cast<double>(tracer.dropped()));
 }
 
 TEST(Tracer, EventStreamIdenticalAcrossWorkerCounts)

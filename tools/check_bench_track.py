@@ -11,6 +11,10 @@ directory and drives the tracker end to end:
      regress past the threshold), and `--warn-only` turns that into
      exit 0 with the regression still reported.
   4. `check` an unknown bench name -> exit 0 (no baseline; seeds).
+  5. `check --json` on each of those paths -> one mssr-bench-check-v1
+     object with the matching verdict ("ok" / "regression" /
+     "skipped"), per-metric deltas and failed flags, and the same exit
+     code as the text mode.
 
 Usage: check_bench_track.py --tracker PATH_TO_mssr_bench_track
 """
@@ -107,6 +111,42 @@ def main():
         rc, out = run(tracker, ["check", "other.json",
                                 "--against", "hist.jsonl"], scratch)
         expect("check no baseline", 0, rc, out, "no baseline for 'newbench'")
+
+        def check_json(label, report, extra, want_rc, want_verdict):
+            rc, out = run(tracker, ["check", report, "--against",
+                                    "hist.jsonl", "--json"] + extra, scratch)
+            if rc != want_rc:
+                failures.append("%s: exit %d (wanted %d)\n%s"
+                                % (label, rc, want_rc, out))
+                return None
+            try:
+                obj = json.loads(out)
+            except json.JSONDecodeError as e:
+                failures.append("%s: stdout is not JSON (%s)\n%s"
+                                % (label, e, out))
+                return None
+            if obj.get("schema") != "mssr-bench-check-v1":
+                failures.append("%s: schema %r" % (label, obj.get("schema")))
+            if obj.get("verdict") != want_verdict:
+                failures.append("%s: verdict %r, wanted %r"
+                                % (label, obj.get("verdict"), want_verdict))
+            return obj
+
+        obj = check_json("json ok", "fast.json", [], 0, "ok")
+        if obj and sorted(obj["metrics"]) != ["agg_kips", "wall_sec"]:
+            failures.append("json ok: metrics keys %r" % sorted(obj["metrics"]))
+        obj = check_json("json regression", "slow.json", [], 1, "regression")
+        if obj:
+            wall = obj["metrics"]["wall_sec"]
+            if not wall["failed"] or abs(wall["delta_pct"] - 100.0) > 1e-6:
+                failures.append("json regression: wall_sec metric %r" % wall)
+            if not obj["metrics"]["agg_kips"]["failed"]:
+                failures.append("json regression: agg_kips not failed")
+        check_json("json warn-only", "slow.json", ["--warn-only"],
+                   0, "regression")
+        obj = check_json("json skipped", "other.json", [], 0, "skipped")
+        if obj and obj.get("metrics") != {}:
+            failures.append("json skipped: metrics %r" % obj.get("metrics"))
 
     if failures:
         print("bench-track self-test failed (%d):" % len(failures))

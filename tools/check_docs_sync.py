@@ -15,8 +15,10 @@ Two checks keep the documentation and the binaries honest:
    per-window file, mssr-profile-v1, Chrome trace, BENCH_batch.json
    with intervals/profile/fast-forward enabled plus the
    sampled_accuracy variant, the structured-log JSONL, the
-   --metrics-out Prometheus textfile and an mssr_bench_track history
-   entry) and every key that appears anywhere in them — recursively —
+   --metrics-out Prometheus textfile, an mssr_bench_track history
+   entry plus a check --json comparison object, and the
+   mssr-pipeview-v1 header of a --pipeview-out Kanata log) and every
+   key that appears anywhere in them — recursively —
    must be spelled as a backtick literal somewhere in docs/FORMATS.md.
    An emitted key the format reference does not document fails the
    test, as does a `.prom` metric name missing from the reference.
@@ -114,8 +116,10 @@ def generate_fixtures(build, scratch):
         "--trace-out sync_t.json --log-level debug --log-out sync_log.jsonl "
         "--metrics-out sync_m.prom nested-mispred" % (run, small),
         # non-sampled host-time stats: the host_phases/peak_rss_kb keys
+        # (the pipeview rides along for its mssr-pipeview-v1 header)
         "%s %s --reuse rgid --stats-host-time "
-        "--stats-out sync_ht.json nested-mispred" % (run, small),
+        "--stats-out sync_ht.json --pipeview-out sync_pv.kanata "
+        "nested-mispred" % (run, small),
         # regint run for the ri.* counter family
         "%s %s --reuse regint --stats-out sync_ri.json nested-mispred"
         % (run, small),
@@ -143,14 +147,22 @@ def generate_fixtures(build, scratch):
         subprocess.run(cmd, shell=True, cwd=scratch, env=env, check=True,
                        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
                        timeout=240)
-    # mssr_bench_track output: one mssr-bench-history-v1 entry.
+    # mssr_bench_track output: one mssr-bench-history-v1 entry, then
+    # one mssr-bench-check-v1 comparison object against it.
+    tracker = os.path.join(build, "tools", "mssr_bench_track")
     subprocess.run(
         "%s %s append BENCH_batch.json --history sync_hist.jsonl"
-        % (sys.executable, os.path.join(build, "tools", "mssr_bench_track")),
+        % (sys.executable, tracker),
         shell=True, cwd=scratch, env=env, check=True,
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, timeout=240)
+    subprocess.run(
+        "%s %s check BENCH_batch.json --against sync_hist.jsonl --json "
+        "> sync_check.json" % (sys.executable, tracker),
+        shell=True, cwd=scratch, env=env, check=True,
+        stderr=subprocess.DEVNULL, timeout=240)
     return ["sync_s.json", "sync_ri.json", "sync_ht.json", "sync_p.json",
             "sync_t.json", "sync_sampled.json", "sync_sampled_w.json",
+            "sync_check.json",
             "BENCH_batch.json", os.path.join("sampled", "BENCH_batch.json")]
 
 
@@ -174,6 +186,19 @@ def check_formats_doc(repo, build, scratch):
             if line.strip():
                 json_keys(json.loads(line), ks)
         keys[fixture] = ks
+    # The Kanata pipeview file is not JSON, but its second line is the
+    # mssr-pipeview-v1 header object — document those keys too.
+    with open(os.path.join(scratch, "sync_pv.kanata"),
+              encoding="utf-8") as f:
+        f.readline()
+        header = f.readline()
+    prefix = "# mssr-pipeview-v1 "
+    if not header.startswith(prefix):
+        failures.append("sync_pv.kanata: missing mssr-pipeview-v1 header")
+    else:
+        ks = set()
+        json_keys(json.loads(header[len(prefix):]), ks)
+        keys["sync_pv.kanata"] = ks
     all_keys = set().union(*keys.values())
     for key in sorted(all_keys):
         if key not in documented:

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validates an mssr-pipeview-v1 Kanata log (mssr_run --pipeview-out).
+
+Parses every record, then asserts the format invariants:
+
+  - the file is a Kanata 0004 log with an mssr-pipeview-v1 header
+  - the cycle cursor never moves backwards
+  - every S/E/L/R/W record references a declared instruction id and
+    every stage start has a matching end on the same lane
+  - the header's lifecycle counters reconcile exactly with the record
+    stream (unwindowed files), or bound it (windowed files)
+  - at least one salvaged instruction is visible end to end: a flushed
+    donor carrying the squash-log lane markers, linked (W record) to an
+    adopter whose row commits without an issue/complete stage -- the
+    squash -> log -> salvage lifecycle the viewer exists to show
+    (suppress with --allow-no-salvage for no-reuse runs)
+
+Exit status: 0 valid, 1 invalid, 2 usage.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_pipeview: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse(path):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines or lines[0] != "Kanata\t0004":
+        fail("missing 'Kanata\\t0004' version line")
+    prefix = "# mssr-pipeview-v1 "
+    if len(lines) < 2 or not lines[1].startswith(prefix):
+        fail("missing mssr-pipeview-v1 header comment")
+    header = json.loads(lines[1][len(prefix):])
+    if header.get("schema") != "mssr-pipeview-v1":
+        fail("header schema is not mssr-pipeview-v1")
+
+    insts = {}  # id -> {stages: [(lane, name)], retire_type, seq}
+    open_stages = {}  # (id, lane) -> name
+    links = []  # (consumer id, producer id)
+    cycle = 0
+    cycle_set = False
+    for n, line in enumerate(lines[2:], start=3):
+        if not line or line.startswith("#"):
+            continue
+        f = line.split("\t")
+        kind = f[0]
+        if kind == "C=":
+            c = int(f[1])
+            if cycle_set and c < cycle:
+                fail(f"line {n}: cycle moved backwards ({cycle} -> {c})")
+            cycle, cycle_set = c, True
+        elif kind == "C":
+            delta = int(f[1])
+            if delta < 0:
+                fail(f"line {n}: negative cycle delta")
+            cycle += delta
+        elif kind == "I":
+            iid = int(f[1])
+            if iid in insts:
+                fail(f"line {n}: duplicate instruction id {iid}")
+            insts[iid] = {"stages": [], "retire": None, "seq": int(f[2])}
+        elif kind == "L":
+            if int(f[1]) not in insts:
+                fail(f"line {n}: label for undeclared id {f[1]}")
+        elif kind == "S":
+            iid, lane = int(f[1]), int(f[2])
+            if iid not in insts:
+                fail(f"line {n}: stage start for undeclared id {iid}")
+            if (iid, lane) in open_stages:
+                fail(f"line {n}: overlapping stages on lane {lane} "
+                     f"of id {iid}")
+            open_stages[(iid, lane)] = f[3]
+            insts[iid]["stages"].append((lane, f[3]))
+        elif kind == "E":
+            iid, lane = int(f[1]), int(f[2])
+            if open_stages.get((iid, lane)) != f[3]:
+                fail(f"line {n}: stage end '{f[3]}' without matching "
+                     f"start on lane {lane} of id {iid}")
+            del open_stages[(iid, lane)]
+        elif kind == "R":
+            iid = int(f[1])
+            if iid not in insts:
+                fail(f"line {n}: retire for undeclared id {iid}")
+            if insts[iid]["retire"] is not None:
+                fail(f"line {n}: id {iid} retired twice")
+            insts[iid]["retire"] = int(f[3])
+        elif kind == "W":
+            consumer, producer = int(f[1]), int(f[2])
+            if consumer not in insts or producer not in insts:
+                fail(f"line {n}: dependency references undeclared id")
+            links.append((consumer, producer))
+        else:
+            fail(f"line {n}: unrecognized record '{kind}'")
+    if open_stages:
+        fail(f"{len(open_stages)} stages still open at end of log")
+    return header, insts, links
+
+
+def check_counts(header, insts):
+    counts = header["counts"]
+    if header["records"] != len(insts):
+        fail(f"header records={header['records']} but {len(insts)} "
+             f"I records")
+    windowed = header["window"] is not None
+
+    stage_count = {}
+    for inst in insts.values():
+        for lane, name in inst["stages"]:
+            stage_count[(lane, name)] = stage_count.get((lane, name), 0) + 1
+    commits = sum(1 for i in insts.values() if i["retire"] == 0)
+    flushes = sum(1 for i in insts.values() if i["retire"] == 1)
+
+    expected = [
+        ("committed", commits),
+        ("squashed", flushes),
+        ("logged", stage_count.get((1, "Lg"), 0)),
+        ("covered", stage_count.get((1, "Cv"), 0)),
+        ("tested", stage_count.get((1, "Ts"), 0)),
+        ("kill_rgid", stage_count.get((2, "Kr"), 0)),
+        ("kill_rgid_capacity", stage_count.get((2, "Kc"), 0)),
+        ("kill_not_executed", stage_count.get((2, "Kx"), 0)),
+        ("kill_kind", stage_count.get((2, "Kk"), 0)),
+        ("kill_bloom", stage_count.get((2, "Kb"), 0)),
+        ("reused", stage_count.get((2, "Sv"), 0)),
+        ("fetched", len(insts)),
+    ]
+    for key, records in expected:
+        if key not in counts:
+            fail(f"header counts missing '{key}'")
+        if windowed:
+            if records > counts[key]:
+                fail(f"windowed file has more {key} records ({records}) "
+                     f"than the lifetime counter ({counts[key]})")
+        elif records != counts[key]:
+            fail(f"counts.{key}={counts[key]} but {records} matching "
+                 f"records")
+    # Ru/Rv verdict markers (on donors) pair 1:1 with Sv salvage
+    # markers (on adopters) -- unless a window gated one side out.
+    if not windowed:
+        verdicts = (stage_count.get((2, "Ru"), 0) +
+                    stage_count.get((2, "Rv"), 0))
+        if verdicts != stage_count.get((2, "Sv"), 0):
+            fail(f"{verdicts} reuse verdicts but "
+                 f"{stage_count.get((2, 'Sv'), 0)} salvage markers")
+
+
+def check_salvage(insts, links):
+    """Finds one complete squash -> log -> salvage lifecycle."""
+    for consumer, producer in links:
+        adopter, donor = insts[consumer], insts[producer]
+        a_stages = {name for lane, name in adopter["stages"] if lane == 0}
+        a_lanes = {name for lane, name in adopter["stages"] if lane == 2}
+        d_lanes = {name for lane, name in donor["stages"] if lane == 1}
+        if ("Sv" in a_lanes and "Cm" in a_stages and "Is" not in a_stages
+                and "Cp" not in a_stages and adopter["retire"] == 0
+                and "Lg" in d_lanes and donor["retire"] == 1):
+            return insts[consumer]["seq"], insts[producer]["seq"]
+    fail("no committed salvaged instruction (Sv, no issue/complete stage) "
+         "linked to a flushed squash-logged donor")
+
+
+def main():
+    args = sys.argv[1:]
+    allow_no_salvage = "--allow-no-salvage" in args
+    args = [a for a in args if a != "--allow-no-salvage"]
+    if len(args) != 1:
+        print("usage: check_pipeview.py [--allow-no-salvage] FILE.kanata",
+              file=sys.stderr)
+        sys.exit(2)
+    header, insts, links = parse(args[0])
+    check_counts(header, insts)
+    if not allow_no_salvage:
+        adopter_seq, donor_seq = check_salvage(insts, links)
+        print(f"check_pipeview: salvage lifecycle visible: donor seq "
+              f"{donor_seq} -> adopter seq {adopter_seq}")
+    print(f"check_pipeview: OK: {len(insts)} records, "
+          f"{len(links)} salvage links, counts reconcile")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,21 @@
  *                                (implies --trace; open in chrome://tracing
  *                                or ui.perfetto.dev)
  *   --interval K                 sample interval stats every K cycles
+ *   --pipeview-out FILE          record every instruction's pipeline
+ *                                lifecycle (fetch..commit plus the
+ *                                squash-reuse lanes) and write a Kanata
+ *                                0004 log (mssr-pipeview-v1 header) for
+ *                                the Konata visualizer. With multiple
+ *                                jobs each job gets its own file
+ *                                FILE-stem.<i>_<job>.<ext>. Inspect
+ *                                with tools/mssr_stats --timeline
+ *   --view-start-cycle C         with --view-cycles: bound --trace-out
+ *                                and --pipeview-out output to cycles
+ *                                [C, C+K) (pipeview selects by fetch
+ *                                cycle and records the selected
+ *                                instructions to retirement). Counters
+ *                                and simulated results are unaffected
+ *   --view-cycles K              length of the output window (K >= 1)
  *   --stats-out FILE             write per-run CPI stack, reuse funnel
  *                                and all scalar counters to FILE
  *                                (mssr-stats-v1 JSON; a .prom suffix
@@ -109,6 +124,7 @@
  * parallel execution and the per-job event streams stay deterministic.
  */
 
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <deque>
@@ -125,6 +141,7 @@
 #include "common/build_info.hh"
 #include "common/cpi_stack.hh"
 #include "common/log.hh"
+#include "common/pipeview.hh"
 #include "common/serialize.hh"
 #include "common/trace.hh"
 #include "driver/batch_runner.hh"
@@ -147,7 +164,9 @@ printUsage(std::ostream &os, const char *argv0)
           "gshare|bimodal]\n        [--max-insts N] [--scale G] "
           "[--iters I] [--jobs N] [--bloom]\n        [--trace] "
           "[--trace-out FILE] [--interval K] [--stats-out FILE] "
-          "[--all-stats]\n        [--profile-out FILE] "
+          "[--all-stats]\n        [--pipeview-out FILE] "
+          "[--view-start-cycle C] [--view-cycles K]\n        "
+          "[--profile-out FILE] "
           "[--fast-forward K] [--ckpt-dir DIR] [--warm-bpu]\n        "
           "[--func-tier fast|interp] [--trace-capture FILE] "
           "[--stats-host-time]\n        [--sample-period N "
@@ -192,6 +211,18 @@ help(const char *argv0)
         "JSON (implies --trace)\n"
         "  --interval K              sample interval stats every K "
         "cycles\n"
+        "  --pipeview-out FILE       write per-instruction pipeline "
+        "lifecycles (with\n"
+        "                            squash-reuse lanes) as a Kanata 0004 "
+        "log for Konata;\n"
+        "                            multi-job runs write "
+        "FILE-stem.<i>_<job>.<ext>\n"
+        "  --view-start-cycle C      bound --trace-out/--pipeview-out "
+        "output to cycles\n"
+        "                            [C, C+K); simulated results are "
+        "unaffected\n"
+        "  --view-cycles K           length of the output window "
+        "(K >= 1)\n"
         "  --stats-out FILE          write mssr-stats-v1 JSON (.prom: "
         "Prometheus text)\n"
         "  --profile-out FILE        write mssr-profile-v1 JSON (.folded: "
@@ -325,6 +356,52 @@ writeBuildInfoJson(std::ostream &os)
 }
 
 /**
+ * Header metadata for one job's mssr-pipeview-v1 file: the same
+ * build_info block as the stats schema plus the job's identity and
+ * reuse geometry, pre-rendered for PipeView::writeKanata to splice
+ * into the header comment.
+ */
+std::string
+pipeviewMetaFields(const BatchJob &job)
+{
+    std::ostringstream os;
+    os << "\"build_info\": {\"git\": \"" << jsonEscape(buildGitRevision())
+       << "\", \"compiler\": \"" << jsonEscape(buildCompiler())
+       << "\", \"build_type\": \"" << jsonEscape(buildType())
+       << "\"}, \"config\": {\"name\": \"" << jsonEscape(job.name)
+       << "\", \"scheme\": \"" << toString(job.config.reuseKind)
+       << "\", \"streams\": " << job.config.reuse.numStreams
+       << ", \"entries\": " << job.config.reuse.squashLogEntriesPerStream
+       << ", \"dispatch_width\": " << job.config.core.decodeWidth << "}";
+    return os.str();
+}
+
+/**
+ * Output file for job @p index of @p total. A single job writes
+ * exactly the requested FILE; a multi-job batch derives one file per
+ * job as "<stem>.<index>_<sanitized job name><ext>" — a pure function
+ * of the command line, so names are identical at any --jobs count.
+ */
+std::string
+pipeviewJobFile(const std::string &file, std::size_t index,
+                const std::string &name, std::size_t total)
+{
+    if (total == 1)
+        return file;
+    const std::filesystem::path p(file);
+    std::string safe;
+    for (char c : name)
+        safe += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '_')
+                    ? c
+                    : '_';
+    return (p.parent_path() /
+            (p.stem().string() + "." + std::to_string(index) + "_" + safe +
+             p.extension().string()))
+        .string();
+}
+
+/**
  * mssr-stats-v1: one object per executed run carrying the identity
  * (name/scheme/width), the headline numbers, the full CPI stack and
  * reuse funnel, and every scalar counter. tools/mssr_stats consumes
@@ -346,6 +423,11 @@ writeStatsJson(std::ostream &os, const std::vector<BatchJob> &jobs,
            << "\", \"dispatch_width\": " << r.dispatchWidth
            << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
            << ", \"ff_insts\": " << r.ffInsts;
+        // Ring-wraparound losses of the run's tracer: a stats consumer
+        // can tell how complete the companion --trace-out file is.
+        if (jobs[i].config.tracer)
+            os << ", \"dropped_events\": "
+               << jobs[i].config.tracer->dropped();
         if (host_time) {
             // Opt-in: host-side numbers vary run to run, so default
             // stats files stay byte-identical across hosts and
@@ -590,6 +672,7 @@ main(int argc, char **argv)
     std::vector<std::string> workloadNames;
     std::string asmFile;
     std::string traceOutFile;
+    std::string pipeviewOutFile;
     std::string statsOutFile;
     std::string profileOutFile;
     std::string ckptDir;
@@ -599,6 +682,9 @@ main(int argc, char **argv)
     std::string logOutFile;
     std::string metricsOutFile;
     std::uint64_t progressEvery = 0;
+    std::uint64_t viewStartCycle = 0;
+    std::uint64_t viewCycles = 0;
+    bool viewStartSet = false;
     unsigned jobsOverride = 0;
     bool traceOn = false;
     bool allStats = false;
@@ -743,6 +829,18 @@ main(int argc, char **argv)
         } else if (arg == "--trace-out") {
             traceOutFile = next();
             traceOn = true;
+        } else if (arg == "--pipeview-out") {
+            pipeviewOutFile = next();
+            if (pipeviewOutFile.empty()) {
+                std::cerr << "mssr_run: --pipeview-out needs a non-empty "
+                             "file name\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--view-start-cycle") {
+            viewStartCycle = numValue(argv[0], arg, next());
+            viewStartSet = true;
+        } else if (arg == "--view-cycles") {
+            viewCycles = numValue(argv[0], arg, next(), 1);
         } else if (arg == "--all-stats") {
             allStats = true;
         } else if (arg == "--compare") {
@@ -788,6 +886,18 @@ main(int argc, char **argv)
                       << (compare ? "--compare" : "--fast-forward") << "\n";
             usage(argv[0]);
         }
+        if (!pipeviewOutFile.empty()) {
+            std::cerr << "mssr_run: --trace-capture skips detailed "
+                         "simulation; drop --pipeview-out\n";
+            usage(argv[0]);
+        }
+    }
+    if ((viewStartSet || viewCycles != 0) && !traceOn &&
+        pipeviewOutFile.empty()) {
+        std::cerr << "mssr_run: --view-start-cycle/--view-cycles bound "
+                     "--trace-out/--pipeview-out output; add one of "
+                     "those flags\n";
+        usage(argv[0]);
     }
     if (!traceReplayFile.empty() &&
         (!workloadNames.empty() || !asmFile.empty())) {
@@ -829,6 +939,9 @@ main(int argc, char **argv)
         if (traceOn)
             reject("per-window tracing is not supported; drop "
                    "--trace/--trace-out");
+        if (!pipeviewOutFile.empty())
+            reject("per-window pipeview recording is not supported; drop "
+                   "--pipeview-out");
         if (!profileOutFile.empty())
             reject("per-window profiling is not supported; drop "
                    "--profile-out");
@@ -856,6 +969,7 @@ main(int argc, char **argv)
     {
         const std::pair<const char *, const std::string *> outs[] = {
             {"--trace-out", &traceOutFile},
+            {"--pipeview-out", &pipeviewOutFile},
             {"--stats-out", &statsOutFile},
             {"--profile-out", &profileOutFile},
             {"--trace-capture", &traceCaptureFile},
@@ -959,12 +1073,25 @@ main(int argc, char **argv)
         // job records into its own tracer, so tracing no longer forces
         // sequential execution.
         std::deque<Tracer> tracers; // stable addresses across push_back
+        std::deque<PipeView> pipeviews;
         std::vector<BatchJob> jobs;
+        const bool viewWindowed = viewStartSet || viewCycles != 0;
+        const Cycle viewEnd = viewCycles != 0
+                                  ? viewStartCycle + viewCycles
+                                  : ~Cycle(0);
         auto addJob = [&](std::string label, const isa::Program *prog,
                           SimConfig job_cfg) {
             if (traceOn) {
                 tracers.emplace_back();
+                if (viewWindowed)
+                    tracers.back().setWindow(viewStartCycle, viewEnd);
                 job_cfg.tracer = &tracers.back();
+            }
+            if (!pipeviewOutFile.empty()) {
+                pipeviews.emplace_back();
+                if (viewWindowed)
+                    pipeviews.back().setWindow(viewStartCycle, viewEnd);
+                job_cfg.pipeview = &pipeviews.back();
             }
             jobs.push_back({std::move(label), prog, job_cfg, {}});
         };
@@ -1111,6 +1238,22 @@ main(int argc, char **argv)
                     std::cerr << "=== trace: " << name << " ===\n";
                     tracer->writeText(std::cerr);
                 }
+            }
+        }
+
+        if (!pipeviewOutFile.empty()) {
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const std::string file = pipeviewJobFile(
+                    pipeviewOutFile, i, jobs[i].name, jobs.size());
+                std::ofstream out(file);
+                if (!out)
+                    fatal("cannot write pipeview file '", file, "'");
+                const PipeView &view = *jobs[i].config.pipeview;
+                view.writeKanata(out, pipeviewMetaFields(jobs[i]));
+                std::cerr << "pipeview: wrote " << view.numRecords()
+                          << " instruction record"
+                          << (view.numRecords() == 1 ? "" : "s") << " to "
+                          << file << "\n";
             }
         }
 

@@ -28,6 +28,15 @@
  *       branches and reconvergence points marked with their
  *       normalized share of squashes / recovery cycles / salvage.
  *
+ *   mssr_stats --timeline FILE [--start C] [--cycles K]
+ *       ASCII per-instruction timeline of an mssr-pipeview-v1 Kanata
+ *       file (mssr_run --pipeview-out): one row per instruction whose
+ *       lifecycle intersects the cycle window, pipeline stages as
+ *       lowercase cells (f/d/r/i/c, C commit), squash-reuse lane
+ *       markers overlaid uppercase (L logged, V covered, T tested,
+ *       R reuse verdict, S salvaged) and x where a flush retires the
+ *       row. Default window: 80 cycles from the first event.
+ *
  * All modes re-verify invariants on load (slots sum to cycles x
  * width, funnel stages monotone) and exit non-zero when a file
  * violates them, so the CLI doubles as a schema/consistency checker
@@ -68,10 +77,14 @@ usage()
     std::cerr << "usage: mssr_stats [--topn N] FILE\n"
                  "       mssr_stats [--topn N] --diff BASELINE MSSR\n"
                  "       mssr_stats --annotate PROG FILE\n"
+                 "       mssr_stats --timeline FILE [--start C] "
+                 "[--cycles K]\n"
                  "       mssr_stats --version\n"
                  "FILEs are mssr-stats-v1 JSON from mssr_run --stats-out\n"
                  "or mssr-profile-v1 JSON from mssr_run --profile-out\n"
-                 "(--annotate and per-branch --diff need profile files).\n";
+                 "(--annotate and per-branch --diff need profile files;\n"
+                 "--timeline reads the mssr-pipeview-v1 Kanata log from\n"
+                 "mssr_run --pipeview-out).\n";
     std::exit(2);
 }
 
@@ -313,12 +326,6 @@ parseStatsRuns(const std::string &file, const JsonValue &root)
     if (runs.empty())
         malformed(file, "no runs");
     return runs;
-}
-
-std::vector<StatsRun>
-loadStatsFile(const std::string &file)
-{
-    return parseStatsRuns(file, loadRoot(file));
 }
 
 // ------------------------------------------------- mssr-profile-v1 side
@@ -944,13 +951,245 @@ annotate(const ProfileRun &r, const std::string &prog_name,
     }
 }
 
+// ------------------------------------------------ mssr-pipeview-v1 side
+
+using Cycle = std::uint64_t;
+
+/** One closed stage interval of one instruction row. */
+struct TimelineStage
+{
+    Cycle start = 0;
+    Cycle end = 0; //!< exclusive
+    unsigned lane = 0;
+    std::string name;
+};
+
+/** One instruction parsed back out of a Kanata log. */
+struct TimelineInst
+{
+    std::uint64_t id = 0;
+    std::string label;
+    std::vector<TimelineStage> stages;
+    Cycle retire = 0;
+    bool retired = false;
+    bool flushed = false;
+
+    Cycle
+    firstCycle() const
+    {
+        Cycle c = retired ? retire : ~Cycle(0);
+        for (const TimelineStage &s : stages)
+            c = std::min(c, s.start);
+        return c;
+    }
+
+    Cycle
+    lastCycle() const
+    {
+        Cycle c = retired ? retire : 0;
+        for (const TimelineStage &s : stages)
+            c = std::max(c, s.end);
+        return c;
+    }
+};
+
+/**
+ * Parses an mssr-pipeview-v1 Kanata 0004 log back into instruction
+ * rows, re-verifying the format invariants on load (version line,
+ * known record kinds, non-decreasing cycle, E matching an open S) so
+ * the mode doubles as a consistency checker for CI.
+ */
+std::vector<TimelineInst>
+loadKanata(const std::string &file)
+{
+    std::ifstream in(file);
+    if (!in)
+        malformed(file, "cannot open");
+    std::string line;
+    if (!std::getline(in, line) || line != "Kanata\t0004")
+        malformed(file, "not a Kanata 0004 log (mssr_run --pipeview-out)");
+
+    std::vector<TimelineInst> insts;
+    std::map<std::uint64_t, std::size_t> index;
+    std::map<std::pair<std::uint64_t, unsigned>,
+             std::pair<Cycle, std::string>>
+        open;
+    Cycle cur = 0;
+    bool cycleSet = false;
+
+    auto fields = [&](const std::string &l) {
+        std::vector<std::string> out;
+        std::size_t pos = 0;
+        while (true) {
+            const std::size_t tab = l.find('\t', pos);
+            if (tab == std::string::npos) {
+                out.push_back(l.substr(pos));
+                return out;
+            }
+            out.push_back(l.substr(pos, tab - pos));
+            pos = tab + 1;
+        }
+    };
+    auto num = [&](const std::string &v) {
+        const std::optional<std::uint64_t> parsed = parseU64(v);
+        if (!parsed)
+            malformed(file, "malformed number '" + v + "'");
+        return *parsed;
+    };
+    auto instAt = [&](std::uint64_t id) -> TimelineInst & {
+        const auto it = index.find(id);
+        if (it == index.end())
+            malformed(file, "record for undeclared instruction id " +
+                                std::to_string(id));
+        return insts[it->second];
+    };
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::vector<std::string> f = fields(line);
+        if (f[0] == "C=" && f.size() == 2) {
+            const Cycle c = num(f[1]);
+            if (cycleSet && c < cur)
+                malformed(file, "cycle moved backwards");
+            cur = c;
+            cycleSet = true;
+        } else if (f[0] == "C" && f.size() == 2) {
+            cur += num(f[1]);
+        } else if (f[0] == "I" && f.size() == 4) {
+            TimelineInst inst;
+            inst.id = num(f[1]);
+            if (!index.emplace(inst.id, insts.size()).second)
+                malformed(file, "duplicate instruction id " + f[1]);
+            insts.push_back(std::move(inst));
+        } else if (f[0] == "L" && f.size() >= 4) {
+            if (num(f[2]) == 0)
+                instAt(num(f[1])).label = f[3];
+        } else if (f[0] == "S" && f.size() == 4) {
+            TimelineInst &inst = instAt(num(f[1]));
+            const unsigned lane = static_cast<unsigned>(num(f[2]));
+            if (!open.emplace(std::make_pair(inst.id, lane),
+                              std::make_pair(cur, f[3]))
+                     .second)
+                malformed(file, "overlapping stages on lane " + f[2] +
+                                    " of instruction " + f[1]);
+        } else if (f[0] == "E" && f.size() == 4) {
+            TimelineInst &inst = instAt(num(f[1]));
+            const unsigned lane = static_cast<unsigned>(num(f[2]));
+            const auto it = open.find({inst.id, lane});
+            if (it == open.end() || it->second.second != f[3])
+                malformed(file, "stage end '" + f[3] +
+                                    "' without a matching start");
+            inst.stages.push_back(
+                {it->second.first, cur, lane, it->second.second});
+            open.erase(it);
+        } else if (f[0] == "R" && f.size() == 4) {
+            TimelineInst &inst = instAt(num(f[1]));
+            inst.retire = cur;
+            inst.retired = true;
+            inst.flushed = num(f[3]) != 0;
+        } else if (f[0] == "W" && f.size() == 4) {
+            instAt(num(f[1]));
+            instAt(num(f[2])); // both ends must be declared
+        } else {
+            malformed(file, "unrecognized record '" + f[0] + "'");
+        }
+    }
+    if (!open.empty())
+        malformed(file, "stage still open at end of log");
+    return insts;
+}
+
+/** Timeline cell for a lane-0 pipeline stage. */
+char
+stageCell(const std::string &name)
+{
+    if (name == "F") return 'f';
+    if (name == "Dc") return 'd';
+    if (name == "Rn") return 'r';
+    if (name == "Is") return 'i';
+    if (name == "Cp") return 'c';
+    if (name == "Cm") return 'C';
+    return '?';
+}
+
+/** Overlay cell for a lane-1/2 squash-reuse marker. */
+char
+markerCell(const std::string &name)
+{
+    if (name == "Lg") return 'L';                 // appended to squash log
+    if (name == "Cv") return 'V';                 // covered by reconvergence
+    if (name == "Ts") return 'T';                 // reuse test ran
+    if (name == "Sv") return 'S';                 // salvaged at rename
+    if (!name.empty() && name[0] == 'R') return 'R'; // Ru/Rv: reused
+    if (!name.empty() && name[0] == 'K') return 'K'; // K*: test kill
+    return '?';
+}
+
+/**
+ * One row per instruction whose lifecycle intersects
+ * [@p start, @p start + @p len): pipeline stages lowercase, reuse-lane
+ * markers overlaid uppercase, 'x' where a flush retires the row.
+ */
+void
+printTimeline(const std::vector<TimelineInst> &insts, Cycle start,
+              Cycle len)
+{
+    std::cout << "cycles " << start << ".." << start + len
+              << " (f fetch, d decode, r rename, i issue, c complete, "
+                 "C commit, x flushed;\n"
+              << " lanes: L logged, V covered, T tested, R reused, "
+                 "K killed, S salvaged)\n";
+    std::string ruler(len, ' ');
+    for (Cycle c = (start + 9) / 10 * 10; c < start + len; c += 10)
+        ruler[c - start] = '|';
+    std::cout << std::string(8, ' ') << ruler << "\n";
+
+    std::size_t shown = 0;
+    for (const TimelineInst &inst : insts) {
+        if (inst.stages.empty() && !inst.retired)
+            continue;
+        if (inst.firstCycle() >= start + len || inst.lastCycle() < start)
+            continue;
+        std::string row(len, '.');
+        auto put = [&](Cycle c, char ch) {
+            if (c >= start && c < start + len)
+                row[c - start] = ch;
+        };
+        for (const TimelineStage &s : inst.stages) {
+            if (s.lane != 0)
+                continue;
+            for (Cycle c = s.start; c < s.end; ++c)
+                put(c, stageCell(s.name));
+        }
+        if (inst.retired && inst.flushed)
+            put(inst.retire, 'x');
+        // Markers last: the reuse-lane lifecycle is what this view is
+        // for, so it wins the cell over the stage underneath.
+        for (const TimelineStage &s : inst.stages)
+            if (s.lane != 0)
+                put(s.start, markerCell(s.name));
+
+        std::string head = std::to_string(inst.id);
+        head.resize(std::max<std::size_t>(head.size() + 1, 8), ' ');
+        std::cout << head << row << "  " << inst.label << "\n";
+        ++shown;
+    }
+    std::cout << shown << " of " << insts.size()
+              << " instructions intersect the window\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bool diff = false;
+    bool timeline = false;
     unsigned topn = 10;
+    std::uint64_t timelineStart = 0;
+    bool timelineStartSet = false;
+    std::uint64_t timelineCycles = 80;
     std::string annotateProg;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
@@ -974,6 +1213,29 @@ main(int argc, char **argv)
                 std::min<std::uint64_t>(*n, 1u << 20));
         } else if (arg == "--annotate") {
             annotateProg = next();
+        } else if (arg == "--timeline") {
+            timeline = true;
+        } else if (arg == "--start") {
+            const std::string v = next();
+            const std::optional<std::uint64_t> n = parseU64(v);
+            if (!n) {
+                std::cerr << "mssr_stats: invalid value '" << v
+                          << "' for --start (expected an unsigned "
+                             "integer)\n";
+                usage();
+            }
+            timelineStart = *n;
+            timelineStartSet = true;
+        } else if (arg == "--cycles") {
+            const std::string v = next();
+            const std::optional<std::uint64_t> n = parseU64(v);
+            if (!n || *n == 0) {
+                std::cerr << "mssr_stats: invalid value '" << v
+                          << "' for --cycles (expected a positive "
+                             "integer)\n";
+                usage();
+            }
+            timelineCycles = std::min<std::uint64_t>(*n, 1u << 20);
         } else if (arg == "--version") {
             std::cout << "mssr_stats " << buildInfoLine() << "\n";
             return 0;
@@ -985,6 +1247,27 @@ main(int argc, char **argv)
     }
 
     try {
+        if (timeline) {
+            if (diff || !annotateProg.empty() || files.size() != 1)
+                usage();
+            const std::vector<TimelineInst> insts = loadKanata(files[0]);
+            if (!timelineStartSet) {
+                timelineStart = ~std::uint64_t(0);
+                for (const TimelineInst &inst : insts)
+                    if (!inst.stages.empty() || inst.retired)
+                        timelineStart =
+                            std::min(timelineStart, inst.firstCycle());
+                if (timelineStart == ~std::uint64_t(0))
+                    timelineStart = 0;
+            }
+            printTimeline(insts, timelineStart, timelineCycles);
+            return 0;
+        }
+        if ((timelineStartSet || timelineCycles != 80) && !timeline) {
+            std::cerr << "mssr_stats: --start/--cycles only apply to "
+                         "--timeline\n";
+            usage();
+        }
         if (!annotateProg.empty()) {
             if (diff || files.size() != 1)
                 usage();
