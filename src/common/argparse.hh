@@ -13,9 +13,11 @@
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <initializer_list>
 #include <limits>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "common/log.hh"
 
@@ -91,6 +93,35 @@ envFlag(const char *name)
     warn("ignoring invalid ", name, "='", s,
          "' (want 0/1/true/false); treating as unset");
     return false;
+}
+
+/** One output-path flag for findDuplicateOutputPath(). */
+struct OutputPathFlag
+{
+    const char *flag;         //!< e.g. "--stats-out"
+    const std::string *path;  //!< empty string = flag not given
+};
+
+/**
+ * Finds the first pair of output flags pointing at the same non-empty
+ * path. Every front end with more than one output flag must run its
+ * full flag set through this before opening anything: the last writer
+ * would silently clobber the other's content otherwise, and each tool
+ * growing its own pairwise loop is how --metrics-out/--log-out
+ * collisions went unchecked. Returns the colliding pair of flag names
+ * (in the order given) or nullopt.
+ */
+inline std::optional<std::pair<const char *, const char *>>
+findDuplicateOutputPath(std::initializer_list<OutputPathFlag> outs)
+{
+    for (auto a = outs.begin(); a != outs.end(); ++a) {
+        if (a->path->empty())
+            continue;
+        for (auto b = a + 1; b != outs.end(); ++b)
+            if (*a->path == *b->path)
+                return std::make_pair(a->flag, b->flag);
+    }
+    return std::nullopt;
 }
 
 } // namespace mssr

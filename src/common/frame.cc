@@ -1,0 +1,121 @@
+#include "common/frame.hh"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace mssr
+{
+
+namespace
+{
+
+/** Reads exactly @p n bytes; returns bytes read (short only at EOF). */
+std::size_t
+readFully(int fd, void *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r =
+            ::read(fd, static_cast<char *>(buf) + got, n - got);
+        if (r == 0)
+            break; // end of stream
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw FrameError(std::string("frame read failed: ") +
+                             std::strerror(errno));
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return got;
+}
+
+} // namespace
+
+bool
+readFrame(int fd, std::string &payload)
+{
+    unsigned char hdr[4];
+    const std::size_t got = readFully(fd, hdr, sizeof(hdr));
+    if (got == 0)
+        return false; // clean close at a frame boundary
+    if (got < sizeof(hdr))
+        throw FrameError("stream ended inside a frame header");
+    const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                              static_cast<std::uint32_t>(hdr[1]) << 8 |
+                              static_cast<std::uint32_t>(hdr[2]) << 16 |
+                              static_cast<std::uint32_t>(hdr[3]) << 24;
+    if (len > kMaxFrameBytes)
+        throw FrameError("frame length " + std::to_string(len) +
+                         " exceeds the " + std::to_string(kMaxFrameBytes) +
+                         "-byte limit");
+    payload.resize(len);
+    if (len && readFully(fd, payload.data(), len) < len)
+        throw FrameError("stream ended inside a frame payload");
+    return true;
+}
+
+void
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        throw FrameError("frame payload of " +
+                         std::to_string(payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFrameBytes) + "-byte limit");
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const unsigned char hdr[4] = {
+        static_cast<unsigned char>(len & 0xff),
+        static_cast<unsigned char>((len >> 8) & 0xff),
+        static_cast<unsigned char>((len >> 16) & 0xff),
+        static_cast<unsigned char>((len >> 24) & 0xff),
+    };
+    std::string out(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+    out += payload;
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t w = ::write(fd, out.data() + sent, out.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw FrameError(std::string("frame write failed: ") +
+                             std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mssr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * mssr-serve-v1 wire framing: every message on an mssr_serve socket --
+ * request or reply, either direction -- is one frame, a 4-byte
+ * little-endian unsigned payload length followed by that many bytes of
+ * UTF-8 JSON (one object per frame). The frame layer knows nothing
+ * about the JSON inside; docs/FORMATS.md section "mssr-serve-v1" is
+ * the normative spec for both the framing and the payloads.
+ *
+ * The reader distinguishes a clean end-of-stream (peer closed between
+ * frames: readFrame returns false) from a torn one (close or error
+ * mid-frame: FrameError), so protocol code never mistakes a truncated
+ * message for a short one. Oversized lengths are rejected before any
+ * allocation -- a garbage client cannot make the server reserve 4 GiB.
+ */
+
+#ifndef MSSR_COMMON_FRAME_HH
+#define MSSR_COMMON_FRAME_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace mssr
+{
+
+/** Frame payloads above this are a protocol violation (16 MiB). */
+constexpr std::size_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+/** A torn, oversized or otherwise unframeable message. */
+struct FrameError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Reads one frame from @p fd into @p payload. Returns false on a
+ * clean end-of-stream at a frame boundary; throws FrameError when the
+ * stream ends (or errors, including a receive timeout) mid-frame or
+ * the announced length exceeds kMaxFrameBytes.
+ */
+bool readFrame(int fd, std::string &payload);
+
+/**
+ * Writes @p payload as one frame to @p fd, looping over partial
+ * writes. Throws FrameError on any write failure (closed peer,
+ * oversized payload).
+ */
+void writeFrame(int fd, const std::string &payload);
+
+/**
+ * Escapes @p s for embedding inside a JSON string literal: quote,
+ * backslash and the C0 control characters (named escapes for
+ * \\b \\f \\n \\r \\t, \\u00XX for the rest).
+ */
+std::string jsonEscape(const std::string &s);
+
+} // namespace mssr
+
+#endif // MSSR_COMMON_FRAME_HH

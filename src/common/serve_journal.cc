@@ -1,0 +1,230 @@
+#include "common/serve_journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/frame.hh"
+#include "common/log.hh"
+
+namespace mssr
+{
+
+namespace
+{
+
+constexpr const char *kSchema = "mssr-serve-journal-v1";
+// The done-line field that carries the raw record text; appendDone
+// writes it and load() extracts it textually (see loadRecordText).
+constexpr const char *kRecordMarker = "\"record\": ";
+
+/**
+ * Extracts the raw result-record text from a done line. The writer
+ * always emits the record as the final field, so the text runs from
+ * just past the marker to the line's closing brace. Textual extraction
+ * (rather than re-serializing the parsed value) is what keeps
+ * journal-replayed records byte-identical to the originals.
+ */
+std::string
+loadRecordText(const std::string &line)
+{
+    const std::size_t pos = line.find(kRecordMarker);
+    if (pos == std::string::npos || line.empty() || line.back() != '}')
+        throw std::runtime_error("done line has no record field");
+    const std::size_t start = pos + std::strlen(kRecordMarker);
+    return line.substr(start, line.size() - start - 1);
+}
+
+std::uint64_t
+u64Field(const minijson::JsonValue &obj, const char *key)
+{
+    const auto it = obj.object.find(key);
+    if (it == obj.object.end() ||
+        it->second.kind != minijson::JsonValue::Number)
+        throw std::runtime_error(std::string("missing numeric field '") +
+                                 key + "'");
+    return static_cast<std::uint64_t>(it->second.number);
+}
+
+std::string
+stringField(const minijson::JsonValue &obj, const char *key)
+{
+    const auto it = obj.object.find(key);
+    if (it == obj.object.end() ||
+        it->second.kind != minijson::JsonValue::String)
+        throw std::runtime_error(std::string("missing string field '") +
+                                 key + "'");
+    return it->second.string;
+}
+
+} // namespace
+
+ServeJournal::~ServeJournal()
+{
+    close();
+}
+
+bool
+ServeJournal::open(const std::string &path)
+{
+    close();
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+    if (fd < 0) {
+        warn("cannot open journal '", path, "': ", std::strerror(errno));
+        return false;
+    }
+    fd_ = fd;
+    path_ = path;
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0 && st.st_size == 0)
+        appendLine(std::string("{\"schema\": \"") + kSchema + "\"}");
+    return true;
+}
+
+void
+ServeJournal::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    path_.clear();
+}
+
+void
+ServeJournal::appendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return;
+    const std::string out = line + "\n";
+    // One write so a crash tears at most this line, then fsync so an
+    // acknowledged append survives power loss -- the two halves of the
+    // journal's durability contract.
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t w =
+            ::write(fd_, out.data() + sent, out.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("journal append failed: ", std::strerror(errno));
+            return;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    ::fsync(fd_);
+}
+
+void
+ServeJournal::appendSubmit(std::uint64_t batch, const std::string &label,
+                           const std::vector<std::string> &specs)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"submit\", \"batch\": " << batch << ", \"label\": \""
+       << jsonEscape(label) << "\", \"jobs\": [";
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        os << (i ? ", " : "") << specs[i];
+    os << "]}";
+    appendLine(os.str());
+}
+
+void
+ServeJournal::appendDone(std::uint64_t batch, std::uint64_t job,
+                         const std::string &record)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"done\", \"batch\": " << batch << ", \"job\": "
+       << job << ", " << kRecordMarker << record << "}";
+    appendLine(os.str());
+}
+
+void
+ServeJournal::appendCancel(std::uint64_t batch)
+{
+    appendLine("{\"event\": \"cancel\", \"batch\": " +
+               std::to_string(batch) + "}");
+}
+
+void
+ServeJournal::appendFail(std::uint64_t batch, const std::string &message)
+{
+    appendLine("{\"event\": \"fail\", \"batch\": " + std::to_string(batch) +
+               ", \"message\": \"" + jsonEscape(message) + "\"}");
+}
+
+std::vector<ServeJournalEvent>
+ServeJournal::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open journal '" + path + "'");
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    if (lines.empty())
+        throw std::runtime_error("journal '" + path + "' is empty");
+
+    std::vector<ServeJournalEvent> events;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        minijson::JsonValue v;
+        try {
+            v = minijson::JsonParser(lines[i]).parse();
+        } catch (const std::exception &e) {
+            // A torn final line is the expected crash signature; a bad
+            // line anywhere else is corruption and must be surfaced.
+            if (i + 1 == lines.size()) {
+                logInfo("serve", "journal '", path,
+                        "': dropping torn final line (crash mid-append)");
+                break;
+            }
+            throw std::runtime_error("journal '" + path + "' line " +
+                                     std::to_string(i + 1) +
+                                     " is corrupt: " + e.what());
+        }
+        if (i == 0) {
+            if (stringField(v, "schema") != kSchema)
+                throw std::runtime_error("journal '" + path +
+                                         "' has the wrong schema header");
+            continue;
+        }
+        ServeJournalEvent ev;
+        try {
+            ev.event = stringField(v, "event");
+            ev.batch = u64Field(v, "batch");
+            if (ev.event == "submit") {
+                ev.label = stringField(v, "label");
+                const auto it = v.object.find("jobs");
+                if (it == v.object.end() ||
+                    it->second.kind != minijson::JsonValue::Array)
+                    throw std::runtime_error("submit line has no jobs");
+                ev.jobs = it->second.array;
+            } else if (ev.event == "done") {
+                ev.job = u64Field(v, "job");
+                ev.record = loadRecordText(lines[i]);
+            } else if (ev.event == "fail") {
+                ev.message = stringField(v, "message");
+            } else if (ev.event != "cancel") {
+                throw std::runtime_error("unknown event '" + ev.event +
+                                         "'");
+            }
+        } catch (const std::exception &e) {
+            throw std::runtime_error("journal '" + path + "' line " +
+                                     std::to_string(i + 1) +
+                                     " is corrupt: " + e.what());
+        }
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+} // namespace mssr

@@ -18,6 +18,7 @@
 #ifndef MSSR_DRIVER_BATCH_RUNNER_HH
 #define MSSR_DRIVER_BATCH_RUNNER_HH
 
+#include <atomic>
 #include <functional>
 #include <string>
 #include <vector>
@@ -89,6 +90,31 @@ class BatchRunner
     /// @}
 
     /**
+     * Per-job completion hook, invoked on the worker thread right
+     * after each job's result lands in the batch's result vector (the
+     * incremental-streaming primitive behind mssr_serve). The callback
+     * receives the job's submission index and its RunResult; it must
+     * be thread-safe, and must not touch other jobs' results. Note the
+     * shared-warm-up attribution fields (ckptHit, ffHostSeconds) are
+     * finalized only after run() returns, so the callback sees every
+     * grouped job as a plain hit -- deterministic, simulated fields
+     * are all final. Cleared by passing an empty function.
+     */
+    using JobDoneFn = std::function<void(std::size_t, const RunResult &)>;
+    void setJobDone(JobDoneFn fn) { jobDone_ = std::move(fn); }
+
+    /**
+     * Cooperative drain: with a stop flag set, run() skips every job
+     * that has not yet started once the flag reads true (skipped jobs
+     * keep a default RunResult and fire no completion hook; in-flight
+     * jobs always finish). Shared warm-ups not yet taken are skipped
+     * too. The caller owns the atomic and must keep it alive for the
+     * run. This is how mssr_serve bounds SIGTERM-drain latency to one
+     * job instead of one queue.
+     */
+    void setStopFlag(const std::atomic<bool> *stop) { stopFlag_ = stop; }
+
+    /**
      * Runs all @p jobs and returns results in submission order.
      * A job that throws (bad config/program) aborts the batch: the
      * first exception is rethrown on the calling thread once all
@@ -132,6 +158,8 @@ class BatchRunner
     double progressEvery_ = 0.0;
     std::string metricsOut_;
     std::string progressLabel_ = "batch";
+    JobDoneFn jobDone_;
+    const std::atomic<bool> *stopFlag_ = nullptr;
 };
 
 } // namespace mssr

@@ -59,6 +59,32 @@ estimateFrom(const std::vector<double> &xs)
     return e;
 }
 
+std::string
+sampledJobError(const BatchJob &job)
+{
+    const SimConfig &cfg = job.config;
+    if (!job.program)
+        return "no program";
+    if (cfg.samplePeriod == 0)
+        return "samplePeriod must be nonzero";
+    if (cfg.sampleWindow == 0 || cfg.sampleWindow > cfg.samplePeriod)
+        return "sampleWindow must be in (0, samplePeriod]";
+    if (cfg.fastForwardInsts != 0 || cfg.checkpoint)
+        return "sampling already fast-forwards to each window; drop the "
+               "explicit fast-forward/checkpoint";
+    if (cfg.tracer)
+        return "per-window tracing is not supported";
+    if (cfg.profiling)
+        return "per-window profiling is not supported";
+    if (cfg.statsInterval != 0)
+        return "interval stats inside sampled windows are not supported";
+    if (cfg.maxCycles != 0)
+        return "maxCycles would truncate windows non-architecturally";
+    if (job.inspect)
+        return "inspect hooks would fire once per window, not per run";
+    return "";
+}
+
 namespace
 {
 
@@ -67,30 +93,10 @@ namespace
 void
 validateSampledJob(const BatchJob &job)
 {
-    const SimConfig &cfg = job.config;
-    auto reject = [&](const std::string &why) {
-        throw std::invalid_argument("sampled job '" + job.name +
-                                    "': " + why);
-    };
-    if (!job.program)
-        reject("no program");
-    if (cfg.samplePeriod == 0)
-        reject("samplePeriod must be nonzero");
-    if (cfg.sampleWindow == 0 || cfg.sampleWindow > cfg.samplePeriod)
-        reject("sampleWindow must be in (0, samplePeriod]");
-    if (cfg.fastForwardInsts != 0 || cfg.checkpoint)
-        reject("sampling already fast-forwards to each window; drop the "
-               "explicit fast-forward/checkpoint");
-    if (cfg.tracer)
-        reject("per-window tracing is not supported");
-    if (cfg.profiling)
-        reject("per-window profiling is not supported");
-    if (cfg.statsInterval != 0)
-        reject("interval stats inside sampled windows are not supported");
-    if (cfg.maxCycles != 0)
-        reject("maxCycles would truncate windows non-architecturally");
-    if (job.inspect)
-        reject("inspect hooks would fire once per window, not per run");
+    const std::string why = sampledJobError(job);
+    if (!why.empty())
+        throw std::invalid_argument("sampled job '" + job.name + "': " +
+                                    why);
 }
 
 } // namespace

@@ -1,0 +1,898 @@
+#include "driver/serve_core.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "common/cpi_stack.hh"
+#include "common/frame.hh"
+#include "common/log.hh"
+#include "common/metrics.hh"
+
+namespace mssr
+{
+
+namespace
+{
+
+using minijson::JsonValue;
+
+/** Lazily-registered service instrumentation (docs/FORMATS.md). */
+struct ServeMetrics
+{
+    Counter &requests;
+    Counter &requestErrors;
+    Counter &connections;
+    Counter &batches;
+    Counter &jobs;
+    Counter &jobsDone;
+    Counter &jobsResumed;
+    Gauge &queueDepth;
+
+    static ServeMetrics &
+    get()
+    {
+        MetricsRegistry &reg = MetricsRegistry::global();
+        static ServeMetrics m{
+            reg.counter("mssr_serve_requests_total",
+                        "mssr-serve-v1 requests handled"),
+            reg.counter("mssr_serve_request_errors_total",
+                        "Requests answered with a structured error reply"),
+            reg.counter("mssr_serve_connections_total",
+                        "Client connections accepted"),
+            reg.counter("mssr_serve_batches_total",
+                        "Job batches accepted into the queue"),
+            reg.counter("mssr_serve_jobs_total",
+                        "Jobs accepted into the queue"),
+            reg.counter("mssr_serve_jobs_done_total",
+                        "Jobs completed and journaled by the server"),
+            reg.counter("mssr_serve_jobs_resumed_total",
+                        "Job completions replayed from the journal at "
+                        "startup"),
+            reg.gauge("mssr_serve_queue_depth",
+                      "Jobs accepted but not yet finished"),
+        };
+        return m;
+    }
+};
+
+/** {"ok": false, ...}: the one reply shape every failure maps onto. */
+std::string
+errorReply(const std::string &code, const std::string &message)
+{
+    return "{\"ok\": false, \"error\": \"" + code + "\", \"message\": \"" +
+           jsonEscape(message) + "\"}";
+}
+
+bool
+isErrorReply(const std::string &reply)
+{
+    return reply.rfind("{\"ok\": false", 0) == 0;
+}
+
+/** Non-negative integer field (exactly representable in a double). */
+std::uint64_t
+u64Field(const JsonValue &obj, const std::string &key)
+{
+    const auto it = obj.object.find(key);
+    if (it == obj.object.end())
+        throw std::invalid_argument("missing field '" + key + "'");
+    const JsonValue &v = it->second;
+    if (v.kind != JsonValue::Number || v.number < 0 ||
+        v.number != static_cast<double>(
+                        static_cast<std::uint64_t>(v.number)) ||
+        v.number > 9007199254740992.0)
+        throw std::invalid_argument("field '" + key +
+                                    "' must be a non-negative integer");
+    return static_cast<std::uint64_t>(v.number);
+}
+
+const std::vector<std::string> &
+registeredWorkloads()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const char *suite : {"spec2006", "spec2017", "gap", "micro"})
+            for (const auto &w : workloads::suiteWorkloads(suite))
+                out.push_back(w.name);
+        return out;
+    }();
+    return names;
+}
+
+void
+writeEstimate(std::ostream &os, const SampleEstimate &e)
+{
+    // NaN is not JSON: "mean" needs one observation, "stderr"/"ci95"
+    // two -- the same presence rule as mssr_run's sampled stats.
+    os << "{\"n\": " << e.n;
+    if (e.n >= 1)
+        os << ", \"mean\": " << e.mean;
+    if (e.n >= 2)
+        os << ", \"stderr\": " << e.stdErr << ", \"ci95\": " << e.ci95;
+    os << "}";
+}
+
+} // namespace
+
+ServeJobSpec
+parseJobSpec(const JsonValue &v)
+{
+    if (v.kind != JsonValue::Object)
+        throw std::invalid_argument("job spec must be a JSON object");
+    ServeJobSpec s;
+    const auto str = [&](const std::string &key, const JsonValue &val) {
+        if (val.kind != JsonValue::String)
+            throw std::invalid_argument("field '" + key +
+                                        "' must be a string");
+        return val.string;
+    };
+    const auto u64 = [&](const std::string &key) {
+        return u64Field(v, key);
+    };
+    const auto u32 = [&](const std::string &key) {
+        const std::uint64_t n = u64(key);
+        if (n > 0xffffffffu)
+            throw std::invalid_argument("field '" + key +
+                                        "' is out of range");
+        return static_cast<unsigned>(n);
+    };
+    const auto flag = [&](const std::string &key, const JsonValue &val) {
+        if (val.kind != JsonValue::Bool)
+            throw std::invalid_argument("field '" + key +
+                                        "' must be a boolean");
+        return val.number != 0.0;
+    };
+    for (const auto &[key, val] : v.object) {
+        if (key == "name")
+            s.name = str(key, val);
+        else if (key == "workload")
+            s.workload = str(key, val);
+        else if (key == "scheme")
+            s.scheme = str(key, val);
+        else if (key == "predictor")
+            s.predictor = str(key, val);
+        else if (key == "func_tier")
+            s.funcTier = str(key, val);
+        else if (key == "scale")
+            s.scale = u32(key);
+        else if (key == "iters")
+            s.iters = u32(key);
+        else if (key == "seed")
+            s.seed = u64(key);
+        else if (key == "streams")
+            s.streams = u32(key);
+        else if (key == "entries")
+            s.entries = u32(key);
+        else if (key == "sets")
+            s.sets = u32(key);
+        else if (key == "ways")
+            s.ways = u32(key);
+        else if (key == "bloom")
+            s.bloom = flag(key, val);
+        else if (key == "warm_bpu")
+            s.warmBpu = flag(key, val);
+        else if (key == "max_insts")
+            s.maxInsts = u64(key);
+        else if (key == "fast_forward")
+            s.fastForward = u64(key);
+        else if (key == "sample_period")
+            s.samplePeriod = u64(key);
+        else if (key == "sample_window")
+            s.sampleWindow = u64(key);
+        else
+            throw std::invalid_argument("unknown job-spec key '" + key +
+                                        "'");
+    }
+    if (s.workload.empty())
+        throw std::invalid_argument("job spec needs a 'workload'");
+    if (s.name.empty())
+        s.name = s.workload;
+    for (const char c : s.name)
+        if (static_cast<unsigned char>(c) < 0x20)
+            throw std::invalid_argument(
+                "job names must not contain control characters");
+    if (s.scheme != "none" && s.scheme != "rgid" && s.scheme != "regint")
+        throw std::invalid_argument("scheme '" + s.scheme +
+                                    "' is not none|rgid|regint");
+    if (s.predictor != "tage" && s.predictor != "gshare" &&
+        s.predictor != "bimodal")
+        throw std::invalid_argument("predictor '" + s.predictor +
+                                    "' is not tage|gshare|bimodal");
+    if (s.funcTier != "fast" && s.funcTier != "interp")
+        throw std::invalid_argument("func_tier '" + s.funcTier +
+                                    "' is not fast|interp");
+    return s;
+}
+
+std::string
+canonicalJobSpec(const ServeJobSpec &s)
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(s.name) << "\", \"workload\": \""
+       << jsonEscape(s.workload) << "\", \"scheme\": \"" << s.scheme
+       << "\", \"predictor\": \"" << s.predictor << "\", \"func_tier\": \""
+       << s.funcTier << "\", \"scale\": " << s.scale << ", \"iters\": "
+       << s.iters << ", \"seed\": " << s.seed << ", \"streams\": "
+       << s.streams << ", \"entries\": " << s.entries << ", \"sets\": "
+       << s.sets << ", \"ways\": " << s.ways << ", \"bloom\": "
+       << (s.bloom ? "true" : "false") << ", \"warm_bpu\": "
+       << (s.warmBpu ? "true" : "false") << ", \"max_insts\": "
+       << s.maxInsts << ", \"fast_forward\": " << s.fastForward
+       << ", \"sample_period\": " << s.samplePeriod
+       << ", \"sample_window\": " << s.sampleWindow << "}";
+    return os.str();
+}
+
+SimConfig
+specConfig(const ServeJobSpec &s)
+{
+    SimConfig cfg;
+    cfg.reuseKind = s.scheme == "none"
+                        ? ReuseKind::None
+                        : s.scheme == "rgid" ? ReuseKind::Rgid
+                                             : ReuseKind::RegInt;
+    cfg.core.predictor = s.predictor == "tage"
+                             ? BranchPredictorKind::TageScL
+                             : s.predictor == "gshare"
+                                   ? BranchPredictorKind::Gshare
+                                   : BranchPredictorKind::Bimodal;
+    cfg.funcTier =
+        s.funcTier == "fast" ? FuncTier::Fast : FuncTier::Interpreter;
+    if (s.streams)
+        cfg.reuse.numStreams = s.streams;
+    if (s.entries) {
+        // The mssr_run --entries contract: P squash-log entries per
+        // stream implies P/4 (min 1) WPB fetch blocks.
+        cfg.reuse.squashLogEntriesPerStream = s.entries;
+        cfg.reuse.wpbEntriesPerStream = std::max(1u, s.entries / 4);
+    }
+    if (s.sets)
+        cfg.regint.sets = s.sets;
+    if (s.ways)
+        cfg.regint.ways = s.ways;
+    cfg.reuse.useBloomFilter = s.bloom;
+    cfg.warmBpu = s.warmBpu;
+    cfg.maxInsts = s.maxInsts;
+    cfg.fastForwardInsts = s.fastForward;
+    cfg.samplePeriod = s.samplePeriod;
+    cfg.sampleWindow = s.sampleWindow;
+    return cfg;
+}
+
+workloads::WorkloadScale
+specScale(const ServeJobSpec &s)
+{
+    workloads::WorkloadScale sc; // registry defaults, not fromEnv()
+    if (s.scale)
+        sc.graphScale = s.scale;
+    if (s.iters)
+        sc.iterations = s.iters;
+    sc.seed = s.seed;
+    return sc;
+}
+
+std::string
+validateJobSpec(const ServeJobSpec &s)
+{
+    const auto &names = registeredWorkloads();
+    if (std::find(names.begin(), names.end(), s.workload) == names.end())
+        return "unknown workload '" + s.workload + "'";
+    if (s.samplePeriod != 0 || s.sampleWindow != 0) {
+        if (s.warmBpu)
+            return "sampled windows always warm the predictor from the "
+                   "scan; drop warm_bpu";
+        // The PR 7 exclusion matrix, verbatim: a dummy program stands
+        // in so the program-presence check passes -- the real program
+        // is built only after the batch is accepted.
+        static const isa::Program placeholder;
+        BatchJob job;
+        job.name = s.name;
+        job.program = &placeholder;
+        job.config = specConfig(s);
+        return sampledJobError(job);
+    }
+    if (s.warmBpu && s.fastForward == 0)
+        return "warm_bpu requires fast_forward";
+    return "";
+}
+
+std::string
+serveResultRecord(const ServeJobSpec &spec, const RunResult &r)
+{
+    // BENCH_batch.json per-result field spellings, deterministic
+    // fields only: host times, kips and cache-hit flags would break
+    // the submit-twice byte-identity the service guarantees.
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(spec.name) << "\", \"scheme\": \""
+       << spec.scheme << "\", \"cycles\": " << r.cycles << ", \"insts\": "
+       << r.insts << ", \"ipc\": " << r.ipc << ", \"dispatch_width\": "
+       << r.dispatchWidth << ", \"ff_insts\": " << r.ffInsts
+       << ", \"cpi\": ";
+    writeJson(os, r.cpi);
+    os << ", \"funnel\": ";
+    writeJson(os, r.funnel);
+    os << "}";
+    return os.str();
+}
+
+std::string
+serveSampledRecord(const ServeJobSpec &spec, const SampledRunResult &r)
+{
+    std::ostringstream os;
+    os << "{\"name\": \"" << jsonEscape(spec.name) << "\", \"scheme\": \""
+       << spec.scheme << "\", \"sample_period\": " << r.samplePeriod
+       << ", \"sample_window\": " << r.sampleWindow << ", \"windows\": "
+       << r.windows << ", \"total_insts\": " << r.totalInsts
+       << ", \"halted\": " << (r.halted ? "true" : "false")
+       << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
+       << ", \"ipc\": " << r.ipc << ", \"dispatch_width\": "
+       << r.dispatchWidth << ", \"cpi\": ";
+    writeJson(os, r.cpi);
+    os << ", \"funnel\": ";
+    writeJson(os, r.funnel);
+    os << ", \"ipc_est\": ";
+    writeEstimate(os, r.ipcEst);
+    os << ", \"reuse_rate_est\": ";
+    writeEstimate(os, r.reuseRateEst);
+    os << "}";
+    return os.str();
+}
+
+const char *
+ServeCore::stateName(BatchState s)
+{
+    switch (s) {
+      case BatchState::Queued:    return "queued";
+      case BatchState::Running:   return "running";
+      case BatchState::Done:      return "done";
+      case BatchState::Failed:    return "failed";
+      case BatchState::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+ServeCore::ServeCore(ServeOptions opts) : opts_(std::move(opts))
+{
+    if (!opts_.ckptDir.empty())
+        std::filesystem::create_directories(opts_.ckptDir);
+    if (!opts_.journalPath.empty()) {
+        if (std::filesystem::exists(opts_.journalPath) &&
+            std::filesystem::file_size(opts_.journalPath) > 0)
+            loadJournal();
+        if (!journal_.open(opts_.journalPath))
+            throw std::runtime_error("cannot open journal '" +
+                                     opts_.journalPath + "'");
+    }
+    if (!opts_.resultsPath.empty()) {
+        std::ofstream probe(opts_.resultsPath, std::ios::app);
+        if (!probe)
+            throw std::runtime_error("cannot open results file '" +
+                                     opts_.resultsPath + "'");
+    }
+    writeMetrics();
+    if (opts_.startScheduler)
+        scheduler_ = std::thread(&ServeCore::schedulerLoop, this);
+}
+
+ServeCore::~ServeCore()
+{
+    beginShutdown();
+    finish();
+}
+
+void
+ServeCore::loadJournal()
+{
+    const std::vector<ServeJournalEvent> events =
+        ServeJournal::load(opts_.journalPath);
+    ServeMetrics &m = ServeMetrics::get();
+    for (const ServeJournalEvent &ev : events) {
+        if (ev.event == "submit") {
+            Batch b;
+            b.id = ev.batch;
+            b.label = ev.label;
+            for (const JsonValue &spec : ev.jobs) {
+                try {
+                    b.specs.push_back(parseJobSpec(spec));
+                } catch (const std::exception &e) {
+                    throw std::runtime_error(
+                        "journal batch " + std::to_string(ev.batch) +
+                        " carries an invalid job spec: " + e.what());
+                }
+            }
+            b.records.resize(b.specs.size());
+            pendingJobs_ += b.specs.size();
+            nextBatchId_ = std::max(nextBatchId_, b.id + 1);
+            m.batches.inc();
+            m.jobs.inc(b.specs.size());
+            batches_.push_back(std::move(b));
+        } else if (ev.event == "done") {
+            Batch *b = findBatch(ev.batch);
+            if (!b || ev.job >= b->records.size() ||
+                !b->records[ev.job].empty())
+                throw std::runtime_error(
+                    "journal done line references unknown batch " +
+                    std::to_string(ev.batch) + " job " +
+                    std::to_string(ev.job));
+            b->records[ev.job] = ev.record;
+            b->done++;
+            pendingJobs_--;
+            resumedJobs_++;
+            m.jobsDone.inc();
+            m.jobsResumed.inc();
+        } else if (ev.event == "cancel" || ev.event == "fail") {
+            Batch *b = findBatch(ev.batch);
+            if (!b)
+                throw std::runtime_error(
+                    "journal " + ev.event +
+                    " line references unknown batch " +
+                    std::to_string(ev.batch));
+            pendingJobs_ -= b->specs.size() - b->done;
+            b->state = ev.event == "cancel" ? BatchState::Cancelled
+                                            : BatchState::Failed;
+            b->error = ev.message;
+        }
+    }
+    std::size_t resumable = 0;
+    for (Batch &b : batches_) {
+        if (b.state == BatchState::Queued && b.done == b.specs.size())
+            b.state = BatchState::Done;
+        resumable += b.state == BatchState::Queued ? 1 : 0;
+    }
+    logInfo("serve", "journal replayed: ", batches_.size(), " batch(es), ",
+            resumedJobs_.load(), " completed job(s), ", resumable,
+            " batch(es) re-queued, ", pendingJobs_.load(),
+            " job(s) pending");
+}
+
+std::string
+ServeCore::handleRequest(const std::string &requestJson)
+{
+    ServeMetrics &m = ServeMetrics::get();
+    m.requests.inc();
+    std::string reply;
+    try {
+        const JsonValue req = minijson::JsonParser(requestJson).parse();
+        if (req.kind != JsonValue::Object)
+            throw std::invalid_argument("request is not a JSON object");
+        const auto it = req.object.find("type");
+        if (it == req.object.end() ||
+            it->second.kind != JsonValue::String)
+            throw std::invalid_argument("request needs a string 'type'");
+        const std::string &type = it->second.string;
+        if (type == "submit")
+            reply = handleSubmit(req);
+        else if (type == "status")
+            reply = handleStatus(req);
+        else if (type == "results")
+            reply = handleResults(req);
+        else if (type == "cancel")
+            reply = handleCancel(req);
+        else if (type == "drain")
+            reply = handleDrain();
+        else if (type == "shutdown")
+            reply = handleShutdown();
+        else if (type == "ping")
+            reply = handlePing();
+        else
+            reply = errorReply("unknown_type",
+                               "no such request type '" + type + "'");
+    } catch (const std::exception &e) {
+        reply = errorReply("bad_request", e.what());
+    }
+    if (isErrorReply(reply))
+        m.requestErrors.inc();
+    writeMetrics();
+    return reply;
+}
+
+std::string
+ServeCore::handleSubmit(const JsonValue &req)
+{
+    const auto jobsIt = req.object.find("jobs");
+    if (jobsIt == req.object.end() ||
+        jobsIt->second.kind != JsonValue::Array ||
+        jobsIt->second.array.empty())
+        return errorReply("bad_request",
+                          "submit needs a non-empty 'jobs' array");
+    std::string label;
+    if (const auto it = req.object.find("label"); it != req.object.end()) {
+        if (it->second.kind != JsonValue::String)
+            return errorReply("bad_request", "'label' must be a string");
+        label = it->second.string;
+    }
+    std::vector<ServeJobSpec> specs;
+    specs.reserve(jobsIt->second.array.size());
+    for (std::size_t i = 0; i < jobsIt->second.array.size(); ++i) {
+        try {
+            specs.push_back(parseJobSpec(jobsIt->second.array[i]));
+        } catch (const std::exception &e) {
+            return errorReply("invalid_job", "job " + std::to_string(i) +
+                                                 ": " + e.what());
+        }
+        if (const std::string why = validateJobSpec(specs.back());
+            !why.empty())
+            return errorReply("invalid_job",
+                              "job " + std::to_string(i) + " ('" +
+                                  specs.back().name + "'): " + why);
+    }
+
+    ServeMetrics &m = ServeMetrics::get();
+    const std::size_t n = specs.size();
+    std::uint64_t id = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (draining_)
+            return errorReply("draining",
+                              "server is draining; new batches are not "
+                              "accepted");
+        if (pendingJobs_ + specs.size() > opts_.queueMax)
+            return errorReply(
+                "queue_full",
+                "queue limit " + std::to_string(opts_.queueMax) +
+                    " jobs: " + std::to_string(pendingJobs_.load()) +
+                    " pending, " + std::to_string(specs.size()) +
+                    " requested");
+        id = nextBatchId_++;
+        Batch b;
+        b.id = id;
+        b.label = label;
+        b.records.resize(specs.size());
+        b.specs = std::move(specs);
+        // Journal before the batch becomes visible: an acknowledged
+        // submit must survive a crash.
+        std::vector<std::string> canon;
+        canon.reserve(b.specs.size());
+        for (const ServeJobSpec &s : b.specs)
+            canon.push_back(canonicalJobSpec(s));
+        journal_.appendSubmit(id, label, canon);
+        pendingJobs_ += b.specs.size();
+        m.batches.inc();
+        m.jobs.inc(b.specs.size());
+        logInfo("serve", "batch ", id, " accepted: ", b.specs.size(),
+                " job(s)", label.empty() ? "" : " ('" + label + "')");
+        batches_.push_back(std::move(b));
+    }
+    cv_.notify_all();
+    return "{\"ok\": true, \"batch\": " + std::to_string(id) +
+           ", \"jobs\": " + std::to_string(n) + ", \"label\": \"" +
+           jsonEscape(label) + "\"}";
+}
+
+std::string
+ServeCore::batchStatusJson(const Batch &b) const
+{
+    std::ostringstream os;
+    os << "\"batch\": " << b.id << ", \"label\": \"" << jsonEscape(b.label)
+       << "\", \"state\": \"" << stateName(b.state) << "\", \"jobs\": "
+       << b.specs.size() << ", \"done\": " << b.done;
+    if (b.state == BatchState::Failed)
+        os << ", \"message\": \"" << jsonEscape(b.error) << "\"";
+    return os.str();
+}
+
+std::string
+ServeCore::handleStatus(const JsonValue &req)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (req.object.count("batch")) {
+        const std::uint64_t id = u64Field(req, "batch");
+        const Batch *b = findBatch(id);
+        if (!b)
+            return errorReply("unknown_batch",
+                              "no batch " + std::to_string(id));
+        return "{\"ok\": true, " + batchStatusJson(*b) + "}";
+    }
+    std::ostringstream os;
+    std::size_t running = 0;
+    for (const Batch &b : batches_)
+        running += b.state == BatchState::Running ? 1 : 0;
+    os << "{\"ok\": true, \"draining\": " << (draining_ ? "true" : "false")
+       << ", \"queue_depth\": " << pendingJobs_.load() << ", \"running\": "
+       << running << ", \"batches\": [";
+    for (std::size_t i = 0; i < batches_.size(); ++i)
+        os << (i ? ", " : "") << "{" << batchStatusJson(batches_[i])
+           << "}";
+    os << "]}";
+    return os.str();
+}
+
+std::string
+ServeCore::handleResults(const JsonValue &req)
+{
+    const std::uint64_t id = u64Field(req, "batch");
+    std::uint64_t since = 0;
+    if (req.object.count("since"))
+        since = u64Field(req, "since");
+    std::lock_guard<std::mutex> lk(mu_);
+    const Batch *b = findBatch(id);
+    if (!b)
+        return errorReply("unknown_batch", "no batch " + std::to_string(id));
+    if (since > b->records.size())
+        return errorReply("bad_request",
+                          "'since' is past the batch's " +
+                              std::to_string(b->records.size()) +
+                              " job(s)");
+    // Stream the longest contiguous completed run from `since`, in
+    // submission order: out-of-order completions are held back until
+    // the gap fills, which is what makes a client's streamed JSONL
+    // byte-identical run to run.
+    std::ostringstream os;
+    os << "{\"ok\": true, \"batch\": " << id << ", \"state\": \""
+       << stateName(b->state) << "\", \"jobs\": " << b->specs.size()
+       << ", \"done\": " << b->done << ", \"records\": [";
+    std::uint64_t next = since;
+    for (; next < b->records.size() && !b->records[next].empty(); ++next)
+        os << (next == since ? "" : ", ") << b->records[next];
+    os << "], \"next\": " << next << "}";
+    return os.str();
+}
+
+std::string
+ServeCore::handleCancel(const JsonValue &req)
+{
+    const std::uint64_t id = u64Field(req, "batch");
+    std::lock_guard<std::mutex> lk(mu_);
+    Batch *b = findBatch(id);
+    if (!b)
+        return errorReply("unknown_batch", "no batch " + std::to_string(id));
+    if (b->state != BatchState::Queued)
+        return errorReply("not_cancellable",
+                          "batch " + std::to_string(id) + " is " +
+                              stateName(b->state) +
+                              "; only queued batches can be cancelled");
+    const std::uint64_t remaining = b->specs.size() - b->done;
+    b->state = BatchState::Cancelled;
+    pendingJobs_ -= remaining;
+    journal_.appendCancel(id);
+    logInfo("serve", "batch ", id, " cancelled (", remaining,
+            " job(s) dropped)");
+    return "{\"ok\": true, \"batch\": " + std::to_string(id) +
+           ", \"state\": \"cancelled\", \"cancelled\": " +
+           std::to_string(remaining) + "}";
+}
+
+std::string
+ServeCore::handleDrain()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+    logInfo("serve", "draining: no new batches accepted, ",
+            pendingJobs_.load(), " job(s) still pending");
+    return "{\"ok\": true, \"draining\": true, \"queue_depth\": " +
+           std::to_string(pendingJobs_.load()) + "}";
+}
+
+std::string
+ServeCore::handleShutdown()
+{
+    beginShutdown();
+    return "{\"ok\": true, \"draining\": true}";
+}
+
+std::string
+ServeCore::handlePing()
+{
+    return "{\"ok\": true, \"schema\": \"mssr-serve-v1\"}";
+}
+
+void
+ServeCore::beginDrain()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+}
+
+void
+ServeCore::beginShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        draining_ = true;
+    }
+    stopping_.store(true);
+    shutdown_.store(true);
+    cv_.notify_all();
+}
+
+bool
+ServeCore::shutdownRequested() const
+{
+    return shutdown_.load();
+}
+
+void
+ServeCore::finish()
+{
+    if (scheduler_.joinable())
+        scheduler_.join();
+    writeMetrics();
+}
+
+std::uint64_t
+ServeCore::pendingJobs() const
+{
+    return pendingJobs_.load();
+}
+
+void
+ServeCore::noteConnection()
+{
+    ServeMetrics::get().connections.inc();
+}
+
+ServeCore::Batch *
+ServeCore::findBatch(std::uint64_t id)
+{
+    for (Batch &b : batches_)
+        if (b.id == id)
+            return &b;
+    return nullptr;
+}
+
+void
+ServeCore::schedulerLoop()
+{
+    for (;;) {
+        Batch *next = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [&] {
+                if (stopping_.load())
+                    return true;
+                for (Batch &b : batches_)
+                    if (b.state == BatchState::Queued)
+                        return true;
+                return false;
+            });
+            if (stopping_.load())
+                return;
+            for (Batch &b : batches_)
+                if (b.state == BatchState::Queued) {
+                    next = &b;
+                    break;
+                }
+            next->state = BatchState::Running;
+        }
+        try {
+            runBatch(*next);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lk(mu_);
+            next->state = BatchState::Failed;
+            next->error = e.what();
+            pendingJobs_ -= next->specs.size() - next->done;
+            journal_.appendFail(next->id, next->error);
+            logWarn("serve", "batch ", next->id, " failed: ", e.what());
+        }
+        writeMetrics();
+    }
+}
+
+void
+ServeCore::runBatch(Batch &b)
+{
+    // The batch's specs and id are immutable once accepted and the
+    // scheduler is the only writer of its records (through
+    // recordDone, which locks), so the partitioning below can read
+    // them without mu_.
+    logInfo("serve", "batch ", b.id, " running: ",
+            b.specs.size() - b.done, " job(s) to go");
+
+    // One program per distinct (workload, scale) -- jobs of a sweep
+    // share their program, which is what lets BatchRunner share
+    // warm-up prefixes across them.
+    std::map<std::tuple<std::string, unsigned, unsigned, std::uint64_t>,
+             std::size_t>
+        programOf;
+    std::deque<isa::Program> programs; // deque: pointers stay stable
+    const auto programFor = [&](const ServeJobSpec &s) {
+        const auto key = std::make_tuple(s.workload, s.scale, s.iters,
+                                         s.seed);
+        const auto [it, fresh] =
+            programOf.try_emplace(key, programs.size());
+        if (fresh)
+            programs.push_back(
+                workloads::buildWorkload(s.workload, specScale(s)));
+        return &programs[it->second];
+    };
+
+    std::vector<BatchJob> detailJobs;
+    std::vector<std::size_t> detailIdx;
+    std::vector<std::size_t> sampledIdx;
+    for (std::size_t i = 0; i < b.specs.size(); ++i) {
+        if (!b.records[i].empty())
+            continue; // journal-resumed completion: never re-run
+        const ServeJobSpec &s = b.specs[i];
+        if (s.samplePeriod != 0) {
+            sampledIdx.push_back(i);
+            continue;
+        }
+        BatchJob job;
+        job.name = s.name;
+        job.program = programFor(s);
+        job.config = specConfig(s);
+        detailIdx.push_back(i);
+        detailJobs.push_back(std::move(job));
+    }
+
+    BatchRunner runner(opts_.threads);
+    runner.setCheckpointDir(opts_.ckptDir);
+    runner.setStopFlag(&stopping_);
+    if (!detailJobs.empty()) {
+        runner.setJobDone([&](std::size_t li, const RunResult &r) {
+            const std::size_t ji = detailIdx[li];
+            recordDone(b, ji, serveResultRecord(b.specs[ji], r));
+        });
+        runner.run(detailJobs);
+        runner.setJobDone({});
+    }
+
+    // Sampled jobs run one at a time so completion (and therefore the
+    // journal fsync) stays per-job; each job's windows still fan out
+    // across the full worker pool.
+    for (const std::size_t i : sampledIdx) {
+        if (stopping_.load())
+            break;
+        const ServeJobSpec &s = b.specs[i];
+        BatchJob job;
+        job.name = s.name;
+        job.program = programFor(s);
+        job.config = specConfig(s);
+        const std::vector<SampledRunResult> res = runner.runSampled({job});
+        recordDone(b, i, serveSampledRecord(s, res[0]));
+    }
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (b.done == b.specs.size()) {
+        b.state = BatchState::Done;
+        logInfo("serve", "batch ", b.id, " done: ", b.done, " job(s)");
+    } else {
+        // Shutdown drained us mid-batch: the journal holds what
+        // finished; the rest is the next process's work.
+        b.state = BatchState::Queued;
+        logInfo("serve", "batch ", b.id, " interrupted: ", b.done, "/",
+                b.specs.size(),
+                " job(s) journaled; the rest resume on restart");
+    }
+}
+
+void
+ServeCore::recordDone(Batch &b, std::size_t jobIdx,
+                      const std::string &record)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        // Durability before visibility: the fsync'd journal line and
+        // the results stream happen before clients can fetch the
+        // record.
+        journal_.appendDone(b.id, jobIdx, record);
+        if (!opts_.resultsPath.empty()) {
+            std::ofstream os(opts_.resultsPath, std::ios::app);
+            os << record << "\n";
+        }
+        b.records[jobIdx] = record;
+        b.done++;
+        pendingJobs_--;
+        ServeMetrics::get().jobsDone.inc();
+    }
+    writeMetrics();
+}
+
+void
+ServeCore::writeMetrics()
+{
+    ServeMetrics::get().queueDepth.set(
+        static_cast<std::int64_t>(pendingJobs_.load()));
+    if (opts_.metricsPath.empty())
+        return;
+    std::lock_guard<std::mutex> lk(metricsMu_);
+    MetricsRegistry::global().writePromFile(opts_.metricsPath);
+}
+
+} // namespace mssr

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ServeCore: the simulation-as-a-service engine behind tools/
+ * mssr_serve. The socket layer stays in the tool; everything that
+ * defines the service lives here so tests can drive it in-process:
+ *
+ *  - the mssr-serve-v1 request dispatcher (handleRequest maps one
+ *    request JSON object to one reply JSON object, never throwing --
+ *    every invalid input becomes a structured {"ok": false, "error",
+ *    "message"} reply),
+ *  - the bounded job queue with backpressure (`queue_full` replies
+ *    once the accepted-but-unfinished job count would pass queueMax),
+ *  - the scheduler thread that pops batches in submission order and
+ *    fans their jobs over BatchRunner/ThreadPool, sharing one
+ *    --ckpt-dir checkpoint store across every batch the process ever
+ *    serves (the "warm fleet": a resubmitted sweep skips its
+ *    warm-ups), and
+ *  - the mssr-serve-journal-v1 crash journal: batches are journaled on
+ *    accept and jobs on completion (append + fsync), so a process
+ *    killed mid-sweep restarts, replays, marks the journaled
+ *    completions done and re-queues exactly the remainder.
+ *
+ * Result records are one-line JSON objects in the BENCH_batch.json
+ * per-result schema family, restricted to the deterministic fields
+ * (no host times, no cache-hit flags): the same sweep submitted twice
+ * -- or resumed across a crash -- fetches byte-identical record sets.
+ * docs/FORMATS.md sections "mssr-serve-v1" and
+ * "mssr-serve-journal-v1" are the normative specs.
+ */
+
+#ifndef MSSR_DRIVER_SERVE_CORE_HH
+#define MSSR_DRIVER_SERVE_CORE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mini_json.hh"
+#include "common/serve_journal.hh"
+#include "driver/sampled_runner.hh"
+#include "isa/program.hh"
+#include "workloads/registry.hh"
+
+namespace mssr
+{
+
+/**
+ * One job of a submitted sweep, as validated from its request JSON.
+ * Field spellings follow the wire spec (docs/FORMATS.md): snake_case
+ * keys, zeros meaning "registry default" for the scale knobs.
+ */
+struct ServeJobSpec
+{
+    std::string name;               //!< defaults to the workload name
+    std::string workload;           //!< required; must be registered
+    std::string scheme = "rgid";    //!< none | rgid | regint
+    std::string predictor = "tage"; //!< tage | gshare | bimodal
+    std::string funcTier = "fast";  //!< fast | interp
+    unsigned scale = 0;             //!< graph scale (0 = default 10)
+    unsigned iters = 0;             //!< kernel iterations (0 = default 4000)
+    std::uint64_t seed = 42;
+    unsigned streams = 0;           //!< reuse streams (0 = default)
+    unsigned entries = 0;           //!< squash-log entries/stream (0 = dflt)
+    unsigned sets = 0, ways = 0;    //!< RegInt table shape (0 = default)
+    bool bloom = false;
+    bool warmBpu = false;
+    std::uint64_t maxInsts = 0;
+    std::uint64_t fastForward = 0;
+    std::uint64_t samplePeriod = 0;
+    std::uint64_t sampleWindow = 0;
+};
+
+/**
+ * Parses one job-spec JSON object. Strict: unknown keys, wrong types
+ * and out-of-range values all throw std::invalid_argument with a
+ * message naming the key (handleRequest turns it into an
+ * `invalid_job` reply).
+ */
+ServeJobSpec parseJobSpec(const minijson::JsonValue &v);
+
+/**
+ * The spec's canonical one-line JSON serialization: every field, in
+ * fixed order, defaults resolved -- what the journal stores and what
+ * two equal specs serialize identically to.
+ */
+std::string canonicalJobSpec(const ServeJobSpec &s);
+
+/** The SimConfig a spec runs under (scheme/predictor/knobs applied). */
+SimConfig specConfig(const ServeJobSpec &s);
+
+/** The workload scale a spec's program is built at. Spec-complete:
+ *  deliberately independent of the MSSR_SCALE/MSSR_ITERS environment,
+ *  so a job spec alone determines the simulated program. */
+workloads::WorkloadScale specScale(const ServeJobSpec &s);
+
+/**
+ * Full semantic validation (beyond parse-level shape): the workload
+ * must be registered, and sampled specs must clear the sampled-mode
+ * exclusion matrix (sampledJobError). Returns "" or the reason.
+ */
+std::string validateJobSpec(const ServeJobSpec &s);
+
+/** One-line deterministic result record for a completed detailed job
+ *  (BENCH_batch.json field spellings, host-side fields omitted). */
+std::string serveResultRecord(const ServeJobSpec &spec, const RunResult &r);
+
+/** The sampled-job counterpart: pooled totals plus the population
+ *  estimates, deterministic fields only. */
+std::string serveSampledRecord(const ServeJobSpec &spec,
+                               const SampledRunResult &r);
+
+/** Service configuration (tool flags map 1:1 onto these). */
+struct ServeOptions
+{
+    std::string journalPath;  //!< empty = run without crash journal
+    std::string resultsPath;  //!< server-side JSONL stream (completion order)
+    std::string ckptDir;      //!< warm checkpoint store (empty = in-memory)
+    std::string metricsPath;  //!< live Prometheus textfile (empty = off)
+    unsigned threads = 0;     //!< worker pool width (0 = defaultThreads())
+    std::uint64_t queueMax = 1024; //!< accepted-but-unfinished job bound
+    /** Test hook: leave the scheduler un-started so queue/cancel/
+     *  backpressure behavior can be exercised without racing it. */
+    bool startScheduler = true;
+};
+
+class ServeCore
+{
+  public:
+    /**
+     * Replays the journal (when configured and present), re-queues
+     * unfinished batches, opens the journal for append and starts the
+     * scheduler. Throws std::runtime_error on an unusable or corrupt
+     * journal -- refusing to serve beats silently re-running finished
+     * work.
+     */
+    explicit ServeCore(ServeOptions opts);
+    ~ServeCore();
+    ServeCore(const ServeCore &) = delete;
+    ServeCore &operator=(const ServeCore &) = delete;
+
+    /**
+     * Dispatches one mssr-serve-v1 request and returns the reply, both
+     * one-line JSON objects. Thread-safe; never throws -- malformed
+     * JSON, unknown types and invalid jobs come back as structured
+     * error replies.
+     */
+    std::string handleRequest(const std::string &requestJson);
+
+    /** Stops accepting submits; everything else keeps working. */
+    void beginDrain();
+
+    /**
+     * Drain plus stop: in-flight jobs finish (and are journaled),
+     * not-yet-started jobs stay queued for the next process. Called by
+     * the tool on SIGTERM/SIGINT and by the `shutdown` request.
+     */
+    void beginShutdown();
+
+    /** True once a `shutdown` request or beginShutdown() happened. */
+    bool shutdownRequested() const;
+
+    /** Blocks until the scheduler thread has exited (after
+     *  beginShutdown()) and rewrites the final metrics textfile. */
+    void finish();
+
+    /** Jobs accepted but not yet finished (queued + in flight). */
+    std::uint64_t pendingJobs() const;
+
+    /** Jobs whose completion was replayed from the journal. */
+    std::uint64_t resumedJobs() const { return resumedJobs_; }
+
+    /** Connection accounting for the socket layer's counter. */
+    void noteConnection();
+
+  private:
+    enum class BatchState { Queued, Running, Done, Failed, Cancelled };
+
+    struct Batch
+    {
+        std::uint64_t id = 0;
+        std::string label;
+        BatchState state = BatchState::Queued;
+        std::vector<ServeJobSpec> specs;
+        std::vector<std::string> records; //!< empty string = not done
+        std::size_t done = 0;
+        std::string error; //!< Failed: what the batch died with
+    };
+
+    static const char *stateName(BatchState s);
+
+    std::string handleSubmit(const minijson::JsonValue &req);
+    std::string handleStatus(const minijson::JsonValue &req);
+    std::string handleResults(const minijson::JsonValue &req);
+    std::string handleCancel(const minijson::JsonValue &req);
+    std::string handleDrain();
+    std::string handleShutdown();
+    std::string handlePing();
+
+    void schedulerLoop();
+    void runBatch(Batch &b);
+    void recordDone(Batch &b, std::size_t jobIdx,
+                    const std::string &record);
+    void loadJournal();
+    void writeMetrics();
+    std::string batchStatusJson(const Batch &b) const; // callers hold mu_
+    Batch *findBatch(std::uint64_t id);                // callers hold mu_
+
+    ServeOptions opts_;
+    ServeJournal journal_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Batch> batches_;       //!< deque: &batch stays stable
+    std::uint64_t nextBatchId_ = 1;
+    /** Atomic so pendingJobs() and gauge updates read it lock-free;
+     *  writers still hold mu_ (the count must agree with batches_). */
+    std::atomic<std::uint64_t> pendingJobs_{0};
+    bool draining_ = false;
+    std::atomic<bool> stopping_{false};  //!< BatchRunner stop flag
+    std::atomic<bool> shutdown_{false};
+    std::atomic<std::uint64_t> resumedJobs_{0};
+    /** Serializes writePromFile's tmp-file dance (scheduler and
+     *  connection threads both rewrite the live textfile). */
+    std::mutex metricsMu_;
+
+    std::thread scheduler_;
+};
+
+} // namespace mssr
+
+#endif // MSSR_DRIVER_SERVE_CORE_HH

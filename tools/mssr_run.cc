@@ -965,9 +965,9 @@ main(int argc, char **argv)
     }
 
     // The output files must be distinct: the last writer would
-    // silently clobber the other's content otherwise.
-    {
-        const std::pair<const char *, const std::string *> outs[] = {
+    // silently clobber the other's content otherwise. The shared
+    // helper covers every pair, --metrics-out/--log-out included.
+    if (const auto dup = findDuplicateOutputPath({
             {"--trace-out", &traceOutFile},
             {"--pipeview-out", &pipeviewOutFile},
             {"--stats-out", &statsOutFile},
@@ -976,21 +976,11 @@ main(int argc, char **argv)
             {"--sample-windows-out", &sampleWindowsOutFile},
             {"--log-out", &logOutFile},
             {"--metrics-out", &metricsOutFile},
-        };
-        const std::size_t numOuts = sizeof(outs) / sizeof(outs[0]);
-        for (std::size_t a = 0; a < numOuts; ++a) {
-            for (std::size_t b = a + 1; b < numOuts; ++b) {
-                if (!outs[a].second->empty() &&
-                    *outs[a].second == *outs[b].second) {
-                    std::cerr << "mssr_run: " << outs[a].first << " and "
-                              << outs[b].first
-                              << " point at the same file '"
-                              << *outs[a].second
-                              << "' (the last writer would clobber it)\n";
-                    return 2;
-                }
-            }
-        }
+        })) {
+        std::cerr << "mssr_run: " << dup->first << " and " << dup->second
+                  << " point at the same file (the last writer would "
+                     "clobber it)\n";
+        return 2;
     }
 
     if (!logOutFile.empty() && !Logger::global().openJsonl(logOutFile)) {

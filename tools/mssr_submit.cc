@@ -1,0 +1,534 @@
+/**
+ * mssr_submit: client for a running mssr_serve daemon. Speaks
+ * mssr-serve-v1 (docs/FORMATS.md) over the server's Unix-domain
+ * socket, one connection per request.
+ *
+ *   mssr_submit [--socket PATH] COMMAND ...
+ *
+ * Commands (docs/TOOLS.md has the man page):
+ *   ping                       round-trip check; prints the schema id.
+ *   submit FILE [--label L] [--wait] [--out FILE] [--poll-ms N]
+ *                              submit the sweep FILE (a JSON array of
+ *                              job specs, or an object with a "jobs"
+ *                              array). Prints the batch id. --wait
+ *                              polls until the batch settles,
+ *                              streaming each result record as a JSONL
+ *                              line the moment the contiguous
+ *                              submission-order prefix reaches it.
+ *   status [BATCH] [--json]    queue summary, or one batch's state.
+ *   results BATCH [--out FILE] [--wait] [--poll-ms N]
+ *                              fetch a batch's records as JSONL.
+ *   cancel BATCH               cancel a still-queued batch.
+ *   drain                      stop the server accepting new batches.
+ *   shutdown                   graceful server shutdown (queued work
+ *                              survives in the journal).
+ *
+ * --socket defaults to env MSSR_SERVE_SOCKET. Connects retry for ~5s
+ * so scripts can start the server and submit immediately. Exit codes:
+ * 0 success; 1 communication/server errors, failed or cancelled
+ * batches; 2 usage errors and unreadable sweep files.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/argparse.hh"
+#include "common/build_info.hh"
+#include "common/frame.hh"
+#include "common/mini_json.hh"
+#include "driver/serve_core.hh"
+
+using namespace mssr;
+using minijson::JsonValue;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code = 2)
+{
+    std::ostream &os = code == 0 ? std::cout : std::cerr;
+    os << "usage: mssr_submit [--socket PATH] COMMAND ...\n"
+          "\n"
+          "commands:\n"
+          "  ping\n"
+          "  submit FILE [--label L] [--wait] [--out FILE] "
+          "[--poll-ms N]\n"
+          "  status [BATCH] [--json]\n"
+          "  results BATCH [--out FILE] [--wait] [--poll-ms N]\n"
+          "  cancel BATCH\n"
+          "  drain\n"
+          "  shutdown\n"
+          "\n"
+          "--socket defaults to MSSR_SERVE_SOCKET. docs/TOOLS.md has "
+          "the man page.\n";
+    std::exit(code);
+}
+
+/** Connects to the server, retrying for ~5s (daemon may be booting). */
+int
+connectServer(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::cerr << "mssr_submit: socket path too long\n";
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    for (int attempt = 0; attempt < 50; ++attempt) {
+        const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            break;
+        if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) == 0)
+            return fd;
+        close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cerr << "mssr_submit: cannot connect to '" << path << "'\n";
+    return -1;
+}
+
+/** One request/reply exchange on its own connection. Throws on
+ *  transport errors; returns the parsed reply. */
+JsonValue
+rpc(const std::string &socketPath, const std::string &request,
+    std::string *rawReply = nullptr)
+{
+    const int fd = connectServer(socketPath);
+    if (fd < 0)
+        throw FrameError("no server");
+    std::string reply;
+    try {
+        writeFrame(fd, request);
+        if (!readFrame(fd, reply))
+            throw FrameError("server closed the connection mid-request");
+    } catch (...) {
+        close(fd);
+        throw;
+    }
+    close(fd);
+    if (rawReply)
+        *rawReply = reply;
+    return minijson::JsonParser(reply).parse();
+}
+
+bool
+replyOk(const JsonValue &reply)
+{
+    const auto it = reply.object.find("ok");
+    return it != reply.object.end() && it->second.kind == JsonValue::Bool &&
+           it->second.number != 0.0;
+}
+
+/** Prints the server's structured error and returns exit code 1. */
+int
+reportError(const JsonValue &reply)
+{
+    std::string code = "error", message;
+    if (const auto it = reply.object.find("error");
+        it != reply.object.end() && it->second.kind == JsonValue::String)
+        code = it->second.string;
+    if (const auto it = reply.object.find("message");
+        it != reply.object.end() && it->second.kind == JsonValue::String)
+        message = it->second.string;
+    std::cerr << "mssr_submit: server error [" << code << "] " << message
+              << "\n";
+    return 1;
+}
+
+double
+numField(const JsonValue &obj, const char *key, double fallback = 0.0)
+{
+    const auto it = obj.object.find(key);
+    return it != obj.object.end() && it->second.kind == JsonValue::Number
+               ? it->second.number
+               : fallback;
+}
+
+std::string
+strField(const JsonValue &obj, const char *key)
+{
+    const auto it = obj.object.find(key);
+    return it != obj.object.end() && it->second.kind == JsonValue::String
+               ? it->second.string
+               : std::string();
+}
+
+/**
+ * Extracts the records of a `results` reply as raw JSON text, in
+ * order, by splicing the reply's "records" array without
+ * re-serializing (minijson's number formatting must not touch the
+ * server's bytes -- byte-identical streaming is the contract under
+ * test in the double-submit check).
+ */
+std::vector<std::string>
+spliceRecords(const std::string &rawReply)
+{
+    std::vector<std::string> out;
+    const auto start = rawReply.find("\"records\": [");
+    if (start == std::string::npos)
+        return out;
+    std::size_t i = start + std::strlen("\"records\": [");
+    int depth = 0;
+    bool inString = false;
+    std::size_t recordStart = 0;
+    for (; i < rawReply.size(); ++i) {
+        const char c = rawReply[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '{') {
+            if (depth == 0)
+                recordStart = i;
+            ++depth;
+        } else if (c == '}') {
+            if (--depth == 0)
+                out.push_back(
+                    rawReply.substr(recordStart, i - recordStart + 1));
+        } else if (c == ']' && depth == 0)
+            break;
+    }
+    return out;
+}
+
+struct FetchOpts
+{
+    std::string outFile;
+    bool wait = false;
+    std::uint64_t pollMs = 200;
+};
+
+/**
+ * Streams a batch's records to @p os as JSONL: repeatedly asks for
+ * the contiguous prefix past `since`, printing new records as they
+ * land. Returns the batch's final state ("done"/"failed"/...), or ""
+ * on transport failure.
+ */
+std::string
+streamResults(const std::string &socketPath, std::uint64_t batch,
+              const FetchOpts &opts, std::ostream &os)
+{
+    std::uint64_t since = 0;
+    for (;;) {
+        std::string raw;
+        const JsonValue reply =
+            rpc(socketPath,
+                "{\"type\": \"results\", \"batch\": " +
+                    std::to_string(batch) +
+                    ", \"since\": " + std::to_string(since) + "}",
+                &raw);
+        if (!replyOk(reply)) {
+            reportError(reply);
+            return "";
+        }
+        for (const std::string &rec : spliceRecords(raw))
+            os << rec << "\n";
+        since = static_cast<std::uint64_t>(numField(reply, "next"));
+        const std::string state = strField(reply, "state");
+        const bool settled = state == "done" || state == "failed" ||
+                             state == "cancelled";
+        if (settled)
+            return state; // the prefix just fetched is final
+        if (!opts.wait)
+            return "pending";
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts.pollMs));
+    }
+}
+
+int
+finishFetch(const std::string &state, std::uint64_t batch, bool waited)
+{
+    if (state.empty())
+        return 1;
+    if (state == "failed" || state == "cancelled") {
+        std::cerr << "mssr_submit: batch " << batch << " " << state
+                  << "\n";
+        return 1;
+    }
+    if (waited || state == "done")
+        return 0;
+    // Without --wait a partial fetch is still a success: the caller
+    // asked for what's there now.
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    if (const char *s = std::getenv("MSSR_SERVE_SOCKET"))
+        socketPath = s;
+
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            if (i + 1 >= argc) {
+                std::cerr << "mssr_submit: --socket needs a value\n";
+                usage();
+            }
+            socketPath = argv[++i];
+        } else if (arg == "--version") {
+            std::cout << "mssr_submit " << buildInfoLine() << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.empty())
+        usage();
+    if (socketPath.empty()) {
+        std::cerr << "mssr_submit: --socket (or MSSR_SERVE_SOCKET) is "
+                     "required\n";
+        usage();
+    }
+    const std::string cmd = args[0];
+
+    const auto batchArg = [&](std::size_t idx) -> std::uint64_t {
+        if (idx >= args.size()) {
+            std::cerr << "mssr_submit: " << cmd << " needs a batch id\n";
+            usage();
+        }
+        const auto v = parseU64(args[idx]);
+        if (!v) {
+            std::cerr << "mssr_submit: '" << args[idx]
+                      << "' is not a batch id\n";
+            usage();
+        }
+        return *v;
+    };
+
+    try {
+        if (cmd == "ping") {
+            const JsonValue reply =
+                rpc(socketPath, "{\"type\": \"ping\"}");
+            if (!replyOk(reply))
+                return reportError(reply);
+            std::cout << strField(reply, "schema") << "\n";
+            return 0;
+        }
+
+        if (cmd == "drain" || cmd == "shutdown") {
+            const JsonValue reply =
+                rpc(socketPath, "{\"type\": \"" + cmd + "\"}");
+            if (!replyOk(reply))
+                return reportError(reply);
+            std::cout << cmd << ": ok\n";
+            return 0;
+        }
+
+        if (cmd == "cancel") {
+            const std::uint64_t batch = batchArg(1);
+            const JsonValue reply = rpc(
+                socketPath, "{\"type\": \"cancel\", \"batch\": " +
+                                std::to_string(batch) + "}");
+            if (!replyOk(reply))
+                return reportError(reply);
+            std::cout << "batch " << batch << " cancelled ("
+                      << static_cast<std::uint64_t>(
+                             numField(reply, "cancelled"))
+                      << " job(s) dropped)\n";
+            return 0;
+        }
+
+        if (cmd == "status") {
+            bool json = false;
+            std::string request = "{\"type\": \"status\"}";
+            for (std::size_t i = 1; i < args.size(); ++i) {
+                if (args[i] == "--json")
+                    json = true;
+                else
+                    request = "{\"type\": \"status\", \"batch\": " +
+                              std::to_string(batchArg(i)) + "}";
+            }
+            std::string raw;
+            const JsonValue reply = rpc(socketPath, request, &raw);
+            if (!replyOk(reply))
+                return reportError(reply);
+            if (json) {
+                std::cout << raw << "\n";
+                return 0;
+            }
+            if (reply.object.count("batches")) {
+                std::cout << "draining: "
+                          << (numField(reply, "draining") != 0.0 ? "yes"
+                                                                 : "no")
+                          << "  queue depth: "
+                          << static_cast<std::uint64_t>(
+                                 numField(reply, "queue_depth"))
+                          << "\n";
+                for (const JsonValue &b :
+                     reply.object.at("batches").array)
+                    std::cout
+                        << "batch "
+                        << static_cast<std::uint64_t>(numField(b, "batch"))
+                        << ": " << strField(b, "state") << " "
+                        << static_cast<std::uint64_t>(numField(b, "done"))
+                        << "/"
+                        << static_cast<std::uint64_t>(numField(b, "jobs"))
+                        << (strField(b, "label").empty()
+                                ? ""
+                                : " (" + strField(b, "label") + ")")
+                        << "\n";
+            } else {
+                std::cout << "batch "
+                          << static_cast<std::uint64_t>(
+                                 numField(reply, "batch"))
+                          << ": " << strField(reply, "state") << " "
+                          << static_cast<std::uint64_t>(
+                                 numField(reply, "done"))
+                          << "/"
+                          << static_cast<std::uint64_t>(
+                                 numField(reply, "jobs"))
+                          << "\n";
+            }
+            return 0;
+        }
+
+        if (cmd == "results") {
+            const std::uint64_t batch = batchArg(1);
+            FetchOpts opts;
+            for (std::size_t i = 2; i < args.size(); ++i) {
+                if (args[i] == "--wait")
+                    opts.wait = true;
+                else if (args[i] == "--out" && i + 1 < args.size())
+                    opts.outFile = args[++i];
+                else if (args[i] == "--poll-ms" && i + 1 < args.size())
+                    opts.pollMs = parseU64(args[++i]).value_or(200);
+                else
+                    usage();
+            }
+            std::ofstream outFile;
+            if (!opts.outFile.empty()) {
+                outFile.open(opts.outFile);
+                if (!outFile) {
+                    std::cerr << "mssr_submit: cannot open '"
+                              << opts.outFile << "'\n";
+                    return 2;
+                }
+            }
+            std::ostream &os = opts.outFile.empty() ? std::cout : outFile;
+            const std::string state =
+                streamResults(socketPath, batch, opts, os);
+            return finishFetch(state, batch, opts.wait);
+        }
+
+        if (cmd == "submit") {
+            if (args.size() < 2) {
+                std::cerr << "mssr_submit: submit needs a sweep file\n";
+                usage();
+            }
+            const std::string sweepFile = args[1];
+            std::string label;
+            FetchOpts opts;
+            for (std::size_t i = 2; i < args.size(); ++i) {
+                if (args[i] == "--label" && i + 1 < args.size())
+                    label = args[++i];
+                else if (args[i] == "--wait")
+                    opts.wait = true;
+                else if (args[i] == "--out" && i + 1 < args.size())
+                    opts.outFile = args[++i];
+                else if (args[i] == "--poll-ms" && i + 1 < args.size())
+                    opts.pollMs = parseU64(args[++i]).value_or(200);
+                else
+                    usage();
+            }
+
+            std::ifstream in(sweepFile);
+            if (!in) {
+                std::cerr << "mssr_submit: cannot read sweep file '"
+                          << sweepFile << "'\n";
+                return 2;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            std::string sweep = ss.str();
+            // Accept either a bare array of specs or a {"jobs": [...]}
+            // object; validate locally so a typo'd file is a clean
+            // exit-2 before the server sees it.
+            std::string jobsJson;
+            try {
+                const JsonValue v = minijson::JsonParser(sweep).parse();
+                if (v.kind == JsonValue::Array) {
+                    jobsJson = sweep;
+                } else if (v.kind == JsonValue::Object &&
+                           v.object.count("jobs")) {
+                    const auto start = sweep.find("\"jobs\"");
+                    const auto lb = sweep.find('[', start);
+                    const auto rb = sweep.rfind(']');
+                    jobsJson = sweep.substr(lb, rb - lb + 1);
+                } else {
+                    throw std::runtime_error(
+                        "want a JSON array of job specs or an object "
+                        "with a \"jobs\" array");
+                }
+            } catch (const std::exception &e) {
+                std::cerr << "mssr_submit: bad sweep file '" << sweepFile
+                          << "': " << e.what() << "\n";
+                return 2;
+            }
+
+            const std::string request =
+                "{\"type\": \"submit\", \"label\": \"" +
+                jsonEscape(label) + "\", \"jobs\": " + jobsJson + "}";
+            const JsonValue reply = rpc(socketPath, request);
+            if (!replyOk(reply))
+                return reportError(reply);
+            const auto batch =
+                static_cast<std::uint64_t>(numField(reply, "batch"));
+            std::cerr << "batch " << batch << " accepted ("
+                      << static_cast<std::uint64_t>(
+                             numField(reply, "jobs"))
+                      << " job(s))\n";
+            if (!opts.wait && opts.outFile.empty()) {
+                std::cout << batch << "\n";
+                return 0;
+            }
+            opts.wait = true; // --out implies waiting for the batch
+            std::ofstream outFile;
+            if (!opts.outFile.empty()) {
+                outFile.open(opts.outFile);
+                if (!outFile) {
+                    std::cerr << "mssr_submit: cannot open '"
+                              << opts.outFile << "'\n";
+                    return 2;
+                }
+            }
+            std::ostream &os = opts.outFile.empty() ? std::cout : outFile;
+            const std::string state =
+                streamResults(socketPath, batch, opts, os);
+            return finishFetch(state, batch, true);
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "mssr_submit: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cerr << "mssr_submit: unknown command '" << cmd << "'\n";
+    usage();
+}
